@@ -1,0 +1,380 @@
+// Benchmark harness reproducing every table and figure of the paper's
+// evaluation (§V). Each benchmark corresponds to an experiment in
+// DESIGN.md's per-experiment index; EXPERIMENTS.md records paper-vs-measured
+// outcomes.
+//
+// Run with:  go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cycles"
+	"repro/internal/grid"
+	"repro/internal/mapf"
+	"repro/internal/maps"
+	"repro/internal/refine"
+	"repro/internal/sim"
+	"repro/internal/testmaps"
+	"repro/internal/warehouse"
+	"repro/internal/workload"
+)
+
+const horizonT = 3600 // the paper's plan-length limit
+
+// tableIRows enumerates the nine WSP instances of Table I.
+var tableIRows = []struct {
+	name  string
+	build func() (*maps.Map, error)
+	units []int
+}{
+	{"SortingCenter", maps.SortingCenter, []int{160, 320, 480}},
+	{"Fulfillment1", maps.Fulfillment1, []int{550, 825, 1100}},
+	{"Fulfillment2", maps.Fulfillment2, []int{1200, 1320, 1440}},
+}
+
+// BenchmarkTableI (E1-E3) regenerates Table I: the time to synthesize an
+// agent flow/cycle set for each of the nine instances. As in the paper, the
+// timed quantity is synthesis ("the time required to convert an agent flow
+// set into a plan is small"); BenchmarkTableIEndToEnd covers the full
+// pipeline.
+func BenchmarkTableI(b *testing.B) {
+	for _, row := range tableIRows {
+		m, err := row.build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, units := range row.units {
+			wl, err := workload.Uniform(m.W, units)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s_units=%d", row.name, units), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Solve(m.S, wl, horizonT, core.Options{SkipRealization: true}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTableIEndToEnd times the whole pipeline (synthesis, cycle
+// mapping, Algorithm 1 realization, and validation by simulation).
+func BenchmarkTableIEndToEnd(b *testing.B) {
+	for _, row := range tableIRows {
+		m, err := row.build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		units := row.units[len(row.units)-1] // largest instance per map
+		wl, err := workload.Uniform(m.W, units)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("%s_units=%d", row.name, units), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Solve(m.S, wl, horizonT, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Sim.ServicedAt < 0 {
+					b.Fatal("not serviced")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWorkloadScaling (E7) backs the §V claim that doubling the units
+// moved increases runtime by less than 10%: compare ns/op across the 1x,
+// 2x, and 3x sub-benchmarks.
+func BenchmarkWorkloadScaling(b *testing.B) {
+	for _, row := range tableIRows {
+		m, err := row.build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// x3 equals the largest Table I workload for the map, so every
+		// multiple stays within the instance family's feasible range.
+		base := row.units[len(row.units)-1] / 3
+		for mult := 1; mult <= 3; mult++ {
+			wl, err := workload.Uniform(m.W, base*mult)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s_x%d", row.name, mult), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Solve(m.S, wl, horizonT, core.Options{SkipRealization: true}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkComponentScaling (E8) backs the §V claim that the methodology's
+// cost is governed by the number of traffic-system components: sweep the
+// stripe count at fixed workload.
+func BenchmarkComponentScaling(b *testing.B) {
+	for _, stripes := range []int{2, 4, 8, 16} {
+		m, err := maps.Generate(maps.Params{
+			Stripes: stripes, Rows: 3, BayWidth: 12, CorridorWidth: 3,
+			MaxComponentLen: 7, DoubleShelfRows: true,
+			NumProducts: 48, UnitsPerShelf: 30, StationsPerStripe: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wl, err := workload.Uniform(m.W, 480)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("components=%d", m.S.NumComponents()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Solve(m.S, wl, horizonT, core.Options{SkipRealization: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProductScaling (E8) shows near-insensitivity to the product
+// count at fixed map and fixed total units.
+func BenchmarkProductScaling(b *testing.B) {
+	for _, products := range []int{16, 48, 96, 192} {
+		m, err := maps.Generate(maps.Params{
+			Stripes: 4, Rows: 3, BayWidth: 12, CorridorWidth: 3,
+			MaxComponentLen: 7, DoubleShelfRows: true,
+			NumProducts: products, UnitsPerShelf: 30, StationsPerStripe: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wl, err := workload.Uniform(m.W, 480)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("products=%d", products), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Solve(m.S, wl, horizonT, core.Options{SkipRealization: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSynthesizerAblation (E9) compares the three synthesis strategies
+// on an instance small enough for the faithful contract→ILP path.
+func BenchmarkSynthesizerAblation(b *testing.B) {
+	w, s := testmaps.MustRing()
+	wl, err := warehouse.NewWorkload(w, []int{8, 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, strat := range []core.Strategy{core.RoutePacking, core.SequentialFlows, core.ContractILP} {
+		b.Run(strat.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Solve(s, wl, 800, core.Options{Strategy: strat, SkipRealization: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBaselineComparison (E6) reproduces the §V comparison: the
+// search-based baseline's effort explodes with team size while the contract
+// pipeline (BenchmarkTableI) stays flat. Expansions per solve are reported
+// as a metric; runs that exhaust the budget report the cap (the paper's
+// baseline ran out of its one-hour budget the same way).
+func BenchmarkBaselineComparison(b *testing.B) {
+	m, err := maps.SortingCenter()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, agents := range []int{1, 2, 4, 8} {
+		starts, goals := baselineTasks(m, agents, 2)
+		b.Run(fmt.Sprintf("IteratedECBS_agents=%d", agents), func(b *testing.B) {
+			var exp int
+			for i := 0; i < b.N; i++ {
+				sol, _ := mapf.IteratedECBS(m.W.Graph, starts, goals, mapf.IteratedOptions{
+					Window: 20,
+					Limits: mapf.Limits{MaxExpansions: 500_000, Horizon: horizonT},
+				})
+				exp = sol.Expansions
+			}
+			b.ReportMetric(float64(exp), "expansions")
+		})
+	}
+}
+
+// baselineTasks gives each baseline agent a distinct start, a distinct shelf
+// cell, and a station, with `tours` shelf→station round trips — the "same
+// sequence of shelves and stations" protocol of §V.
+func baselineTasks(m *maps.Map, n, tours int) ([]grid.VertexID, [][]grid.VertexID) {
+	var starts []grid.VertexID
+	var goals [][]grid.VertexID
+	rows := m.S.ShelvingRows()
+	used := map[grid.VertexID]bool{}
+	for a := 0; a < n; a++ {
+		row := m.S.Components[rows[a%len(rows)]]
+		shelf := row.Cells[(1+2*(a/len(rows)))%row.Len()]
+		station := m.W.Stations[a%len(m.W.Stations)]
+		start := grid.None
+		for _, v := range row.Cells {
+			if !used[v] && v != shelf {
+				start = v
+				break
+			}
+		}
+		if start == grid.None {
+			continue
+		}
+		used[start] = true
+		starts = append(starts, start)
+		var seq []grid.VertexID
+		for t := 0; t < tours; t++ {
+			seq = append(seq, shelf, station)
+		}
+		goals = append(goals, seq)
+	}
+	return starts, goals
+}
+
+// BenchmarkTopologyDesignSpace (E10) sweeps the co-design space: corridor
+// width and component-length cap against a fixed workload.
+func BenchmarkTopologyDesignSpace(b *testing.B) {
+	cases := []struct {
+		name string
+		p    maps.Params
+	}{
+		{"V2_L6", maps.Params{Stripes: 4, Rows: 2, BayWidth: 12, CorridorWidth: 2, MaxComponentLen: 6, DoubleShelfRows: true, NumProducts: 48, UnitsPerShelf: 30, StationsPerStripe: 1}},
+		{"V3_L7", maps.Params{Stripes: 4, Rows: 3, BayWidth: 12, CorridorWidth: 3, MaxComponentLen: 7, DoubleShelfRows: true, NumProducts: 48, UnitsPerShelf: 30, StationsPerStripe: 1}},
+		{"V4_L9", maps.Params{Stripes: 4, Rows: 4, BayWidth: 12, CorridorWidth: 4, MaxComponentLen: 9, DoubleShelfRows: true, NumProducts: 48, UnitsPerShelf: 30, StationsPerStripe: 1}},
+	}
+	for _, tc := range cases {
+		m, err := maps.Generate(tc.p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wl, err := workload.Uniform(m.W, 480)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tc.name, func(b *testing.B) {
+			var serviced int
+			for i := 0; i < b.N; i++ {
+				res, err := core.Solve(m.S, wl, horizonT, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				serviced = res.Sim.ServicedAt
+			}
+			b.ReportMetric(float64(serviced), "serviced@step")
+		})
+	}
+}
+
+// BenchmarkFailureRobustness (extension) measures makespan dilation when
+// one agent freezes mid-plan, under the minimal-communication execution
+// policy (sim.ExecuteMCP).
+func BenchmarkFailureRobustness(b *testing.B) {
+	m, err := maps.SortingCenter()
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl, err := workload.Uniform(m.W, 320)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Solve(m.S, wl, horizonT, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, dur := range []int{0, 120, 480} {
+		b.Run(fmt.Sprintf("freeze=%d", dur), func(b *testing.B) {
+			var serviced int
+			for i := 0; i < b.N; i++ {
+				var failures []sim.Failure
+				if dur > 0 {
+					failures = []sim.Failure{{Agent: 0, At: 100, Duration: dur}}
+				}
+				ex, err := sim.ExecuteMCP(m.W, res.Plan, wl, failures, 6*horizonT)
+				if err != nil {
+					b.Fatal(err)
+				}
+				serviced = ex.ServicedAt
+			}
+			b.ReportMetric(float64(serviced), "serviced@step")
+		})
+	}
+}
+
+// BenchmarkRefinement (extension, §VI future work) measures the two
+// refinement passes: cycle merging and horizon minimization.
+func BenchmarkRefinement(b *testing.B) {
+	m, err := maps.SortingCenter()
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl, err := workload.Uniform(m.W, 320)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("MergeCycles", func(b *testing.B) {
+		cs, err := cycles.Synthesize(m.S, wl, horizonT, cycles.Options{MaxLegsPerCycle: 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := refine.MergeCycles(cs, wl); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("MinimalHorizon", func(b *testing.B) {
+		var minT int
+		for i := 0; i < b.N; i++ {
+			hr, err := refine.MinimalHorizon(m.S, wl, horizonT, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			minT = hr.T
+		}
+		b.ReportMetric(float64(minT), "minimal-T")
+	})
+}
+
+// BenchmarkRealization isolates Algorithm 1: agent-steps simulated per
+// second on the largest Table I instance.
+func BenchmarkRealization(b *testing.B) {
+	m, err := maps.Fulfillment2()
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl, err := workload.Uniform(m.W, 1440)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pre, err := core.Solve(m.S, wl, horizonT, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	agents := pre.Stats.Agents
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Solve(m.S, wl, horizonT, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+	b.ReportMetric(float64(agents*horizonT), "agent-steps/op")
+}

@@ -1,0 +1,247 @@
+// Command wsp is the toolchain driver: it solves WSP instances on the
+// paper's evaluation maps, renders traffic-system maps (Figs. 4 and 5), and
+// prints per-instance statistics.
+//
+// Usage:
+//
+//	wsp map   -name fulfillment1|fulfillment2|sorting
+//	wsp solve -name sorting -units 480 [-T 3600] [-strategy route|flows|contract]
+//	wsp table                              # reproduce Table I
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/maps"
+	"repro/internal/traffic"
+	"repro/internal/workload"
+	"repro/internal/wspio"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "map":
+		err = cmdMap(os.Args[2:])
+	case "solve":
+		err = cmdSolve(os.Args[2:])
+	case "table":
+		err = cmdTable(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "solvefile":
+		err = cmdSolveFile(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wsp:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: wsp <map|solve|table|export|solvefile> [flags]")
+}
+
+// cmdExport writes a built-in instance to a JSON file that solvefile (or a
+// third-party tool) can consume.
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	name := fs.String("name", "sorting", "map name")
+	units := fs.Int("units", 160, "total units to move")
+	T := fs.Int("T", 3600, "timestep limit")
+	out := fs.String("o", "instance.json", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := buildMap(*name)
+	if err != nil {
+		return err
+	}
+	wl, err := workload.Uniform(m.W, *units)
+	if err != nil {
+		return err
+	}
+	inst, err := wspio.Encode(m.S, &wl, *T, *name)
+	if err != nil {
+		return err
+	}
+	data, err := wspio.Marshal(inst)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *out, len(data))
+	return nil
+}
+
+// cmdSolveFile solves an instance previously exported (or hand-written).
+func cmdSolveFile(args []string) error {
+	fs := flag.NewFlagSet("solvefile", flag.ExitOnError)
+	in := fs.String("f", "instance.json", "instance file")
+	strat := fs.String("strategy", "route", "synthesis strategy: route, flows, or contract")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	inst, err := wspio.Unmarshal(data)
+	if err != nil {
+		return err
+	}
+	s, wl, err := wspio.Decode(inst)
+	if err != nil {
+		return err
+	}
+	if wl == nil {
+		return fmt.Errorf("instance %s has no workload", *in)
+	}
+	strategy, err := strategyOf(*strat)
+	if err != nil {
+		return err
+	}
+	T := inst.T
+	if T == 0 {
+		T = 3600
+	}
+	start := time.Now()
+	res, err := core.Solve(s, *wl, T, core.Options{Strategy: strategy})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("solved %s (%d units) in %v: %d agents, serviced at t=%d of %d\n",
+		*in, wl.TotalUnits(), time.Since(start), res.Stats.Agents, res.Sim.ServicedAt, T)
+	return nil
+}
+
+func buildMap(name string) (*maps.Map, error) {
+	switch name {
+	case "fulfillment1":
+		return maps.Fulfillment1()
+	case "fulfillment2":
+		return maps.Fulfillment2()
+	case "sorting":
+		return maps.SortingCenter()
+	}
+	return nil, fmt.Errorf("unknown map %q (want fulfillment1, fulfillment2, or sorting)", name)
+}
+
+func cmdMap(args []string) error {
+	fs := flag.NewFlagSet("map", flag.ExitOnError)
+	name := fs.String("name", "sorting", "map name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := buildMap(*name)
+	if err != nil {
+		return err
+	}
+	fmt.Print(traffic.Render(m.S))
+	st := traffic.Summarize(m.S)
+	fmt.Printf("\n%s: %d cells, %d shelves, %d stations, %d products\n",
+		*name, m.W.Graph.NumVertices(), len(m.Shelves), len(m.W.Stations), m.W.NumProducts)
+	fmt.Printf("components: %d (%d shelving rows, %d station queues, %d transports), %d arcs, tc=%d\n",
+		st.Components, st.ShelvingRows, st.StationQueues, st.Transports, st.Edges, st.CycleTime)
+	return nil
+}
+
+func strategyOf(name string) (core.Strategy, error) {
+	switch name {
+	case "route":
+		return core.RoutePacking, nil
+	case "flows":
+		return core.SequentialFlows, nil
+	case "contract":
+		return core.ContractILP, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q (want route, flows, or contract)", name)
+}
+
+func cmdSolve(args []string) error {
+	fs := flag.NewFlagSet("solve", flag.ExitOnError)
+	name := fs.String("name", "sorting", "map name")
+	units := fs.Int("units", 160, "total units to move")
+	T := fs.Int("T", 3600, "timestep limit")
+	strat := fs.String("strategy", "route", "synthesis strategy: route, flows, or contract")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := buildMap(*name)
+	if err != nil {
+		return err
+	}
+	strategy, err := strategyOf(*strat)
+	if err != nil {
+		return err
+	}
+	wl, err := workload.Uniform(m.W, *units)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := core.Solve(m.S, wl, *T, core.Options{Strategy: strategy})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("solved %s (%d units, %d products) in %v\n", *name, *units, m.W.NumProducts, time.Since(start))
+	fmt.Printf("  strategy:   %v (attempt %d)\n", strategy, res.Attempts)
+	fmt.Printf("  agents:     %d in %d cycles\n", res.Stats.Agents, len(res.CycleSet.Cycles))
+	fmt.Printf("  serviced:   timestep %d of %d\n", res.Sim.ServicedAt, *T)
+	fmt.Printf("  synthesis:  %v\n", res.Timing.Synthesis)
+	fmt.Printf("  realize:    %v  (validate: %v)\n", res.Timing.Realize, res.Timing.Validate)
+	return nil
+}
+
+func cmdTable(args []string) error {
+	fs := flag.NewFlagSet("table", flag.ExitOnError)
+	T := fs.Int("T", 3600, "timestep limit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows := []struct {
+		name  string
+		units []int
+	}{
+		{"sorting", []int{160, 320, 480}},
+		{"fulfillment1", []int{550, 825, 1100}},
+		{"fulfillment2", []int{1200, 1320, 1440}},
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Map\tUnique Products\tUnits Moved\tRuntime\tAgents\tServiced@")
+	for _, row := range rows {
+		m, err := buildMap(row.name)
+		if err != nil {
+			return err
+		}
+		for _, u := range row.units {
+			wl, err := workload.Uniform(m.W, u)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			res, err := core.Solve(m.S, wl, *T, core.Options{})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%v\t%d\t%d\n",
+				row.name, m.W.NumProducts, u, time.Since(start).Round(time.Microsecond),
+				res.Stats.Agents, res.Sim.ServicedAt)
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestBuildMapNames(t *testing.T) {
+	for _, name := range []string{"fulfillment1", "fulfillment2", "sorting"} {
+		m, err := buildMap(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if m.W == nil || m.S == nil {
+			t.Errorf("%s: incomplete map", name)
+		}
+	}
+	if _, err := buildMap("nope"); err == nil {
+		t.Error("unknown map accepted")
+	}
+}
+
+func TestStrategyOf(t *testing.T) {
+	cases := map[string]core.Strategy{
+		"route":    core.RoutePacking,
+		"flows":    core.SequentialFlows,
+		"contract": core.ContractILP,
+	}
+	for name, want := range cases {
+		got, err := strategyOf(name)
+		if err != nil || got != want {
+			t.Errorf("strategyOf(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := strategyOf("quantum"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestCmdMapAndSolveRun(t *testing.T) {
+	if err := cmdMap([]string{"-name", "sorting"}); err != nil {
+		t.Errorf("cmdMap: %v", err)
+	}
+	if err := cmdSolve([]string{"-name", "sorting", "-units", "80", "-T", "3600"}); err != nil {
+		t.Errorf("cmdSolve: %v", err)
+	}
+}

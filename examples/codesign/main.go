@@ -1,0 +1,70 @@
+// Topology co-design exploration: sweep the warehouse design space
+// (corridor width, component length cap, stripe count) and measure how each
+// design trades agents, makespan, and synthesis effort on a fixed workload —
+// the "co-design" loop the paper's title promises.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/maps"
+	"repro/internal/traffic"
+	"repro/internal/workload"
+)
+
+func main() {
+	const T = 3600
+	const units = 480
+
+	type design struct {
+		name string
+		p    maps.Params
+	}
+	base := maps.Params{
+		Stripes: 4, Rows: 3, BayWidth: 12, CorridorWidth: 3,
+		MaxComponentLen: 7, DoubleShelfRows: true,
+		NumProducts: 48, UnitsPerShelf: 30, StationsPerStripe: 1,
+	}
+	designs := []design{
+		{"baseline V=3 L=7", base},
+		{"narrow corridors V=2", with(base, func(p *maps.Params) { p.CorridorWidth = 2; p.MaxComponentLen = 6 })},
+		{"long components L=12", with(base, func(p *maps.Params) { p.MaxComponentLen = 12 })},
+		{"two wide stripes", with(base, func(p *maps.Params) { p.Stripes = 2; p.BayWidth = 24 })},
+		{"eight thin stripes", with(base, func(p *maps.Params) { p.Stripes = 8; p.BayWidth = 6 })},
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Design\tComponents\ttc\tAgents\tCycles\tServiced@\tSynthesis")
+	for _, d := range designs {
+		m, err := maps.Generate(d.p)
+		if err != nil {
+			fmt.Fprintf(tw, "%s\t-\t-\t-\t-\t-\tgenerate: %v\n", d.name, err)
+			continue
+		}
+		wl, err := workload.Uniform(m.W, units)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := traffic.Summarize(m.S)
+		res, err := core.Solve(m.S, wl, T, core.Options{})
+		if err != nil {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t-\t-\t-\tsolve: %v\n", d.name, st.Components, st.CycleTime, err)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%v\n",
+			d.name, st.Components, st.CycleTime,
+			res.Stats.Agents, len(res.CycleSet.Cycles), res.Sim.ServicedAt, res.Timing.Synthesis)
+	}
+	tw.Flush()
+	fmt.Println("\nLower tc (shorter components) buys more cycle periods; wider corridors")
+	fmt.Println("buy concurrent cycles. The best design balances both against agent count.")
+}
+
+func with(p maps.Params, f func(*maps.Params)) maps.Params {
+	f(&p)
+	return p
+}

@@ -1,0 +1,73 @@
+// Lifelong operation: workload batches arrive over the day; the controller
+// re-synthesizes cycle sets per epoch, stock depletes, and we also inject an
+// agent failure into one epoch's plan to measure the degradation — the
+// operational questions a deployed system faces beyond the one-shot WSP.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/lifelong"
+	"repro/internal/maps"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	m, err := maps.SortingCenter()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three waves of packages, released over a 10,800-step shift.
+	unit := func(per int) []int {
+		u := make([]int, m.W.NumProducts)
+		for k := range u {
+			u[k] = per
+		}
+		return u
+	}
+	batches := []lifelong.Batch{
+		{Release: 0, Units: unit(4)},
+		{Release: 3000, Units: unit(5)},
+		{Release: 6000, Units: unit(3)},
+	}
+	rep, err := lifelong.Run(m.S, batches, 10800, lifelong.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lifelong run: %d epochs, peak team %d agents\n", rep.Epochs, rep.PeakAgents)
+	for i, b := range rep.Batches {
+		fmt.Printf("  batch %d: released t=%5d, %3d units, completed t=%d (latency %d)\n",
+			i, b.Release, b.Units, b.Completed, b.Completed-b.Release)
+	}
+
+	// Failure injection: solve one instance, then replay its plan under the
+	// minimal-communication policy with an agent frozen mid-run.
+	wl, err := workload.Uniform(m.W, 320)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.Solve(m.S, wl, 3600, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfailure injection on a %d-agent plan (nominal makespan %d):\n",
+		res.Stats.Agents, res.Sim.ServicedAt)
+	for _, dur := range []int{0, 60, 240, 960} {
+		var failures []sim.Failure
+		label := "none"
+		if dur > 0 {
+			failures = []sim.Failure{{Agent: 0, At: 100, Duration: dur}}
+			label = fmt.Sprintf("agent 0 frozen %d steps", dur)
+		}
+		ex, err := sim.ExecuteMCP(m.W, res.Plan, wl, failures, 6*3600)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-26s serviced@%5d  waits=%6d  stalled=%v\n",
+			label, ex.ServicedAt, ex.Waits, ex.Stalled)
+	}
+}

@@ -1,0 +1,252 @@
+// Package agentplan realizes an agent cycle set as a discrete T-timestep
+// plan, implementing the modular realization algorithm of §IV-C
+// (Algorithm 1, COMPONENT_TIMESTEP).
+//
+// Every timestep, each component moves the agent nearest its exit across to
+// the next component of that agent's cycle (at most once per cycle period)
+// and shifts its remaining agents one cell toward the exit when the next
+// cell was free at the start of the step. Because a follower may not enter a
+// cell being vacated in the same step, gaps propagate one cell per timestep,
+// which is why a cycle period of tc = 2m timesteps suffices to advance every
+// agent one component (Property 4.1).
+//
+// Pickups and drop-offs follow the product-handling semantics of §III
+// condition (3): the carried-product transition at t+1 is decided by the
+// agent's position at t, so picking and dropping cost no timesteps.
+package agentplan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cycles"
+	"repro/internal/grid"
+	"repro/internal/traffic"
+	"repro/internal/warehouse"
+)
+
+// Stats summarizes a realization.
+type Stats struct {
+	// Agents is the team size (one agent per cycle position).
+	Agents int
+	// Delivered counts units dropped at stations, per product.
+	Delivered []int
+	// Picks counts pickups.
+	Picks int
+	// ServicedAt is the first timestep by which the workload was fully
+	// delivered, or -1 if the plan falls short.
+	ServicedAt int
+	// Moves counts cell transitions (a proxy for energy/congestion).
+	Moves int
+}
+
+type agent struct {
+	cycle   int // index into cs.Cycles
+	pos     int // index into cycle.Components: the agent's current position
+	vertex  grid.VertexID
+	carried warehouse.ProductID
+	dropPos int // leg DropIdx the agent is heading to, -1 when empty
+	legIdx  int // leg being executed, -1 when empty
+
+	advanceT int // timestep of the last component advancement
+}
+
+// Realize executes the cycle set for T timesteps and returns the plan
+// (π, φ) together with realization statistics. The returned plan always
+// spans exactly T timesteps; agents keep circulating after the workload is
+// serviced.
+func Realize(cs *cycles.Set, wl warehouse.Workload, T int) (*warehouse.Plan, Stats, error) {
+	s := cs.S
+	w := s.W
+	tc := cs.Tc
+	if T < 1 {
+		return nil, Stats{}, fmt.Errorf("agentplan: horizon %d too short", T)
+	}
+	if tc < 2 {
+		return nil, Stats{}, fmt.Errorf("agentplan: cycle time %d too short", tc)
+	}
+
+	// Property 4.1 preconditions.
+	if errs := cs.Check(wl); len(errs) > 0 {
+		return nil, Stats{}, fmt.Errorf("agentplan: invalid cycle set: %v", errs[0])
+	}
+
+	// Instantiate agents: one per cycle position, placed on distinct cells
+	// of the position's component, filling from the exit backward.
+	var agents []*agent
+	nextFree := make([]int, s.NumComponents()) // cells used so far, from exit
+	occupant := make(map[grid.VertexID]int)    // vertex -> agent index at time t
+	for ci, cyc := range cs.Cycles {
+		for pos, comp := range cyc.Components {
+			cells := s.Components[comp].Cells
+			slot := len(cells) - 1 - nextFree[comp]
+			if slot < 0 {
+				return nil, Stats{}, fmt.Errorf("agentplan: component %d overfull at initialization", comp)
+			}
+			nextFree[comp]++
+			a := &agent{
+				cycle:    ci,
+				pos:      pos,
+				vertex:   cells[slot],
+				carried:  warehouse.NoProduct,
+				dropPos:  -1,
+				legIdx:   -1,
+				advanceT: -1,
+			}
+			occupant[a.vertex] = len(agents)
+			agents = append(agents, a)
+		}
+	}
+
+	// Mutable pick bookkeeping.
+	legQuota := make([][]int, len(cs.Cycles))
+	for ci, cyc := range cs.Cycles {
+		legQuota[ci] = make([]int, len(cyc.Legs))
+		for li, leg := range cyc.Legs {
+			legQuota[ci][li] = leg.Quota
+		}
+	}
+	stock := make(map[grid.VertexID][]int, len(w.ShelfAccess))
+	for k := 0; k < w.NumProducts; k++ {
+		row := w.Stock[k]
+		if row == nil {
+			continue
+		}
+		for l, units := range row {
+			if units == 0 {
+				continue
+			}
+			v := w.ShelfAccess[l]
+			if stock[v] == nil {
+				stock[v] = make([]int, w.NumProducts)
+			}
+			stock[v][k] = units
+		}
+	}
+
+	plan := &warehouse.Plan{States: make([][]warehouse.AgentState, len(agents))}
+	for i := range agents {
+		plan.States[i] = make([]warehouse.AgentState, T)
+		plan.States[i][0] = warehouse.AgentState{Vertex: agents[i].vertex, Carried: warehouse.NoProduct}
+	}
+
+	stats := Stats{
+		Agents:     len(agents),
+		Delivered:  make([]int, w.NumProducts),
+		ServicedAt: -1,
+	}
+	serviced := func() bool {
+		for k, want := range wl.Units {
+			if stats.Delivered[k] < want {
+				return false
+			}
+		}
+		return true
+	}
+	if stats.ServicedAt < 0 && serviced() {
+		stats.ServicedAt = 0
+	}
+
+	// Per-component agent membership, rebuilt each step ordered by distance
+	// to exit.
+	members := make([][]int, s.NumComponents())
+
+	for t := 0; t+1 < T; t++ {
+		periodStart := (t / tc) * tc
+
+		for i := range members {
+			members[i] = members[i][:0]
+		}
+		for ai, a := range agents {
+			comp := cs.Cycles[a.cycle].Components[a.pos]
+			members[comp] = append(members[comp], ai)
+		}
+		// Order by cell index descending: nearest exit first.
+		for compID := range members {
+			comp := s.Components[compID]
+			sort.Slice(members[compID], func(x, y int) bool {
+				return comp.IndexOf(agents[members[compID][x]].vertex) > comp.IndexOf(agents[members[compID][y]].vertex)
+			})
+		}
+
+		// Phase 1: pick/drop decisions from positions at time t.
+		for _, a := range agents {
+			cyc := cs.Cycles[a.cycle]
+			if a.carried == warehouse.NoProduct {
+				for li := range cyc.Legs {
+					leg := &cyc.Legs[li]
+					if leg.PickIdx != a.pos || legQuota[a.cycle][li] <= 0 {
+						continue
+					}
+					st := stock[a.vertex]
+					if st == nil || st[leg.Product] <= 0 {
+						continue
+					}
+					st[leg.Product]--
+					legQuota[a.cycle][li]--
+					a.carried = leg.Product
+					a.dropPos = leg.DropIdx
+					a.legIdx = li
+					stats.Picks++
+					break
+				}
+			} else if a.pos == a.dropPos && w.IsStation(a.vertex) {
+				stats.Delivered[a.carried]++
+				a.carried = warehouse.NoProduct
+				a.dropPos = -1
+				a.legIdx = -1
+			}
+		}
+
+		// Phase 2: movement. entryClaimed arbitrates concurrent entrants.
+		entryClaimed := make(map[traffic.ComponentID]bool)
+		newOccupant := make(map[grid.VertexID]int, len(occupant))
+
+		for compID := range s.Components {
+			comp := s.Components[compID]
+			lst := members[compID]
+			for rank, ai := range lst {
+				a := agents[ai]
+				advanced := false
+				if rank == 0 && a.vertex == comp.Exit() && a.advanceT < periodStart {
+					cyc := cs.Cycles[a.cycle]
+					nextPos := (a.pos + 1) % len(cyc.Components)
+					nextComp := cyc.Components[nextPos]
+					entry := s.Components[nextComp].Entry()
+					if !entryClaimed[nextComp] {
+						if _, occupied := occupant[entry]; !occupied {
+							entryClaimed[nextComp] = true
+							a.pos = nextPos
+							a.vertex = entry
+							a.advanceT = t + 1
+							advanced = true
+							stats.Moves++
+						}
+					}
+				}
+				if !advanced {
+					// Internal shift toward the exit.
+					next := comp.Next(a.vertex)
+					if next != grid.None {
+						if _, occupied := occupant[next]; !occupied {
+							if _, claimed := newOccupant[next]; !claimed {
+								a.vertex = next
+								stats.Moves++
+							}
+						}
+					}
+				}
+				newOccupant[a.vertex] = ai
+			}
+		}
+		occupant = newOccupant
+
+		for ai, a := range agents {
+			plan.States[ai][t+1] = warehouse.AgentState{Vertex: a.vertex, Carried: a.carried}
+		}
+		if stats.ServicedAt < 0 && serviced() {
+			stats.ServicedAt = t + 1
+		}
+	}
+	return plan, stats, nil
+}

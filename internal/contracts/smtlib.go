@@ -1,0 +1,85 @@
+package contracts
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"repro/internal/lp"
+)
+
+// ExportSMTLIB renders the contract's satisfiability query (Ã ∧ G̃) as an
+// SMT-LIB 2 script in QF_LIA, the fragment the paper discharges to Z3.
+// The output is accepted by any SMT-LIB 2 solver (z3, cvc5, ...) and exists
+// so results of the built-in ILP decision procedure can be cross-checked
+// against an external solver.
+func (c *Contract) ExportSMTLIB() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; contract %s — satisfiability of assumptions ∧ guarantees\n", c.Name)
+	b.WriteString("(set-logic QF_LIA)\n")
+	names := make([]string, 0, len(c.Vars))
+	for n := range c.Vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		spec := c.Vars[n]
+		sortName := "Int"
+		if !spec.Integer {
+			sortName = "Real"
+		}
+		fmt.Fprintf(&b, "(declare-const %s %s)\n", smtName(n), sortName)
+		if spec.Lower != nil {
+			fmt.Fprintf(&b, "(assert (>= %s %s))\n", smtName(n), smtRat(spec.Lower))
+		}
+		if spec.Upper != nil {
+			fmt.Fprintf(&b, "(assert (<= %s %s))\n", smtName(n), smtRat(spec.Upper))
+		}
+	}
+	emit := func(role string, cons []Constraint) {
+		for _, con := range cons {
+			fmt.Fprintf(&b, "; %s %s\n(assert %s)\n", role, con.Name, smtConstraint(con))
+		}
+	}
+	emit("assumption", c.Assumptions)
+	emit("guarantee", c.Guarantees)
+	b.WriteString("(check-sat)\n(get-model)\n")
+	return b.String()
+}
+
+func smtName(n string) string {
+	return strings.NewReplacer(" ", "_", "(", "_", ")", "_").Replace(n)
+}
+
+// smtRat renders a rational as an SMT-LIB integer or quotient term.
+func smtRat(r *big.Rat) string {
+	if r.IsInt() {
+		return smtInt(r.Num())
+	}
+	return fmt.Sprintf("(/ %s %s)", smtInt(r.Num()), r.Denom().String())
+}
+
+func smtInt(n *big.Int) string {
+	if n.Sign() < 0 {
+		return fmt.Sprintf("(- %s)", new(big.Int).Neg(n).String())
+	}
+	return n.String()
+}
+
+func smtConstraint(con Constraint) string {
+	var terms []string
+	for _, t := range con.Terms {
+		if t.Coef.Cmp(big.NewRat(1, 1)) == 0 {
+			terms = append(terms, smtName(t.Var))
+		} else {
+			terms = append(terms, fmt.Sprintf("(* %s %s)", smtRat(t.Coef), smtName(t.Var)))
+		}
+	}
+	lhs := terms[0]
+	if len(terms) > 1 {
+		lhs = "(+ " + strings.Join(terms, " ") + ")"
+	}
+	op := map[lp.Sense]string{lp.LE: "<=", lp.GE: ">=", lp.EQ: "="}[con.Sense]
+	return fmt.Sprintf("(%s %s %s)", op, lhs, smtRat(con.RHS))
+}

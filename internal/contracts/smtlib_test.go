@@ -1,0 +1,91 @@
+package contracts
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lp"
+)
+
+func ratBig(n, d int64) *big.Rat { return big.NewRat(n, d) }
+
+func TestExportSMTLIBShape(t *testing.T) {
+	c := New("demo")
+	nat(c, t, "x", "y")
+	if err := c.DeclareVar(VarSpec{Name: "rate"}); err != nil { // unbounded Real
+		t.Fatal(err)
+	}
+	mustAssume(t, c, CT("cap", lp.LE, 7, LT(1, "x"), LT(2, "y")))
+	mustGuarantee(t, c, CT("demand", lp.GE, -3, LT(-1, "x")))
+	mustGuarantee(t, c, Constraint{
+		Name:  "frac",
+		Terms: []LinTerm{{Coef: ratBig(1, 2), Var: "rate"}},
+		Sense: lp.EQ,
+		RHS:   ratBig(3, 4),
+	})
+	out := c.ExportSMTLIB()
+	for _, want := range []string{
+		"(set-logic QF_LIA)",
+		"(declare-const x Int)",
+		"(declare-const rate Real)",
+		"(assert (>= x 0))",
+		"(assert (<= (+ x (* 2 y)) 7))",
+		"(assert (>= (* (- 1) x) (- 3)))",
+		"(assert (= (* (/ 1 2) rate) (/ 3 4)))",
+		"(check-sat)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SMT-LIB output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Property: every exported script is structurally balanced (parentheses)
+// and declares each variable exactly once, for random small contracts.
+func TestExportSMTLIBBalancedProperty(t *testing.T) {
+	f := func(nVars, nCons uint8) bool {
+		c := New("p")
+		n := 1 + int(nVars%4)
+		for i := 0; i < n; i++ {
+			if err := c.DeclareVar(NatSpec(varName(i))); err != nil {
+				return false
+			}
+		}
+		m := int(nCons % 5)
+		for j := 0; j < m; j++ {
+			con := CT("c", lp.Sense(j%3), int64(j)-2, LT(int64(j%3)-1, varName(j%n)), LT(2, varName((j+1)%n)))
+			if err := c.Guarantee(con); err != nil {
+				return false
+			}
+		}
+		out := c.ExportSMTLIB()
+		depth := 0
+		for _, r := range out {
+			switch r {
+			case '(':
+				depth++
+			case ')':
+				depth--
+			}
+			if depth < 0 {
+				return false
+			}
+		}
+		if depth != 0 {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if strings.Count(out, "(declare-const "+varName(i)+" ") != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func varName(i int) string { return string(rune('a' + i)) }

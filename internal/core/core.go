@@ -1,0 +1,203 @@
+// Package core orchestrates the end-to-end WSP methodology of Fig. 2:
+// traffic-system contracts → agent flow synthesis → agent cycle mapping →
+// plan realization → validation. It is the primary public entry point of
+// the library; the packages underneath implement the individual stages.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/agentplan"
+	"repro/internal/cycles"
+	"repro/internal/flow"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+	"repro/internal/warehouse"
+)
+
+// Strategy selects how the agent flow set / cycle set is synthesized.
+type Strategy int
+
+// Synthesis strategies.
+const (
+	// RoutePacking packs workload demand into cycles directly over residual
+	// component capacities. It works at total-unit granularity and is the
+	// strategy that reaches the scale of the paper's Table I.
+	RoutePacking Strategy = iota
+	// SequentialFlows synthesizes the paper's per-period agent flow set one
+	// commodity at a time with exact min-cost flow, then maps it to cycles
+	// via the Property 4.2/4.3 decomposition.
+	SequentialFlows
+	// ContractILP is the faithful §IV-D pipeline: compose component
+	// contracts, conjoin the workload contract, and solve the conjunction
+	// with the ILP engine (the Z3 substitute). Exponential in the worst
+	// case; intended for small and mid-size instances.
+	ContractILP
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case RoutePacking:
+		return "route-packing"
+	case SequentialFlows:
+		return "sequential-flows"
+	case ContractILP:
+		return "contract-ilp"
+	}
+	return "unknown"
+}
+
+// Options tunes Solve.
+type Options struct {
+	Strategy Strategy
+	// MaxAttempts bounds the synthesize→realize→verify retry loop; each
+	// retry doubles the warm-up margin. Zero means 3.
+	MaxAttempts int
+	// SkipRealization stops after cycle synthesis (Table I times only the
+	// flow-set generation; "the time required to convert an agent flow set
+	// into a plan is small").
+	SkipRealization bool
+	// ExactILP switches the ContractILP strategy to exact rational
+	// arithmetic.
+	ExactILP bool
+	// AdmissionCheck runs the LP-relaxation infeasibility certificate
+	// (flow.Admit) before synthesis, failing fast with a sound proof when
+	// no agent flow set can exist. The relaxation has |Es|·(|ρ|+1)
+	// variables, so enable it only for instances where one LP solve is
+	// cheaper than the retry loop.
+	AdmissionCheck bool
+}
+
+// Timing breaks down where Solve spent its time.
+type Timing struct {
+	Synthesis time.Duration // flow/cycle synthesis (the Table I column)
+	Mapping   time.Duration // flow set → cycle set
+	Realize   time.Duration // Algorithm 1
+	Validate  time.Duration // simulation / servicing check
+}
+
+// Result is a solved WSP instance.
+type Result struct {
+	Plan     *warehouse.Plan // nil when SkipRealization is set
+	CycleSet *cycles.Set
+	FlowSet  *flow.Set // nil for the RoutePacking strategy
+	Stats    agentplan.Stats
+	Sim      sim.Result
+	Timing   Timing
+	Attempts int
+}
+
+// Solve answers Problem 3.1: find a T-timestep plan (with however many
+// agents the cycle set needs) that services workload wl on warehouse w
+// under traffic system s. The plan is synthesized, realized, and verified;
+// if the realization falls short of the workload (warm-up underestimate),
+// synthesis is retried with a doubled warm-up margin.
+func Solve(s *traffic.System, wl warehouse.Workload, T int, opts Options) (*Result, error) {
+	maxAttempts := opts.MaxAttempts
+	if maxAttempts == 0 {
+		maxAttempts = 3
+	}
+	if opts.AdmissionCheck {
+		if err := flow.MustAdmit(s, wl, T, flow.Options{}); err != nil {
+			return nil, err
+		}
+	}
+	margin := 0 // 0 = automatic, per strategy
+	var lastErr error
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		res, err := solveOnce(s, wl, T, opts, margin)
+		if err == nil {
+			res.Attempts = attempt
+			return res, nil
+		}
+		lastErr = err
+		// Double the margin (starting from the automatic default).
+		if margin == 0 {
+			margin = defaultMargin(s, T)
+		}
+		margin *= 2
+		if qc := T / s.CycleTime(); margin > qc-1 {
+			margin = qc - 1
+		}
+	}
+	return nil, fmt.Errorf("core: %d attempts failed, last error: %w", maxAttempts, lastErr)
+}
+
+func defaultMargin(s *traffic.System, T int) int {
+	tc := s.CycleTime()
+	if tc == 0 {
+		return 1
+	}
+	m := s.NumComponents() + 2
+	if qc := T / tc; m > qc/4 {
+		m = qc / 4
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+func solveOnce(s *traffic.System, wl warehouse.Workload, T int, opts Options, margin int) (*Result, error) {
+	res := &Result{}
+	start := time.Now()
+
+	var cs *cycles.Set
+	switch opts.Strategy {
+	case RoutePacking:
+		c, err := cycles.Synthesize(s, wl, T, cycles.Options{WarmupMargin: margin})
+		if err != nil {
+			return nil, err
+		}
+		res.Timing.Synthesis = time.Since(start)
+		cs = c
+	case SequentialFlows, ContractILP:
+		fopts := flow.Options{WarmupMargin: margin, ExactILP: opts.ExactILP}
+		var set *flow.Set
+		var err error
+		if opts.Strategy == SequentialFlows {
+			set, err = flow.SynthesizeSequential(s, wl, T, fopts)
+		} else {
+			set, err = flow.SynthesizeContract(s, wl, T, fopts)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Timing.Synthesis = time.Since(start)
+		res.FlowSet = set
+		mapStart := time.Now()
+		cs, err = cycles.FromFlowSet(set, wl)
+		if err != nil {
+			return nil, err
+		}
+		res.Timing.Mapping = time.Since(mapStart)
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %d", opts.Strategy)
+	}
+	res.CycleSet = cs
+
+	if opts.SkipRealization {
+		return res, nil
+	}
+	realizeStart := time.Now()
+	plan, stats, err := agentplan.Realize(cs, wl, T)
+	if err != nil {
+		return nil, err
+	}
+	res.Timing.Realize = time.Since(realizeStart)
+	res.Plan = plan
+	res.Stats = stats
+
+	valStart := time.Now()
+	res.Sim = sim.Run(s.W, plan, wl)
+	res.Timing.Validate = time.Since(valStart)
+	if len(res.Sim.Violations) > 0 {
+		return nil, fmt.Errorf("core: realized plan violates feasibility: %v", res.Sim.Violations[0])
+	}
+	if res.Sim.ServicedAt < 0 {
+		return nil, fmt.Errorf("core: plan delivers %v of %v within %d steps (warm-up shortfall)",
+			res.Sim.Delivered, wl.Units, T)
+	}
+	return res, nil
+}

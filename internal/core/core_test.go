@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/testmaps"
+	"repro/internal/warehouse"
+)
+
+func TestSolveAllStrategiesOnRing(t *testing.T) {
+	w, s := testmaps.MustRing()
+	wl, err := warehouse.NewWorkload(w, []int{8, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []Strategy{RoutePacking, SequentialFlows, ContractILP} {
+		t.Run(strat.String(), func(t *testing.T) {
+			res, err := Solve(s, wl, 800, Options{Strategy: strat})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Plan == nil || res.CycleSet == nil {
+				t.Fatal("missing plan or cycle set")
+			}
+			if ok, why := warehouse.Services(w, res.Plan, wl); !ok {
+				t.Fatalf("not serviced: %v", why)
+			}
+			if res.Timing.Synthesis <= 0 {
+				t.Error("synthesis timing not recorded")
+			}
+			if strat == RoutePacking && res.FlowSet != nil {
+				t.Error("route packing should not produce a flow set")
+			}
+			if strat != RoutePacking && res.FlowSet == nil {
+				t.Error("flow strategies should record the flow set")
+			}
+			if res.Attempts < 1 {
+				t.Errorf("attempts = %d", res.Attempts)
+			}
+		})
+	}
+}
+
+func TestSolveSkipRealization(t *testing.T) {
+	w, s := testmaps.MustRing()
+	wl, err := warehouse.NewWorkload(w, []int{4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(s, wl, 800, Options{SkipRealization: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan != nil {
+		t.Error("plan produced despite SkipRealization")
+	}
+	if res.CycleSet == nil {
+		t.Error("cycle set missing")
+	}
+}
+
+func TestSolveInfeasibleReportsError(t *testing.T) {
+	w, s := testmaps.MustRing()
+	wl, err := warehouse.NewWorkload(w, []int{300, 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Horizon far too short for 600 units through a capacity-2 bottleneck.
+	if _, err := Solve(s, wl, 120, Options{}); err == nil {
+		t.Error("Solve accepted an infeasible instance")
+	}
+}
+
+func TestSolveAdmissionCheck(t *testing.T) {
+	w, s := testmaps.MustRing()
+	wl, err := warehouse.NewWorkload(w, []int{300, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overloaded: with the check on, the failure carries the certificate.
+	_, err = Solve(s, wl, 120, Options{AdmissionCheck: true})
+	if err == nil {
+		t.Fatal("overloaded instance accepted")
+	}
+	// A feasible instance passes through the check unchanged.
+	wl2, _ := warehouse.NewWorkload(w, []int{5, 3})
+	res, err := Solve(s, wl2, 800, Options{AdmissionCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sim.ServicedAt < 0 {
+		t.Error("not serviced")
+	}
+}
+
+func TestSolveUnknownStrategy(t *testing.T) {
+	w, s := testmaps.MustRing()
+	wl, _ := warehouse.NewWorkload(w, []int{1, 0})
+	if _, err := Solve(s, wl, 800, Options{Strategy: Strategy(99)}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if Strategy(99).String() != "unknown" {
+		t.Error("Strategy.String for unknown value")
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	if RoutePacking.String() != "route-packing" ||
+		SequentialFlows.String() != "sequential-flows" ||
+		ContractILP.String() != "contract-ilp" {
+		t.Error("strategy names changed")
+	}
+}

@@ -1,0 +1,239 @@
+package cycles
+
+import (
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/grid"
+	"repro/internal/traffic"
+	"repro/internal/warehouse"
+)
+
+// ringSystem builds the 10x6 ring warehouse (see flow tests): one shelving
+// row stocking products 0 and 1, one station queue, two transports.
+func ringSystem(t *testing.T) (*warehouse.Warehouse, *traffic.System) {
+	t.Helper()
+	g, _, stations, err := grid.Parse(
+		"..........\n" +
+			".@@######.\n" +
+			".########.\n" +
+			".########.\n" +
+			".########.\n" +
+			"....T.....")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shelfAccess := []grid.VertexID{
+		g.At(grid.Coord{X: 1, Y: 5}),
+		g.At(grid.Coord{X: 2, Y: 5}),
+	}
+	var stationVs []grid.VertexID
+	for _, c := range stations {
+		stationVs = append(stationVs, g.At(c))
+	}
+	w, err := warehouse.New(g, shelfAccess, stationVs, 2, [][]int{{300, 0}, {0, 300}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(x, y int) grid.VertexID { return g.At(grid.Coord{X: x, Y: y}) }
+	var bottom, east, top, west []grid.VertexID
+	for x := 0; x <= 9; x++ {
+		bottom = append(bottom, at(x, 0))
+	}
+	for y := 1; y <= 5; y++ {
+		east = append(east, at(9, y))
+	}
+	for x := 8; x >= 0; x-- {
+		top = append(top, at(x, 5))
+	}
+	for y := 4; y >= 1; y-- {
+		west = append(west, at(0, y))
+	}
+	s, err := traffic.Build(w, [][]grid.VertexID{bottom, east, top, west})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, s
+}
+
+func wl(t *testing.T, w *warehouse.Warehouse, units ...int) warehouse.Workload {
+	t.Helper()
+	out, err := warehouse.NewWorkload(w, units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestFromFlowSetRing(t *testing.T) {
+	w, s := ringSystem(t)
+	workload := wl(t, w, 10, 5)
+	set, err := flow.SynthesizeSequential(s, workload, 600, flow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := FromFlowSet(set, workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := cs.Check(workload); len(errs) > 0 {
+		t.Fatalf("Check: %v", errs)
+	}
+	if len(cs.Cycles) == 0 {
+		t.Fatal("no cycles produced")
+	}
+	// Every cycle must loop through the ring's four components.
+	for _, c := range cs.Cycles {
+		if c.Len() < 4 {
+			t.Errorf("cycle of %d components, want >= 4 on a 4-component ring", c.Len())
+		}
+	}
+	if cs.NumAgents() == 0 {
+		t.Error("NumAgents = 0")
+	}
+}
+
+func TestFromFlowSetContractPath(t *testing.T) {
+	w, s := ringSystem(t)
+	workload := wl(t, w, 6, 3)
+	set, err := flow.SynthesizeContract(s, workload, 600, flow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := FromFlowSet(set, workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := cs.Check(workload); len(errs) > 0 {
+		t.Fatalf("Check: %v", errs)
+	}
+}
+
+func TestSynthesizeRoutesRing(t *testing.T) {
+	w, s := ringSystem(t)
+	workload := wl(t, w, 20, 12)
+	cs, err := Synthesize(s, workload, 600, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := cs.Check(workload); len(errs) > 0 {
+		t.Fatalf("Check: %v", errs)
+	}
+	total := make([]int, 2)
+	for _, c := range cs.Cycles {
+		for _, leg := range c.Legs {
+			total[leg.Product] += leg.Quota
+		}
+	}
+	if total[0] < 20 || total[1] < 12 {
+		t.Errorf("leg quotas %v below demand [20 12]", total)
+	}
+}
+
+func TestSynthesizeRoutesZeroWorkload(t *testing.T) {
+	w, s := ringSystem(t)
+	workload := wl(t, w, 0, 0)
+	cs, err := Synthesize(s, workload, 600, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Cycles) != 0 {
+		t.Errorf("cycles = %d, want 0", len(cs.Cycles))
+	}
+}
+
+func TestSynthesizeRoutesCapacityExhaustion(t *testing.T) {
+	w, s := ringSystem(t)
+	// Demand large enough to need more concurrent cycles than the ring's
+	// bottleneck (the 4-cell west transport, capacity 2) can host: with
+	// T=120 (qc=6, qeff small) each cycle delivers few units.
+	workload := wl(t, w, 300, 300)
+	if _, err := Synthesize(s, workload, 120, Options{}); err == nil {
+		t.Error("route packing accepted an instance beyond capacity")
+	}
+}
+
+func TestSynthesizeRoutesShortHorizon(t *testing.T) {
+	w, s := ringSystem(t)
+	workload := wl(t, w, 1, 0)
+	if _, err := Synthesize(s, workload, 5, Options{}); err == nil {
+		t.Error("horizon shorter than one period accepted")
+	}
+}
+
+func TestCheckCatchesBadCycle(t *testing.T) {
+	w, s := ringSystem(t)
+	workload := wl(t, w, 0, 0)
+	cs := &Set{S: s, Tc: s.CycleTime(), Qc: 10, QEff: 8}
+	// A cycle whose consecutive components are not Gs arcs.
+	cs.Cycles = append(cs.Cycles, &Cycle{
+		Components: []traffic.ComponentID{0, 2},
+		Legs:       []Leg{{PickIdx: 0, DropIdx: 0, Product: 0, Quota: 0}},
+	})
+	if errs := cs.Check(workload); len(errs) == 0 {
+		t.Error("Check accepted a non-cycle")
+	}
+}
+
+func TestCheckCatchesOverCapacity(t *testing.T) {
+	w, s := ringSystem(t)
+	workload := wl(t, w, 0, 0)
+	cs := &Set{S: s, Tc: s.CycleTime(), Qc: 10, QEff: 8}
+	// The ring loop 0->1->2->3; west (id 3) has capacity 2, so three copies
+	// exceed it.
+	row := s.ShelvingRows()[0]
+	queue := s.StationQueues()[0]
+	loop := []traffic.ComponentID{queue, 1, row, 3}
+	for i := 0; i < 3; i++ {
+		cs.Cycles = append(cs.Cycles, &Cycle{
+			Components: loop,
+			Legs:       []Leg{{PickIdx: 2, DropIdx: 0, Product: 0, Quota: 1}},
+		})
+	}
+	errs := cs.Check(workload)
+	found := false
+	for _, e := range errs {
+		if contains(e.Error(), "capacity") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Check missed capacity violation: %v", errs)
+	}
+}
+
+func TestCheckCatchesQuotaBeyondStockAndThroughput(t *testing.T) {
+	w, s := ringSystem(t)
+	workload := wl(t, w, 0, 0)
+	row := s.ShelvingRows()[0]
+	queue := s.StationQueues()[0]
+	loop := []traffic.ComponentID{queue, 1, row, 3}
+	cs := &Set{S: s, Tc: s.CycleTime(), Qc: 10, QEff: 8}
+	cs.Cycles = []*Cycle{{
+		Components: loop,
+		Legs:       []Leg{{PickIdx: 2, DropIdx: 0, Product: 0, Quota: 301}}, // stock is 300
+	}}
+	errs := cs.Check(workload)
+	if len(errs) == 0 {
+		t.Error("Check accepted quota beyond stock and throughput")
+	}
+}
+
+func TestCheckCatchesUnmetDemand(t *testing.T) {
+	w, s := ringSystem(t)
+	workload := wl(t, w, 5, 0)
+	cs := &Set{S: s, Tc: s.CycleTime(), Qc: 10, QEff: 8}
+	errs := cs.Check(workload)
+	if len(errs) == 0 {
+		t.Error("Check accepted an empty cycle set against positive demand")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

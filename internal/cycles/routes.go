@@ -1,0 +1,344 @@
+package cycles
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/traffic"
+	"repro/internal/warehouse"
+)
+
+// Options tunes Synthesize.
+type Options struct {
+	// WarmupMargin reserves cycle periods for realization warm-up. Zero
+	// selects an automatic margin.
+	WarmupMargin int
+	// MaxLegsPerCycle caps how many (row, product) legs are packed into one
+	// cycle. Zero means the default of 32.
+	MaxLegsPerCycle int
+}
+
+// Synthesize builds an agent cycle set directly by route packing — the
+// strategy that scales to Table I. Each product's demand is split over its
+// stocked shelving rows, chunked into legs, and legs are packed into cycles
+// whose loops are routed over the residual component capacities (Property
+// 4.1: a component is entered by at most ⌊|Ci|/2⌋ concurrent cycles).
+//
+// Compared with the flow-set path (flow.Synthesize* followed by
+// FromFlowSet), route packing works at total-units granularity rather than
+// integer units-per-period, which is what instances with hundreds of
+// products and demand ≪ one unit per period per product require.
+func Synthesize(s *traffic.System, wl warehouse.Workload, T int, opts Options) (*Set, error) {
+	maxLegs := opts.MaxLegsPerCycle
+	if maxLegs == 0 {
+		maxLegs = 32
+	}
+	tc := s.CycleTime()
+	if tc <= 0 {
+		return nil, fmt.Errorf("cycles: traffic system has zero cycle time")
+	}
+	qc := T / tc
+	if qc < 1 {
+		return nil, fmt.Errorf("cycles: horizon %d shorter than one cycle period %d", T, tc)
+	}
+	margin := opts.WarmupMargin
+	if margin == 0 {
+		// Warm-up ends once every agent has completed one revolution; loop
+		// lengths are bounded by the component count. Cap the reserve at an
+		// eighth of the budget so tight instances keep enough per-cycle
+		// delivery budget (the Solve retry loop widens the margin if the
+		// realization falls short).
+		margin = s.NumComponents() + 2
+		if margin > qc/8 {
+			margin = qc / 8
+		}
+	}
+	qeff := qc - margin
+	if qeff < 1 {
+		qeff = 1
+	}
+
+	cs := &Set{S: s, Tc: tc, Qc: qc, QEff: qeff}
+	residual := make([]int, s.NumComponents())
+	for i, c := range s.Components {
+		residual[i] = c.Capacity()
+	}
+	queues := s.StationQueues()
+	rows := sortedRows(s)
+
+	// Feasibility-driven packing. A routed loop passes a set of shelving
+	// rows; any product stocked on any of those rows can join the cycle as a
+	// leg, sharing the cycle's delivery budget of qeff units (one queue
+	// visit per period). Products are walked in index order; each share goes
+	// to an already-open cycle when one passes a stocked row, and a new
+	// cycle is routed over the residual capacities otherwise. Capacity
+	// consumption is therefore interleaved with allocation, so the packing
+	// self-balances across stripes and aisles.
+	type openCycle struct {
+		cyc      *Cycle
+		budget   int
+		legs     int
+		queueIdx int
+		rowPos   map[traffic.ComponentID]int // shelving rows on the loop -> first index
+	}
+	var open []*openCycle
+	stockUsed := make(map[[2]int]int) // (row, product) -> units taken
+
+	stockLeft := func(ri traffic.ComponentID, k int) int {
+		return s.UnitsAt(ri, warehouse.ProductID(k)) - stockUsed[[2]int{int(ri), k}]
+	}
+	addLeg := func(oc *openCycle, ri traffic.ComponentID, k, units int) {
+		oc.cyc.Legs = append(oc.cyc.Legs, Leg{
+			PickIdx: oc.rowPos[ri],
+			DropIdx: oc.queueIdx,
+			Product: warehouse.ProductID(k),
+			Quota:   units,
+		})
+		oc.budget -= units
+		oc.legs++
+		stockUsed[[2]int{int(ri), k}] += units
+	}
+	newCycle := func(k int) (*openCycle, error) {
+		// Candidate target rows, by remaining stock of product k.
+		cands := make([]traffic.ComponentID, 0, 4)
+		for _, ri := range rows {
+			if stockLeft(ri, k) > 0 {
+				cands = append(cands, ri)
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			sa, sb := stockLeft(cands[a], k), stockLeft(cands[b], k)
+			if sa != sb {
+				return sa > sb
+			}
+			return cands[a] < cands[b]
+		})
+		var attempts []string
+		for _, ri := range cands {
+			// Target the last segment of the row's aisle chain so the loop
+			// traverses every segment of the aisle.
+			target := zoneLast(s, ri)
+			cyc, err := routeCycle(s, []traffic.ComponentID{target}, queues, residual, qeff)
+			if err != nil {
+				attempts = append(attempts, fmt.Sprintf("row %d (target %d): %v", ri, target, err))
+				continue
+			}
+			oc := &openCycle{cyc: cyc, budget: qeff, queueIdx: -1, rowPos: map[traffic.ComponentID]int{}}
+			for i, comp := range cyc.Components {
+				if s.Components[comp].Kind == traffic.ShelvingRow {
+					if _, ok := oc.rowPos[comp]; !ok {
+						oc.rowPos[comp] = i
+					}
+				}
+				if oc.queueIdx < 0 && s.Components[comp].Kind == traffic.StationQueue {
+					oc.queueIdx = i
+				}
+			}
+			cs.Cycles = append(cs.Cycles, cyc)
+			open = append(open, oc)
+			return oc, nil
+		}
+		if len(attempts) == 0 {
+			return nil, fmt.Errorf("cycles: product %d has no stocked shelving row", k)
+		}
+		return nil, fmt.Errorf("cycles: no feasible loop for product %d: %s", k, strings.Join(attempts, "; "))
+	}
+
+	for k, want := range wl.Units {
+		remaining := want
+		for remaining > 0 {
+			// Prefer an open cycle passing a row that still stocks k.
+			var bestOC *openCycle
+			var bestRow traffic.ComponentID
+			bestGive := 0
+			for _, oc := range open {
+				if oc.budget <= 0 || oc.legs >= maxLegs {
+					continue
+				}
+				for ri := range oc.rowPos {
+					give := stockLeft(ri, k)
+					if give > oc.budget {
+						give = oc.budget
+					}
+					if give > remaining {
+						give = remaining
+					}
+					if give > bestGive || (give == bestGive && give > 0 && (bestOC == nil || ri < bestRow)) {
+						bestOC, bestRow, bestGive = oc, ri, give
+					}
+				}
+			}
+			if bestGive > 0 {
+				addLeg(bestOC, bestRow, k, bestGive)
+				remaining -= bestGive
+				continue
+			}
+			oc, err := newCycle(k)
+			if err != nil {
+				return nil, fmt.Errorf("cycles: cannot place %d remaining units of product %d: %w", remaining, k, err)
+			}
+			// The new cycle must serve k (its target row stocks it).
+			give := 0
+			var giveRow traffic.ComponentID
+			for ri := range oc.rowPos {
+				if g := stockLeft(ri, k); g > give {
+					give, giveRow = g, ri
+				}
+			}
+			if give > oc.budget {
+				give = oc.budget
+			}
+			if give > remaining {
+				give = remaining
+			}
+			if give <= 0 {
+				return nil, fmt.Errorf("cycles: routed cycle for product %d does not pass a stocked row", k)
+			}
+			addLeg(oc, giveRow, k, give)
+			remaining -= give
+		}
+	}
+	// Drop cycles that ended up without legs (cannot happen today, but keep
+	// the invariant Check expects).
+	kept := cs.Cycles[:0]
+	for _, c := range cs.Cycles {
+		if len(c.Legs) > 0 {
+			kept = append(kept, c)
+		}
+	}
+	cs.Cycles = kept
+	if errs := cs.Check(wl); len(errs) > 0 {
+		return nil, fmt.Errorf("cycles: route packing produced an invalid cycle set: %v", errs[0])
+	}
+	return cs, nil
+}
+
+// zoneLast follows the chain of shelving-row components downstream from ri
+// and returns the last row segment of the aisle, so a loop targeting it
+// traverses the whole aisle.
+func zoneLast(s *traffic.System, ri traffic.ComponentID) traffic.ComponentID {
+	cur := ri
+	for steps := 0; steps < s.NumComponents(); steps++ {
+		next := traffic.ComponentID(-1)
+		for _, out := range s.Outlets[cur] {
+			if s.Components[out].Kind == traffic.ShelvingRow {
+				next = out
+				break
+			}
+		}
+		if next < 0 {
+			return cur
+		}
+		cur = next
+	}
+	return cur
+}
+
+// routeCycle builds a closed loop visiting the given rows (in order) and one
+// station queue, over components with positive residual capacity, and
+// decrements the capacities it consumes. Among the queues that admit a
+// capacity-feasible loop, the one giving the shortest loop wins — locality
+// keeps loops inside their own circulation stripe, which is what preserves
+// corridor capacity for the remaining cycles.
+func routeCycle(s *traffic.System, rows []traffic.ComponentID, queues []traffic.ComponentID, residual []int, qeff int) (*Cycle, error) {
+	var best []traffic.ComponentID
+	var lastErr error
+	for _, q := range queues {
+		if residual[q] <= 0 {
+			continue
+		}
+		loop, err := routeLoop(s, rows, q, residual)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		// The loop must fit the residual capacities, one unit per occurrence.
+		ok := true
+		count := map[traffic.ComponentID]int{}
+		for _, comp := range loop {
+			count[comp]++
+			if count[comp] > residual[comp] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			lastErr = fmt.Errorf("cycles: loop revisits a component beyond its residual capacity")
+			continue
+		}
+		if best == nil || len(loop) < len(best) {
+			best = loop
+		}
+	}
+	if best == nil {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("cycles: no station queue has residual capacity")
+		}
+		return nil, lastErr
+	}
+	for _, comp := range best {
+		residual[comp]--
+	}
+	return &Cycle{Components: best}, nil
+}
+
+// routeLoop routes waypoints rows[0] -> rows[1] -> ... -> queue -> rows[0]
+// through Gs, using only components with residual capacity (waypoints
+// included), and returns the loop with the final return to rows[0] omitted
+// (the cycle wraps implicitly).
+func routeLoop(s *traffic.System, rows []traffic.ComponentID, queue traffic.ComponentID, residual []int) ([]traffic.ComponentID, error) {
+	waypoints := append(append([]traffic.ComponentID(nil), rows...), queue, rows[0])
+	var loop []traffic.ComponentID
+	for i := 0; i+1 < len(waypoints); i++ {
+		seg, err := bfsComponents(s, waypoints[i], waypoints[i+1], residual)
+		if err != nil {
+			return nil, err
+		}
+		loop = append(loop, seg[:len(seg)-1]...) // drop the junction duplicate
+	}
+	return loop, nil
+}
+
+// bfsComponents finds a shortest path from a to b in Gs restricted to
+// components with positive residual capacity (a and b themselves must have
+// capacity too).
+func bfsComponents(s *traffic.System, a, b traffic.ComponentID, residual []int) ([]traffic.ComponentID, error) {
+	if residual[a] <= 0 || residual[b] <= 0 {
+		return nil, fmt.Errorf("cycles: waypoint %d or %d has no residual capacity", a, b)
+	}
+	if a == b {
+		return []traffic.ComponentID{a}, nil
+	}
+	prev := make([]traffic.ComponentID, s.NumComponents())
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[a] = a
+	queue := []traffic.ComponentID{a}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range s.Outlets[v] {
+			if prev[u] >= 0 || residual[u] <= 0 {
+				continue
+			}
+			prev[u] = v
+			if u == b {
+				var rev []traffic.ComponentID
+				for x := b; ; x = prev[x] {
+					rev = append(rev, x)
+					if x == a {
+						break
+					}
+				}
+				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+					rev[i], rev[j] = rev[j], rev[i]
+				}
+				return rev, nil
+			}
+			queue = append(queue, u)
+		}
+	}
+	return nil, fmt.Errorf("cycles: no capacity-feasible route from component %d to %d", a, b)
+}

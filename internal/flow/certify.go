@@ -1,0 +1,97 @@
+package flow
+
+import (
+	"fmt"
+
+	"repro/internal/contracts"
+	"repro/internal/lp"
+	"repro/internal/traffic"
+	"repro/internal/warehouse"
+)
+
+// Certificate classifies an admission check.
+type Certificate int
+
+// Admission outcomes.
+const (
+	// CertInfeasible: the LP relaxation of the contract conjunction is
+	// infeasible, which soundly proves no agent flow set (integral or not)
+	// services the workload in the given horizon.
+	CertInfeasible Certificate = iota
+	// CertMaybeFeasible: the relaxation is satisfiable; the integral
+	// problem may or may not be.
+	CertMaybeFeasible
+)
+
+func (c Certificate) String() string {
+	switch c {
+	case CertInfeasible:
+		return "infeasible"
+	case CertMaybeFeasible:
+		return "maybe-feasible"
+	}
+	return "unknown"
+}
+
+// Admit runs the fast admission test: it compiles the §IV-D contract
+// conjunction and solves only its continuous relaxation with the float
+// simplex, falling back to the exact rational simplex to confirm any
+// infeasibility verdict. Costs one LP solve — no branch and bound — so it
+// can gate expensive synthesis attempts.
+func Admit(s *traffic.System, wl warehouse.Workload, T int, opts Options) (Certificate, error) {
+	margin := opts.WarmupMargin
+	if margin == 0 {
+		margin = autoMargin(s, T)
+	}
+	_, qc, qeff, err := periods(s, T, margin)
+	if err != nil {
+		// A horizon below one cycle period cannot host any plan with
+		// positive demand.
+		if wl.TotalUnits() > 0 {
+			return CertInfeasible, nil
+		}
+		return CertMaybeFeasible, nil
+	}
+	cts, err := CompileSystemContract(s, qc, false)
+	if err != nil {
+		return CertMaybeFeasible, err
+	}
+	cw, err := CompileWorkloadContract(s, wl, qeff)
+	if err != nil {
+		return CertMaybeFeasible, err
+	}
+	goal, err := contracts.Conjoin(cts, cw)
+	if err != nil {
+		return CertMaybeFeasible, err
+	}
+	p, _ := goal.ToProblem()
+	sol, err := lp.SolveLPFloat(p)
+	if err != nil {
+		return CertMaybeFeasible, err
+	}
+	if sol.Status != lp.StatusInfeasible {
+		return CertMaybeFeasible, nil
+	}
+	// Confirm with exact arithmetic: a float "infeasible" could be noise,
+	// and the certificate must be sound.
+	exact, err := lp.SolveLP(p)
+	if err != nil {
+		return CertMaybeFeasible, err
+	}
+	if exact.Status == lp.StatusInfeasible {
+		return CertInfeasible, nil
+	}
+	return CertMaybeFeasible, nil
+}
+
+// MustAdmit wraps Admit into an error for pipeline use.
+func MustAdmit(s *traffic.System, wl warehouse.Workload, T int, opts Options) error {
+	cert, err := Admit(s, wl, T, opts)
+	if err != nil {
+		return err
+	}
+	if cert == CertInfeasible {
+		return fmt.Errorf("flow: LP certificate: no agent flow set can service this workload in %d timesteps", T)
+	}
+	return nil
+}

@@ -1,0 +1,374 @@
+package flow
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/contracts"
+	"repro/internal/lp"
+	"repro/internal/traffic"
+	"repro/internal/warehouse"
+)
+
+// Variable naming scheme shared by the contract compiler and the
+// assignment-to-Set decoder. Product indices are zero-padded so the sorted
+// variable order is stable and readable.
+func flowVar(i, j traffic.ComponentID, k int) string { return fmt.Sprintf("f_%03d_%03d_%03d", i, j, k) }
+func finVar(i traffic.ComponentID, k int) string     { return fmt.Sprintf("fin_%03d_%03d", i, k) }
+func foutVar(i traffic.ComponentID, k int) string    { return fmt.Sprintf("fout_%03d_%03d", i, k) }
+
+// CompileComponentContract builds the A/G contract C̃i of one traffic-system
+// component per §IV-D. The flow variables it shares with its neighbors'
+// contracts carry the same names, so composition connects them.
+//
+// The commodity index s.W.NumProducts denotes ρ0 (empty agents).
+func CompileComponentContract(s *traffic.System, ci traffic.ComponentID, qc int) (*contracts.Contract, error) {
+	w := s.W
+	p := w.NumProducts
+	empty := p
+	comp := s.Components[ci]
+	c := contracts.New(fmt.Sprintf("C%d(%s)", ci, comp.Kind))
+
+	declare := func(name string) error { return c.DeclareVar(contracts.NatSpec(name)) }
+	// Flow variables on every incident arc.
+	for _, j := range s.Inlets[ci] {
+		for k := 0; k <= p; k++ {
+			if err := declare(flowVar(j, ci, k)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, j := range s.Outlets[ci] {
+		for k := 0; k <= p; k++ {
+			if err := declare(flowVar(ci, j, k)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	isRow := comp.Kind == traffic.ShelvingRow
+	isQueue := comp.Kind == traffic.StationQueue
+	if isRow {
+		for k := 0; k < p; k++ {
+			if err := declare(finVar(ci, k)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if isQueue {
+		for k := 0; k < p; k++ {
+			if err := declare(foutVar(ci, k)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Assumption: Σ_{j∈inlets} Σ_k f_{j,i,k} ≤ ⌊|Ci|/2⌋.
+	var capTerms []contracts.LinTerm
+	for _, j := range s.Inlets[ci] {
+		for k := 0; k <= p; k++ {
+			capTerms = append(capTerms, contracts.LT(1, flowVar(j, ci, k)))
+		}
+	}
+	if err := c.Assume(contracts.CT(fmt.Sprintf("cap_%d", ci), lp.LE, int64(comp.Capacity()), capTerms...)); err != nil {
+		return nil, err
+	}
+
+	// Guarantees.
+	for k := 0; k <= p; k++ {
+		// Conservation: Σ_out f = Σ_in f + fin - fout (product commodities);
+		// Σ_out f0 = Σ_in f0 - Σ fin + Σ fout (empty commodity, sign erratum
+		// in §IV-D corrected).
+		var terms []contracts.LinTerm
+		for _, j := range s.Outlets[ci] {
+			terms = append(terms, contracts.LT(1, flowVar(ci, j, k)))
+		}
+		for _, j := range s.Inlets[ci] {
+			terms = append(terms, contracts.LT(-1, flowVar(j, ci, k)))
+		}
+		if k < p {
+			if isRow {
+				terms = append(terms, contracts.LT(-1, finVar(ci, k)))
+			}
+			if isQueue {
+				terms = append(terms, contracts.LT(1, foutVar(ci, k)))
+			}
+		} else {
+			for kk := 0; kk < p; kk++ {
+				if isRow {
+					terms = append(terms, contracts.LT(1, finVar(ci, kk)))
+				}
+				if isQueue {
+					terms = append(terms, contracts.LT(-1, foutVar(ci, kk)))
+				}
+			}
+		}
+		if err := c.Guarantee(contracts.CT(fmt.Sprintf("cons_%d_%d", ci, k), lp.EQ, 0, terms...)); err != nil {
+			return nil, err
+		}
+	}
+	if isQueue {
+		// fout_{i,k} ≤ Σ_in f_{j,i,k}.
+		for k := 0; k < p; k++ {
+			terms := []contracts.LinTerm{contracts.LT(1, foutVar(ci, k))}
+			for _, j := range s.Inlets[ci] {
+				terms = append(terms, contracts.LT(-1, flowVar(j, ci, k)))
+			}
+			if err := c.Guarantee(contracts.CT(fmt.Sprintf("foutcap_%d_%d", ci, k), lp.LE, 0, terms...)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if isRow {
+		// fin_{i,k} ≤ UNITS_AT(Ci, ρk)/qc (rational bound, per the paper).
+		for k := 0; k < p; k++ {
+			units := s.UnitsAt(ci, warehouse.ProductID(k))
+			bound := big.NewRat(int64(units), int64(qc))
+			con := contracts.Constraint{
+				Name:  fmt.Sprintf("fincap_%d_%d", ci, k),
+				Terms: []contracts.LinTerm{contracts.LT(1, finVar(ci, k))},
+				Sense: lp.LE,
+				RHS:   bound,
+			}
+			if err := c.Guarantee(con); err != nil {
+				return nil, err
+			}
+		}
+		// Σ_k fin ≤ Σ_in f_{j,i,0}: pickups need unburdened agents.
+		var terms []contracts.LinTerm
+		for k := 0; k < p; k++ {
+			terms = append(terms, contracts.LT(1, finVar(ci, k)))
+		}
+		for _, j := range s.Inlets[ci] {
+			terms = append(terms, contracts.LT(-1, flowVar(j, ci, empty)))
+		}
+		if err := c.Guarantee(contracts.CT(fmt.Sprintf("finempty_%d", ci), lp.LE, 0, terms...)); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// CompileWorkloadContract builds C̃w: no assumptions; guarantees that the
+// per-period drop-off rate of every product k is at least w_k / qeff.
+func CompileWorkloadContract(s *traffic.System, wl warehouse.Workload, qeff int) (*contracts.Contract, error) {
+	c := contracts.New("workload")
+	queues := s.StationQueues()
+	for k, want := range wl.Units {
+		if want == 0 {
+			continue
+		}
+		var terms []contracts.LinTerm
+		for _, q := range queues {
+			name := foutVar(q, k)
+			if err := c.DeclareVar(contracts.NatSpec(name)); err != nil {
+				return nil, err
+			}
+			terms = append(terms, contracts.LT(1, name))
+		}
+		if len(terms) == 0 {
+			return nil, fmt.Errorf("flow: demand for product %d but no station queues", k)
+		}
+		con := contracts.Constraint{
+			Name:  fmt.Sprintf("demand_%d", k),
+			Terms: terms,
+			Sense: lp.GE,
+			RHS:   big.NewRat(int64(want), int64(qeff)),
+		}
+		if err := c.Guarantee(con); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// CompileSystemContract composes every component contract into the traffic
+// system contract C̃TS (Fig. 3, red). Discharge selects the full composition
+// operator (slow, entailment per assumption) or the fast conjunctive
+// approximation with the identical satisfying set.
+func CompileSystemContract(s *traffic.System, qc int, discharge bool) (*contracts.Contract, error) {
+	var cs []*contracts.Contract
+	for _, comp := range s.Components {
+		c, err := CompileComponentContract(s, comp.ID, qc)
+		if err != nil {
+			return nil, err
+		}
+		cs = append(cs, c)
+	}
+	if discharge {
+		return contracts.ComposeAll(cs)
+	}
+	return contracts.ComposeAllFast(cs)
+}
+
+// SynthesizeContract is the faithful §IV-D pipeline: compile C̃TS ⊗-composed
+// from component contracts, conjoin with C̃w, and search for a satisfying
+// integer assignment with the ILP solver (the Z3 substitute). The assignment
+// is decoded into a Set and exactly re-checked.
+//
+// Complexity grows with |Es| × |ρ|; use SynthesizeSequential for the
+// paper-scale instances (the ablation bench compares both).
+func SynthesizeContract(s *traffic.System, wl warehouse.Workload, T int, opts Options) (*Set, error) {
+	margin := opts.WarmupMargin
+	if margin == 0 {
+		margin = autoMargin(s, T)
+	}
+	tc, qc, qeff, err := periods(s, T, margin)
+	if err != nil {
+		return nil, err
+	}
+	cts, err := CompileSystemContract(s, qc, false)
+	if err != nil {
+		return nil, err
+	}
+	cw, err := CompileWorkloadContract(s, wl, qeff)
+	if err != nil {
+		return nil, err
+	}
+	goal, err := contracts.Conjoin(cts, cw)
+	if err != nil {
+		return nil, err
+	}
+	engine := lp.EngineFloat
+	if opts.ExactILP {
+		engine = lp.EngineExact
+	}
+	asn, err := goal.Satisfy(engine)
+	if err != nil {
+		return nil, err
+	}
+	if asn == nil {
+		return nil, fmt.Errorf("flow: contract conjunction unsatisfiable: no agent flow set services the workload in %d timesteps", T)
+	}
+	set := newSet(s, tc, qc, qeff)
+	decode := func(name string) int {
+		if r, ok := asn[name]; ok {
+			return lp.MustInt(r)
+		}
+		return 0
+	}
+	p := s.W.NumProducts
+	for e, edge := range set.Edges {
+		for k := 0; k <= p; k++ {
+			set.F[e][k] = decode(flowVar(edge[0], edge[1], k))
+		}
+	}
+	for _, comp := range s.Components {
+		for k := 0; k < p; k++ {
+			set.Fin[comp.ID][k] = decode(finVar(comp.ID, k))
+			set.Fout[comp.ID][k] = decode(foutVar(comp.ID, k))
+		}
+	}
+	assignQuotas(set, wl)
+	if errs := set.Check(wl); len(errs) > 0 {
+		return nil, fmt.Errorf("flow: contract synthesis produced an invalid set: %v", errs[0])
+	}
+	return set, nil
+}
+
+// VerifyContracts re-checks a synthesized Set against the compiled contract
+// system by substituting its values into every assumption and guarantee.
+func VerifyContracts(set *Set, wl warehouse.Workload) error {
+	cts, err := CompileSystemContract(set.S, set.Qc, false)
+	if err != nil {
+		return err
+	}
+	cw, err := CompileWorkloadContract(set.S, wl, set.QEff)
+	if err != nil {
+		return err
+	}
+	goal, err := contracts.Conjoin(cts, cw)
+	if err != nil {
+		return err
+	}
+	p, index := goal.ToProblem()
+	values := make([]*big.Rat, p.NumVars())
+	for name, id := range index {
+		values[id] = big.NewRat(int64(lookupVar(set, name)), 1)
+	}
+	return p.Check(values)
+}
+
+// lookupVar resolves a contract variable name to its value in the Set.
+func lookupVar(set *Set, name string) int {
+	var i, j, k int
+	if n, _ := fmt.Sscanf(name, "f_%d_%d_%d", &i, &j, &k); n == 3 {
+		e := set.EdgeIndex(traffic.ComponentID(i), traffic.ComponentID(j))
+		if e < 0 {
+			return 0
+		}
+		return set.F[e][k]
+	}
+	if n, _ := fmt.Sscanf(name, "fin_%d_%d", &i, &k); n == 2 {
+		return set.Fin[i][k]
+	}
+	if n, _ := fmt.Sscanf(name, "fout_%d_%d", &i, &k); n == 2 {
+		return set.Fout[i][k]
+	}
+	return 0
+}
+
+// assignQuotas distributes the workload demand over shelving rows with
+// positive pick rate, bounded by each row's stock.
+func assignQuotas(set *Set, wl warehouse.Workload) {
+	s := set.S
+	for k, want := range wl.Units {
+		remaining := want
+		for _, ri := range s.ShelvingRows() {
+			if remaining == 0 {
+				break
+			}
+			if set.Fin[ri][k] == 0 {
+				continue
+			}
+			give := s.UnitsAt(ri, warehouse.ProductID(k))
+			if give > remaining {
+				give = remaining
+			}
+			set.Quota[ri][k] = give
+			remaining -= give
+		}
+		// If rated rows lack stock for the whole demand (possible when the
+		// same row feeds several products), spill to any stocked row.
+		for _, ri := range s.ShelvingRows() {
+			if remaining == 0 {
+				break
+			}
+			have := s.UnitsAt(ri, warehouse.ProductID(k)) - set.Quota[ri][k]
+			if have <= 0 {
+				continue
+			}
+			if have > remaining {
+				have = remaining
+			}
+			set.Quota[ri][k] += have
+			remaining -= have
+		}
+	}
+}
+
+// Options tunes synthesis.
+type Options struct {
+	// WarmupMargin reserves cycle periods for realization warm-up: flows are
+	// sized to service the workload in qc - WarmupMargin periods. Zero means
+	// an automatic margin of the longest plausible cycle (the number of
+	// components) capped at qc/2.
+	WarmupMargin int
+	// ExactILP switches the contract path to the exact rational ILP engine.
+	ExactILP bool
+}
+
+// autoMargin picks a warm-up margin when the caller did not: enough periods
+// for an agent to finish one revolution of a cycle touching every component
+// once, capped at half the budget.
+func autoMargin(s *traffic.System, T int) int {
+	tc := s.CycleTime()
+	if tc == 0 {
+		return 0
+	}
+	qc := T / tc
+	m := s.NumComponents()
+	if m > qc/2 {
+		m = qc / 2
+	}
+	return m
+}

@@ -1,0 +1,53 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/warehouse"
+)
+
+// Property: every workload the sequential synthesizer accepts yields a flow
+// set that (a) passes the exact §IV-D constraint check and (b) satisfies
+// the compiled contract system — the two validation paths must agree.
+func TestSequentialAlwaysSatisfiesContracts(t *testing.T) {
+	w, s := ringSystem(t)
+	f := func(aRaw, bRaw uint8) bool {
+		u0 := int(aRaw % 16)
+		u1 := int(bRaw % 16)
+		wl, err := warehouse.NewWorkload(w, []int{u0, u1})
+		if err != nil {
+			return false // stocks are 300 each; small demands always validate
+		}
+		set, err := SynthesizeSequential(s, wl, 800, Options{})
+		if err != nil {
+			// Feasibility depends on the ring's capacity; rejection is a
+			// legal outcome, inconsistency below is not.
+			return true
+		}
+		if errs := set.Check(wl); len(errs) > 0 {
+			return false
+		}
+		return VerifyContracts(set, wl) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the contract-ILP and sequential strategies agree on
+// feasibility for small demands on the ring (both succeed or both fail).
+func TestStrategiesAgreeOnRing(t *testing.T) {
+	w, s := ringSystem(t)
+	for _, units := range [][2]int{{0, 0}, {1, 0}, {3, 2}, {6, 6}} {
+		wl, err := warehouse.NewWorkload(w, []int{units[0], units[1]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, errSeq := SynthesizeSequential(s, wl, 800, Options{})
+		_, errIlp := SynthesizeContract(s, wl, 800, Options{})
+		if (errSeq == nil) != (errIlp == nil) {
+			t.Errorf("units %v: sequential err=%v, contract err=%v", units, errSeq, errIlp)
+		}
+	}
+}

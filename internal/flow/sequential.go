@@ -1,0 +1,218 @@
+package flow
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/flownet"
+	"repro/internal/traffic"
+	"repro/internal/warehouse"
+)
+
+// SynthesizeSequential synthesizes an agent flow set by commodity
+// decomposition. The §IV-D constraint system projected onto a single
+// commodity is a network-flow problem: conservation at every component,
+// shared intake capacities ⌊|Ci|/2⌋, sources at shelving rows (fin) and
+// sinks at station queues (fout). Each product's demand rate is routed with
+// min-cost flow over the shared residual capacities (cheapest = fewest
+// hops), then the empty-agent return flow is balanced exactly the same way.
+//
+// The decomposition is greedy in product order (largest demand first) and
+// therefore incomplete in principle — a routing order can exhaust capacity
+// another order would have preserved — but each single-commodity step is
+// exact, and the resulting Set satisfies the identical contract system
+// (VerifyContracts), just like the monolithic ILP path.
+func SynthesizeSequential(s *traffic.System, wl warehouse.Workload, T int, opts Options) (*Set, error) {
+	margin := opts.WarmupMargin
+	if margin == 0 {
+		margin = autoMargin(s, T)
+	}
+	tc, qc, qeff, err := periods(s, T, margin)
+	if err != nil {
+		return nil, err
+	}
+	set := newSet(s, tc, qc, qeff)
+	p := s.W.NumProducts
+	empty := set.EmptyIndex()
+	n := s.NumComponents()
+
+	// Demand allocation: split each product's total demand over its stocked
+	// shelving rows (never exceeding stock), then convert to per-period
+	// rates d = ceil(share / qeff).
+	type srcDemand struct {
+		row   traffic.ComponentID
+		rate  int
+		quota int
+	}
+	demands := make([][]srcDemand, p)
+	rows := s.ShelvingRows()
+	for k := 0; k < p; k++ {
+		remaining := wl.Units[k]
+		if remaining == 0 {
+			continue
+		}
+		// Prefer rows with the most stock: fewer cycles, shorter warm-up.
+		stocked := make([]traffic.ComponentID, 0, 4)
+		for _, ri := range rows {
+			if s.UnitsAt(ri, warehouse.ProductID(k)) > 0 {
+				stocked = append(stocked, ri)
+			}
+		}
+		sort.Slice(stocked, func(a, b int) bool {
+			ua := s.UnitsAt(stocked[a], warehouse.ProductID(k))
+			ub := s.UnitsAt(stocked[b], warehouse.ProductID(k))
+			if ua != ub {
+				return ua > ub
+			}
+			return stocked[a] < stocked[b]
+		})
+		for _, ri := range stocked {
+			if remaining == 0 {
+				break
+			}
+			share := s.UnitsAt(ri, warehouse.ProductID(k))
+			if share > remaining {
+				share = remaining
+			}
+			rate := (share + qeff - 1) / qeff
+			demands[k] = append(demands[k], srcDemand{row: ri, rate: rate, quota: share})
+			remaining -= share
+		}
+		if remaining > 0 {
+			return nil, fmt.Errorf("flow: product %d demand %d exceeds total shelved stock", k, wl.Units[k])
+		}
+	}
+
+	// Residual intake capacity per component, shared by every commodity.
+	residual := make([]int64, n)
+	for i, c := range s.Components {
+		residual[i] = int64(c.Capacity())
+	}
+
+	// Node-split flow network: in_i = 2i, out_i = 2i+1, source = 2n,
+	// sink = 2n+1. The capacity arc in_i -> out_i holds the shared residual;
+	// it is rebuilt for each commodity from the running residuals.
+	source, sink := 2*n, 2*n+1
+	// blockQueueExits removes the outgoing arcs of station queues: an agent
+	// that enters a queue while carrying a product always drops it there, so
+	// product commodities must terminate at the first queue they reach.
+	buildNet := func(blockQueueExits bool) (*flownet.Graph, []flownet.EdgeID, []flownet.EdgeID) {
+		g := flownet.NewGraph(2*n + 2)
+		capArcs := make([]flownet.EdgeID, n)
+		for i := 0; i < n; i++ {
+			capArcs[i] = g.AddEdge(2*i, 2*i+1, residual[i], 0)
+		}
+		edgeArcs := make([]flownet.EdgeID, len(set.Edges))
+		for e, edge := range set.Edges {
+			if blockQueueExits && s.Components[edge[0]].Kind == traffic.StationQueue {
+				edgeArcs[e] = -1
+				continue
+			}
+			// Generous per-arc bound; the binding constraints are the intake
+			// capacities.
+			edgeArcs[e] = g.AddEdge(2*int(edge[0])+1, 2*int(edge[1]), int64(n*n+1), 1)
+		}
+		return g, capArcs, edgeArcs
+	}
+
+	// Route products, largest total demand first.
+	order := make([]int, 0, p)
+	for k := 0; k < p; k++ {
+		if wl.Units[k] > 0 {
+			order = append(order, k)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if wl.Units[order[a]] != wl.Units[order[b]] {
+			return wl.Units[order[a]] > wl.Units[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	queues := s.StationQueues()
+	for _, k := range order {
+		g, capArcs, edgeArcs := buildNet(true)
+		var want int64
+		for _, d := range demands[k] {
+			// Flow starts at the row's out-node: the pickup happens inside
+			// the row, so the row's own intake capacity is charged to the
+			// empty agents that arrive there, not to the product commodity.
+			g.AddEdge(source, 2*int(d.row)+1, int64(d.rate), 0)
+			want += int64(d.rate)
+		}
+		for _, q := range queues {
+			// Drop-offs end at the queue's out-node (after consuming the
+			// queue's intake capacity on the way in).
+			g.AddEdge(2*int(q)+1, sink, int64(n*n+1), 0)
+		}
+		got, _ := g.MinCostFlow(source, sink, want)
+		if got < want {
+			return nil, fmt.Errorf("flow: cannot route %d units/period of product %d (capacity exhausted after %d)", want, k, got)
+		}
+		harvest(set, g, capArcs, edgeArcs, residual, k)
+		for _, d := range demands[k] {
+			set.Fin[d.row][k] += d.rate
+			set.Quota[d.row][k] += d.quota
+		}
+	}
+	// Recompute fout from the final edge flows: everything that arrives at a
+	// queue carrying k is dropped there (queues re-emit agents empty).
+	for _, q := range queues {
+		for e, edge := range set.Edges {
+			if edge[1] != q {
+				continue
+			}
+			for k := 0; k < p; k++ {
+				set.Fout[q][k] += set.F[e][k]
+			}
+		}
+	}
+
+	// Empty return flow: supply Σ_k fout at queues, demand Σ_k fin at rows.
+	g, capArcs, edgeArcs := buildNet(false)
+	var want int64
+	for _, q := range queues {
+		supply := 0
+		for k := 0; k < p; k++ {
+			supply += set.Fout[q][k]
+		}
+		if supply > 0 {
+			g.AddEdge(source, 2*int(q)+1, int64(supply), 0)
+		}
+	}
+	for _, ri := range rows {
+		need := 0
+		for k := 0; k < p; k++ {
+			need += set.Fin[ri][k]
+		}
+		if need > 0 {
+			g.AddEdge(2*int(ri)+1, sink, int64(need), 0)
+			want += int64(need)
+		}
+	}
+	got, _ := g.MinCostFlow(source, sink, want)
+	if got < want {
+		return nil, fmt.Errorf("flow: cannot route empty-agent return flow (%d of %d units/period)", got, want)
+	}
+	harvest(set, g, capArcs, edgeArcs, residual, empty)
+
+	if errs := set.Check(wl); len(errs) > 0 {
+		return nil, fmt.Errorf("flow: sequential synthesis produced an invalid set: %v", errs[0])
+	}
+	return set, nil
+}
+
+// harvest copies the routed commodity flows out of the network into the Set
+// and decrements the shared residual intake capacities. edgeArcs entries of
+// -1 mark arcs excluded from this commodity's network.
+func harvest(set *Set, g *flownet.Graph, capArcs, edgeArcs []flownet.EdgeID, residual []int64, k int) {
+	for i := range capArcs {
+		residual[i] -= g.Flow(capArcs[i])
+	}
+	for e := range edgeArcs {
+		if edgeArcs[e] < 0 {
+			continue
+		}
+		set.F[e][k] += int(g.Flow(edgeArcs[e]))
+	}
+}

@@ -1,0 +1,85 @@
+package grid
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseMovingAI reads a map in the MovingAI benchmark format used across
+// the MAPF literature:
+//
+//	type octile
+//	height 3
+//	width 5
+//	map
+//	.....
+//	..@..
+//	.....
+//
+// Passable terrain: '.', 'G', 'S'. Obstacles: '@', 'O', 'T', 'W'. The first
+// map row is treated as the north edge, matching Parse.
+func ParseMovingAI(text string) (*Grid, error) {
+	lines := strings.Split(strings.ReplaceAll(text, "\r\n", "\n"), "\n")
+	height, width := -1, -1
+	mapStart := -1
+	for i, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "type":
+			// informational
+		case "height":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("grid: malformed height line %q", line)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("grid: height: %w", err)
+			}
+			height = v
+		case "width":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("grid: malformed width line %q", line)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("grid: width: %w", err)
+			}
+			width = v
+		case "map":
+			mapStart = i + 1
+		}
+		if mapStart >= 0 {
+			break
+		}
+	}
+	if height <= 0 || width <= 0 || mapStart < 0 {
+		return nil, fmt.Errorf("grid: missing height/width/map header")
+	}
+	if len(lines) < mapStart+height {
+		return nil, fmt.Errorf("grid: map body has %d rows, want %d", len(lines)-mapStart, height)
+	}
+	passable := make([][]bool, height)
+	for row := 0; row < height; row++ {
+		line := lines[mapStart+row]
+		if len(line) < width {
+			return nil, fmt.Errorf("grid: map row %d has %d cells, want %d", row, len(line), width)
+		}
+		y := height - 1 - row
+		passable[y] = make([]bool, width)
+		for x := 0; x < width; x++ {
+			switch line[x] {
+			case '.', 'G', 'S':
+				passable[y][x] = true
+			case '@', 'O', 'T', 'W':
+				// impassable
+			default:
+				return nil, fmt.Errorf("grid: unknown terrain %q at row %d col %d", line[x], row, x)
+			}
+		}
+	}
+	return New(passable)
+}

@@ -1,0 +1,54 @@
+package grid
+
+import "testing"
+
+func TestParseMovingAI(t *testing.T) {
+	text := "type octile\nheight 3\nwidth 5\nmap\n.....\n..@..\nG...W\n"
+	g, err := ParseMovingAI(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Width() != 5 || g.Height() != 3 {
+		t.Fatalf("dims %dx%d", g.Width(), g.Height())
+	}
+	// 15 cells minus one '@' and one 'W'.
+	if got := g.NumVertices(); got != 13 {
+		t.Errorf("vertices = %d, want 13", got)
+	}
+	// First text row is the north edge: the '@' sits at y=1.
+	if g.At(Coord{X: 2, Y: 1}) != None {
+		t.Error("obstacle cell passable")
+	}
+	if g.At(Coord{X: 0, Y: 0}) == None { // the 'G' in the last row
+		t.Error("G terrain not passable")
+	}
+}
+
+func TestParseMovingAIErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"height 3\nwidth 5\n",           // no map keyword
+		"height x\nwidth 5\nmap\n",      // bad height
+		"height 2\nwidth 5\nmap\n.....", // too few rows
+		"height 1\nwidth 5\nmap\n...",   // short row
+		"height 1\nwidth 3\nmap\n.z.",   // unknown terrain
+		"height 1\nwidth\nmap\n...",     // malformed width
+		"type octile\nheight\nmap\n",    // malformed height line
+	}
+	for i, text := range cases {
+		if _, err := ParseMovingAI(text); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestParseMovingAICRLF(t *testing.T) {
+	text := "type octile\r\nheight 1\r\nwidth 3\r\nmap\r\n...\r\n"
+	g, err := ParseMovingAI(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 {
+		t.Errorf("vertices = %d, want 3", g.NumVertices())
+	}
+}

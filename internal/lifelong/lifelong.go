@@ -1,0 +1,241 @@
+// Package lifelong runs the warehouse over an open-ended horizon with
+// workload batches released over time — the lifelong variant of the WSP,
+// mirroring how lifelong MAPD extends one-shot MAPD (§II-A).
+//
+// The controller is epoch-based: whenever a batch is released, outstanding
+// demand is re-synthesized into a fresh agent cycle set for the remaining
+// horizon and realized from scratch. The changeover between epochs is
+// charged one full cycle time (agents redeploy to their new initial cells;
+// DESIGN.md discusses the abstraction). Within an epoch the usual
+// guarantees hold: the plan is collision-free and validated.
+package lifelong
+
+import (
+	"fmt"
+	"repro/internal/grid"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/traffic"
+	"repro/internal/warehouse"
+)
+
+// Batch is a demand vector released at a point in time.
+type Batch struct {
+	Release int   // timestep the batch becomes known
+	Units   []int // per-product demand
+}
+
+// Options tunes Run.
+type Options struct {
+	// Core options forwarded to each epoch's Solve.
+	Core core.Options
+}
+
+// BatchStats reports one batch's fate.
+type BatchStats struct {
+	Release   int
+	Completed int // timestep all of the batch's units were delivered, -1 if never
+	Units     int
+}
+
+// Report summarizes a lifelong run.
+type Report struct {
+	Batches []BatchStats
+	// Epochs counts re-synthesis rounds.
+	Epochs int
+	// PeakAgents is the largest team any epoch deployed.
+	PeakAgents int
+	// Delivered is the total delivered per product.
+	Delivered []int
+}
+
+// Run services all batches within T timesteps. Batches must have distinct,
+// non-negative release times and demand vectors sized to the warehouse.
+func Run(s *traffic.System, batches []Batch, T int, opts Options) (*Report, error) {
+	w := s.W
+	p := w.NumProducts
+	sorted := append([]Batch(nil), batches...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Release < sorted[b].Release })
+	for i, b := range sorted {
+		if len(b.Units) != p {
+			return nil, fmt.Errorf("lifelong: batch %d has %d demands for %d products", i, len(b.Units), p)
+		}
+		if b.Release < 0 || b.Release >= T {
+			return nil, fmt.Errorf("lifelong: batch %d released at %d outside [0, %d)", i, b.Release, T)
+		}
+	}
+
+	rep := &Report{Delivered: make([]int, p)}
+	rep.Batches = make([]BatchStats, len(sorted))
+	for i, b := range sorted {
+		total := 0
+		for _, u := range b.Units {
+			total += u
+		}
+		rep.Batches[i] = BatchStats{Release: b.Release, Completed: -1, Units: total}
+	}
+
+	// Outstanding demand per product, plus per-batch remaining counts so
+	// deliveries can be attributed FIFO to the oldest open batch.
+	outstanding := make([]int, p)
+	remaining := make([][]int, len(sorted))
+	for i, b := range sorted {
+		remaining[i] = append([]int(nil), b.Units...)
+	}
+	// Physical stock depletes across epochs; each epoch solves on a
+	// warehouse whose Λ reflects the units already shipped.
+	stock := make([][]int, p)
+	for k := 0; k < p; k++ {
+		stock[k] = append([]int(nil), w.Stock[k]...)
+	}
+	paths := make([][]grid.VertexID, len(s.Components))
+	for i, c := range s.Components {
+		paths[i] = c.Cells
+	}
+
+	now := 0
+	next := 0 // next batch to release
+	for next < len(sorted) || sumPos(outstanding) > 0 {
+		// Absorb every batch released by `now`.
+		for next < len(sorted) && sorted[next].Release <= now {
+			for k, u := range sorted[next].Units {
+				outstanding[k] += u
+			}
+			next++
+		}
+		if sumPos(outstanding) == 0 {
+			if next >= len(sorted) {
+				break
+			}
+			now = sorted[next].Release
+			continue
+		}
+		// Epoch horizon: until the next release (we re-plan then anyway) or
+		// the end of time, minus one cycle-time changeover.
+		horizon := T - now
+		if next < len(sorted) && sorted[next].Release-now < horizon {
+			horizon = sorted[next].Release - now
+		}
+		horizon -= s.CycleTime() // changeover charge
+		if horizon < s.CycleTime() {
+			// Too little time to do anything before the next event.
+			if next < len(sorted) {
+				now = sorted[next].Release
+				continue
+			}
+			return rep, fmt.Errorf("lifelong: %d units outstanding with no time left", sumPos(outstanding))
+		}
+		// Build the epoch's warehouse with the depleted stock and re-wire
+		// the same traffic-system components onto it.
+		we, err := warehouse.New(w.Graph, w.ShelfAccess, w.Stations, p, stock)
+		if err != nil {
+			return rep, err
+		}
+		se, err := traffic.Build(we, paths)
+		if err != nil {
+			return rep, err
+		}
+		wl, err := warehouse.NewWorkload(we, clampByStock(we, outstanding))
+		if err != nil {
+			return rep, err
+		}
+		res, err := core.Solve(se, wl, horizon, opts.Core)
+		if err != nil {
+			// The epoch may be too short for the whole backlog; retry with a
+			// reduced target before giving up.
+			half := halve(wl.Units)
+			wl2, err2 := warehouse.NewWorkload(we, half)
+			if err2 != nil {
+				return rep, err
+			}
+			res, err = core.Solve(se, wl2, horizon, opts.Core)
+			if err != nil {
+				return rep, fmt.Errorf("lifelong: epoch at t=%d failed: %w", now, err)
+			}
+			wl = wl2
+		}
+		rep.Epochs++
+		if res.Stats.Agents > rep.PeakAgents {
+			rep.PeakAgents = res.Stats.Agents
+		}
+		// Attribute deliveries FIFO to open batches using the simulation's
+		// delivery ordering, and deplete physical stock.
+		for k := 0; k < p; k++ {
+			delivered := res.Sim.Delivered[k]
+			if delivered > outstanding[k] {
+				delivered = outstanding[k]
+			}
+			outstanding[k] -= delivered
+			rep.Delivered[k] += delivered
+			deplete(stock[k], delivered)
+			for bi := range remaining {
+				if delivered == 0 {
+					break
+				}
+				take := remaining[bi][k]
+				if take > delivered {
+					take = delivered
+				}
+				remaining[bi][k] -= take
+				delivered -= take
+			}
+		}
+		epochEnd := now + s.CycleTime() + res.Sim.ServicedAt
+		for bi := range remaining {
+			if rep.Batches[bi].Completed < 0 && sumPos(remaining[bi]) == 0 && sorted[bi].Release <= now {
+				rep.Batches[bi].Completed = epochEnd
+			}
+		}
+		now = epochEnd
+		if now >= T && (next < len(sorted) || sumPos(outstanding) > 0) {
+			return rep, fmt.Errorf("lifelong: horizon exhausted with %d units outstanding", sumPos(outstanding))
+		}
+	}
+	return rep, nil
+}
+
+func sumPos(units []int) int {
+	total := 0
+	for _, u := range units {
+		total += u
+	}
+	return total
+}
+
+func halve(units []int) []int {
+	out := make([]int, len(units))
+	for i, u := range units {
+		out[i] = u / 2
+	}
+	return out
+}
+
+// deplete removes n units from a stock row, draining columns greedily.
+func deplete(row []int, n int) {
+	for i := range row {
+		if n == 0 {
+			return
+		}
+		take := row[i]
+		if take > n {
+			take = n
+		}
+		row[i] -= take
+		n -= take
+	}
+}
+
+// clampByStock caps each product's demand at total stock (re-synthesis per
+// epoch re-counts the full stock; execution never over-draws because each
+// epoch's realization is stock-checked).
+func clampByStock(w *warehouse.Warehouse, units []int) []int {
+	out := make([]int, len(units))
+	for k, u := range units {
+		if stock := w.TotalStock(warehouse.ProductID(k)); u > stock {
+			u = stock
+		}
+		out[k] = u
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package lifelong
+
+import (
+	"testing"
+
+	"repro/internal/maps"
+	"repro/internal/testmaps"
+)
+
+func TestRunSingleBatchMatchesOneShot(t *testing.T) {
+	_, s := testmaps.MustRing()
+	rep, err := Run(s, []Batch{{Release: 0, Units: []int{10, 5}}}, 2400, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epochs != 1 {
+		t.Errorf("epochs = %d, want 1", rep.Epochs)
+	}
+	if rep.Delivered[0] != 10 || rep.Delivered[1] != 5 {
+		t.Errorf("delivered = %v, want [10 5]", rep.Delivered)
+	}
+	if rep.Batches[0].Completed < 0 {
+		t.Error("batch never completed")
+	}
+}
+
+func TestRunStaggeredBatches(t *testing.T) {
+	_, s := testmaps.MustRing()
+	batches := []Batch{
+		{Release: 0, Units: []int{8, 0}},
+		{Release: 900, Units: []int{0, 8}},
+		{Release: 1800, Units: []int{4, 4}},
+	}
+	rep, err := Run(s, batches, 4800, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delivered[0] != 12 || rep.Delivered[1] != 12 {
+		t.Errorf("delivered = %v, want [12 12]", rep.Delivered)
+	}
+	if rep.Epochs < 2 {
+		t.Errorf("epochs = %d, want >= 2 (staggered releases force re-planning)", rep.Epochs)
+	}
+	prev := -1
+	for i, b := range rep.Batches {
+		if b.Completed < 0 {
+			t.Errorf("batch %d never completed", i)
+			continue
+		}
+		if b.Completed < b.Release {
+			t.Errorf("batch %d completed at %d before release %d", i, b.Completed, b.Release)
+		}
+		if b.Completed < prev {
+			t.Errorf("batch completion out of FIFO order: %d after %d", b.Completed, prev)
+		}
+		prev = b.Completed
+	}
+	if rep.PeakAgents == 0 {
+		t.Error("no agents recorded")
+	}
+}
+
+func TestRunOnPaperMap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	m, err := maps.SortingCenter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := make([]int, m.W.NumProducts)
+	for k := range units {
+		units[k] = 2
+	}
+	batches := []Batch{
+		{Release: 0, Units: units},
+		{Release: 2000, Units: units},
+	}
+	rep, err := Run(m.S, batches, 8000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * len(units) * 2
+	got := 0
+	for _, d := range rep.Delivered {
+		got += d
+	}
+	if got != want {
+		t.Errorf("delivered %d units, want %d", got, want)
+	}
+}
+
+func TestRunRejectsBadBatches(t *testing.T) {
+	_, s := testmaps.MustRing()
+	if _, err := Run(s, []Batch{{Release: 0, Units: []int{1}}}, 1000, Options{}); err == nil {
+		t.Error("short demand vector accepted")
+	}
+	if _, err := Run(s, []Batch{{Release: -1, Units: []int{1, 0}}}, 1000, Options{}); err == nil {
+		t.Error("negative release accepted")
+	}
+	if _, err := Run(s, []Batch{{Release: 5000, Units: []int{1, 0}}}, 1000, Options{}); err == nil {
+		t.Error("release beyond horizon accepted")
+	}
+}
+
+func TestRunOverloadedHorizonFails(t *testing.T) {
+	_, s := testmaps.MustRing()
+	// 600 units through a capacity-2 ring in 600 steps is impossible.
+	if _, err := Run(s, []Batch{{Release: 0, Units: []int{300, 300}}}, 600, Options{}); err == nil {
+		t.Error("overloaded lifelong run reported success")
+	}
+}
+
+func TestRunNoBatches(t *testing.T) {
+	_, s := testmaps.MustRing()
+	rep, err := Run(s, nil, 1000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epochs != 0 {
+		t.Errorf("epochs = %d, want 0", rep.Epochs)
+	}
+}

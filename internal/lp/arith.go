@@ -1,0 +1,72 @@
+package lp
+
+import (
+	"math"
+	"math/big"
+)
+
+// arith abstracts the field the simplex pivots over, so one implementation
+// serves both the exact rational engine and the float64 fast path.
+type arith[T any] interface {
+	add(a, b T) T
+	sub(a, b T) T
+	mul(a, b T) T
+	div(a, b T) T
+	// sign returns -1, 0 or +1; the float implementation applies a tolerance.
+	sign(a T) int
+	zero() T
+	one() T
+	fromRat(r *big.Rat) T
+	toRat(a T) *big.Rat
+}
+
+// ratArith is exact arithmetic over *big.Rat. Values are treated as
+// immutable; every operation allocates.
+type ratArith struct{}
+
+func (ratArith) add(a, b *big.Rat) *big.Rat { return new(big.Rat).Add(a, b) }
+func (ratArith) sub(a, b *big.Rat) *big.Rat { return new(big.Rat).Sub(a, b) }
+func (ratArith) mul(a, b *big.Rat) *big.Rat { return new(big.Rat).Mul(a, b) }
+func (ratArith) div(a, b *big.Rat) *big.Rat { return new(big.Rat).Quo(a, b) }
+func (ratArith) sign(a *big.Rat) int        { return a.Sign() }
+func (ratArith) zero() *big.Rat             { return new(big.Rat) }
+func (ratArith) one() *big.Rat              { return big.NewRat(1, 1) }
+func (ratArith) fromRat(r *big.Rat) *big.Rat {
+	return new(big.Rat).Set(r)
+}
+func (ratArith) toRat(a *big.Rat) *big.Rat { return new(big.Rat).Set(a) }
+
+// floatArith is float64 arithmetic with an absolute tolerance used by sign.
+type floatArith struct{ eps float64 }
+
+func (floatArith) add(a, b float64) float64 { return a + b }
+func (floatArith) sub(a, b float64) float64 { return a - b }
+func (floatArith) mul(a, b float64) float64 { return a * b }
+func (floatArith) div(a, b float64) float64 { return a / b }
+func (f floatArith) sign(a float64) int {
+	if a > f.eps {
+		return 1
+	}
+	if a < -f.eps {
+		return -1
+	}
+	return 0
+}
+func (floatArith) zero() float64 { return 0 }
+func (floatArith) one() float64  { return 1 }
+func (floatArith) fromRat(r *big.Rat) float64 {
+	v, _ := r.Float64()
+	return v
+}
+func (floatArith) toRat(a float64) *big.Rat {
+	// Round near-integers exactly so integral solutions survive conversion.
+	if r := math.Round(a); math.Abs(a-r) < 1e-7 && math.Abs(r) < 1e15 {
+		return big.NewRat(int64(r), 1)
+	}
+	out := new(big.Rat)
+	out.SetFloat64(a)
+	return out
+}
+
+// defaultEps is the float engine's zero tolerance.
+const defaultEps = 1e-9

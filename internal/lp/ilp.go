@@ -1,0 +1,225 @@
+package lp
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Engine selects the arithmetic the branch-and-bound relaxations use.
+type Engine int
+
+// Available engines.
+const (
+	// EngineExact uses the rational simplex for every relaxation. Complete
+	// and exact, but slow on large problems.
+	EngineExact Engine = iota
+	// EngineFloat uses the float64 simplex for relaxations and verifies the
+	// final incumbent exactly with Problem.Check. Fast; an (unlikely)
+	// spurious float infeasibility can prune a feasible subtree, so a
+	// StatusInfeasible answer from this engine is "almost certainly
+	// infeasible" rather than a proof.
+	EngineFloat
+)
+
+// ILPOptions tunes SolveILP.
+type ILPOptions struct {
+	Engine Engine
+	// MaxNodes bounds the branch-and-bound search tree; 0 means the default
+	// (200000). When exhausted the solver returns StatusLimit (or the best
+	// incumbent found so far, if any).
+	MaxNodes int
+}
+
+// SolveILP solves the mixed-integer program p by branch and bound over the
+// simplex relaxation. For pure feasibility problems (no objective) it stops
+// at the first integral solution. Every returned solution is exactly
+// verified against p with rational arithmetic.
+func SolveILP(p *Problem, opts ILPOptions) (*Solution, error) {
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 200000
+	}
+	relax := func(lo, hi []*big.Rat) (*Solution, error) {
+		if opts.Engine == EngineFloat {
+			return solveWith[float64](p, floatArith{eps: defaultEps}, lo, hi)
+		}
+		return solveWith[*big.Rat](p, ratArith{}, lo, hi)
+	}
+
+	type node struct {
+		lo, hi []*big.Rat
+	}
+	n := len(p.Vars)
+	stack := []node{{make([]*big.Rat, n), make([]*big.Rat, n)}}
+	var best *Solution
+	var bestObj *big.Rat
+	nodes := 0
+	hitLimit := false
+
+	better := func(obj *big.Rat) bool {
+		if bestObj == nil {
+			return true
+		}
+		if p.Maximize {
+			return obj.Cmp(bestObj) > 0
+		}
+		return obj.Cmp(bestObj) < 0
+	}
+
+	for len(stack) > 0 {
+		if nodes >= maxNodes {
+			hitLimit = true
+			break
+		}
+		nodes++
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		sol, err := relax(nd.lo, nd.hi)
+		if err != nil {
+			return nil, err
+		}
+		switch sol.Status {
+		case StatusInfeasible:
+			continue
+		case StatusUnbounded:
+			// An unbounded relaxation at the root of a minimization with no
+			// integrality cuts to help: report unbounded.
+			return &Solution{Status: StatusUnbounded}, nil
+		}
+		// Bound: prune if the relaxation cannot beat the incumbent.
+		if best != nil && sol.Objective != nil && !betterOrEqual(p, sol.Objective, bestObj) {
+			continue
+		}
+		// Find a fractional integer variable to branch on.
+		branch := -1
+		for i, v := range p.Vars {
+			if v.Integer && !sol.Values[i].IsInt() {
+				branch = i
+				break
+			}
+		}
+		if branch < 0 {
+			// Integral (by the relaxation's lights): round and verify exactly.
+			vals := roundIntegers(p, sol.Values)
+			if err := p.Check(vals); err != nil {
+				// Float noise produced a bogus candidate; branch on the
+				// variable with the largest rounding error to make progress.
+				branch = worstRounded(p, sol.Values)
+				if branch < 0 {
+					continue // nothing to branch on; abandon this node
+				}
+			} else {
+				cand := &Solution{Status: StatusOptimal, Values: vals}
+				if len(p.Objective) > 0 {
+					cand.Objective = evalObjective(p, vals)
+					if better(cand.Objective) {
+						best, bestObj = cand, cand.Objective
+					}
+					continue
+				}
+				return cand, nil // feasibility problem: first solution wins
+			}
+		}
+		// Branch on floor/ceil of the fractional value.
+		v := sol.Values[branch]
+		fl := ratFloor(v)
+		lo1 := cloneBounds(nd.lo)
+		hi1 := cloneBounds(nd.hi)
+		hi1[branch] = fl
+		lo2 := cloneBounds(nd.lo)
+		hi2 := cloneBounds(nd.hi)
+		lo2[branch] = new(big.Rat).Add(fl, big.NewRat(1, 1))
+		// Explore the floor side first (LIFO: push ceil first).
+		stack = append(stack, node{lo2, hi2}, node{lo1, hi1})
+	}
+
+	if best != nil {
+		return best, nil
+	}
+	if hitLimit {
+		return &Solution{Status: StatusLimit}, nil
+	}
+	return &Solution{Status: StatusInfeasible}, nil
+}
+
+func betterOrEqual(p *Problem, obj, best *big.Rat) bool {
+	if p.Maximize {
+		return obj.Cmp(best) > 0
+	}
+	return obj.Cmp(best) < 0
+}
+
+func evalObjective(p *Problem, vals []*big.Rat) *big.Rat {
+	obj := new(big.Rat)
+	tmp := new(big.Rat)
+	for _, t := range p.Objective {
+		obj.Add(obj, tmp.Mul(t.Coef, vals[t.Var]))
+	}
+	return obj
+}
+
+// roundIntegers snaps integer variables to the nearest integer (they are
+// integral or within float tolerance of it) and leaves continuous values.
+func roundIntegers(p *Problem, vals []*big.Rat) []*big.Rat {
+	out := make([]*big.Rat, len(vals))
+	for i, v := range vals {
+		if p.Vars[i].Integer && !v.IsInt() {
+			out[i] = ratRound(v)
+		} else {
+			out[i] = new(big.Rat).Set(v)
+		}
+	}
+	return out
+}
+
+// worstRounded returns the integer variable farthest from integrality, or -1
+// if all integer variables are integral.
+func worstRounded(p *Problem, vals []*big.Rat) int {
+	worst, worstDist := -1, new(big.Rat)
+	for i, v := range vals {
+		if !p.Vars[i].Integer || v.IsInt() {
+			continue
+		}
+		d := new(big.Rat).Sub(v, ratRound(v))
+		d.Abs(d)
+		if worst < 0 || d.Cmp(worstDist) > 0 {
+			worst, worstDist = i, d
+		}
+	}
+	return worst
+}
+
+// ratFloor returns ⌊r⌋ as a rational.
+func ratFloor(r *big.Rat) *big.Rat {
+	q := new(big.Int).Quo(r.Num(), r.Denom())
+	// big.Int.Quo truncates toward zero; adjust negatives with remainders.
+	if r.Sign() < 0 && !r.IsInt() {
+		q.Sub(q, big.NewInt(1))
+	}
+	return new(big.Rat).SetInt(q)
+}
+
+// ratRound returns the nearest integer to r (half away from zero).
+func ratRound(r *big.Rat) *big.Rat {
+	fl := ratFloor(r)
+	frac := new(big.Rat).Sub(r, fl)
+	if frac.Cmp(big.NewRat(1, 2)) >= 0 {
+		return fl.Add(fl, big.NewRat(1, 1))
+	}
+	return fl
+}
+
+func cloneBounds(b []*big.Rat) []*big.Rat {
+	out := make([]*big.Rat, len(b))
+	copy(out, b)
+	return out
+}
+
+// MustInt converts a rational known to be integral into an int.
+func MustInt(r *big.Rat) int {
+	if !r.IsInt() {
+		panic(fmt.Sprintf("lp: %s is not integral", r))
+	}
+	return int(r.Num().Int64())
+}

@@ -1,0 +1,319 @@
+package lp
+
+import (
+	"math/big"
+	"testing"
+)
+
+func rat(n, d int64) *big.Rat { return big.NewRat(n, d) }
+
+func TestSolveLPSimpleMax(t *testing.T) {
+	// max 3x + 2y  s.t. x + y <= 4, x + 3y <= 6, x,y >= 0  -> (4,0), obj 12.
+	p := &Problem{}
+	x := p.AddVar("x", rat(0, 1), nil)
+	y := p.AddVar("y", rat(0, 1), nil)
+	p.AddConstraint("c1", []Term{T(x, 1), T(y, 1)}, LE, rat(4, 1))
+	p.AddConstraint("c2", []Term{T(x, 1), T(y, 3)}, LE, rat(6, 1))
+	p.SetObjective([]Term{T(x, 3), T(y, 2)}, true)
+	for name, solve := range map[string]func(*Problem) (*Solution, error){"exact": SolveLP, "float": SolveLPFloat} {
+		sol, err := solve(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sol.Status != StatusOptimal {
+			t.Fatalf("%s: status = %v", name, sol.Status)
+		}
+		if sol.Objective.Cmp(rat(12, 1)) != 0 {
+			t.Errorf("%s: objective = %s, want 12", name, sol.Objective)
+		}
+	}
+}
+
+func TestSolveLPFractionalOptimum(t *testing.T) {
+	// max x + y  s.t. 2x + y <= 3, x + 2y <= 3  -> (1,1) obj 2 at a vertex;
+	// perturb to get fractional: max 2x+y, 3x+y<=4, x+3y<=4 -> x=1, y=1 obj 3.
+	// Use a genuinely fractional one: max y s.t. 2y <= 1 -> y = 1/2.
+	p := &Problem{}
+	y := p.AddVar("y", rat(0, 1), nil)
+	p.AddConstraint("c", []Term{T(y, 2)}, LE, rat(1, 1))
+	p.SetObjective([]Term{T(y, 1)}, true)
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Values[y].Cmp(rat(1, 2)) != 0 {
+		t.Errorf("y = %s, want 1/2", sol.Values[y])
+	}
+}
+
+func TestSolveLPInfeasible(t *testing.T) {
+	p := &Problem{}
+	x := p.AddVar("x", rat(0, 1), nil)
+	p.AddConstraint("lo", []Term{T(x, 1)}, GE, rat(5, 1))
+	p.AddConstraint("hi", []Term{T(x, 1)}, LE, rat(3, 1))
+	for name, solve := range map[string]func(*Problem) (*Solution, error){"exact": SolveLP, "float": SolveLPFloat} {
+		sol, err := solve(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sol.Status != StatusInfeasible {
+			t.Errorf("%s: status = %v, want infeasible", name, sol.Status)
+		}
+	}
+}
+
+func TestSolveLPUnbounded(t *testing.T) {
+	p := &Problem{}
+	x := p.AddVar("x", rat(0, 1), nil)
+	p.SetObjective([]Term{T(x, 1)}, true)
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusUnbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSolveLPEqualityAndNegativeRHS(t *testing.T) {
+	// x - y = -2, x + y = 4  -> x=1, y=3.
+	p := &Problem{}
+	x := p.AddVar("x", rat(0, 1), nil)
+	y := p.AddVar("y", rat(0, 1), nil)
+	p.AddConstraint("e1", []Term{T(x, 1), T(y, -1)}, EQ, rat(-2, 1))
+	p.AddConstraint("e2", []Term{T(x, 1), T(y, 1)}, EQ, rat(4, 1))
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if sol.Values[x].Cmp(rat(1, 1)) != 0 || sol.Values[y].Cmp(rat(3, 1)) != 0 {
+		t.Errorf("(x,y) = (%s,%s), want (1,3)", sol.Values[x], sol.Values[y])
+	}
+}
+
+func TestSolveLPFreeVariable(t *testing.T) {
+	// min x s.t. x >= -7 with x free below: objective pushes to -7... x has
+	// no declared lower bound; constraint provides it.
+	p := &Problem{}
+	x := p.AddVar("x", nil, nil)
+	p.AddConstraint("c", []Term{T(x, 1)}, GE, rat(-7, 1))
+	p.SetObjective([]Term{T(x, 1)}, false)
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || sol.Values[x].Cmp(rat(-7, 1)) != 0 {
+		t.Errorf("x = %v (status %v), want -7", sol.Values, sol.Status)
+	}
+}
+
+func TestSolveLPBounds(t *testing.T) {
+	// Upper bound enforced via variable bound; shifted lower bound too.
+	p := &Problem{}
+	x := p.AddVar("x", rat(2, 1), rat(5, 1))
+	p.SetObjective([]Term{T(x, 1)}, true)
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Values[x].Cmp(rat(5, 1)) != 0 {
+		t.Errorf("x = %s, want 5", sol.Values[x])
+	}
+	p.SetObjective([]Term{T(x, 1)}, false)
+	sol, err = SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Values[x].Cmp(rat(2, 1)) != 0 {
+		t.Errorf("x = %s, want 2", sol.Values[x])
+	}
+}
+
+func TestSolveLPFixedVariable(t *testing.T) {
+	p := &Problem{}
+	x := p.AddVar("x", rat(3, 1), rat(3, 1))
+	y := p.AddVar("y", rat(0, 1), nil)
+	p.AddConstraint("c", []Term{T(x, 1), T(y, 1)}, EQ, rat(10, 1))
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Values[x].Cmp(rat(3, 1)) != 0 || sol.Values[y].Cmp(rat(7, 1)) != 0 {
+		t.Errorf("(x,y) = (%s,%s), want (3,7)", sol.Values[x], sol.Values[y])
+	}
+}
+
+func TestSolveLPContradictoryBounds(t *testing.T) {
+	p := &Problem{}
+	p.AddVar("x", rat(5, 1), rat(3, 1))
+	sol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveILPKnapsack(t *testing.T) {
+	// Wolsey-style 0/1 knapsack: max 8a + 11b + 6c + 4d
+	// s.t. 5a + 7b + 4c + 3d <= 14. The LP relaxation is fractional; the
+	// integer optimum is {b, c, d} with value 21.
+	for _, engine := range []Engine{EngineExact, EngineFloat} {
+		p := &Problem{}
+		a := p.AddIntVar("a", rat(0, 1), rat(1, 1))
+		b := p.AddIntVar("b", rat(0, 1), rat(1, 1))
+		c := p.AddIntVar("c", rat(0, 1), rat(1, 1))
+		d := p.AddIntVar("d", rat(0, 1), rat(1, 1))
+		p.AddConstraint("wt", []Term{T(a, 5), T(b, 7), T(c, 4), T(d, 3)}, LE, rat(14, 1))
+		p.SetObjective([]Term{T(a, 8), T(b, 11), T(c, 6), T(d, 4)}, true)
+		sol, err := SolveILP(p, ILPOptions{Engine: engine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != StatusOptimal {
+			t.Fatalf("engine %v: status = %v", engine, sol.Status)
+		}
+		if sol.Objective.Cmp(rat(21, 1)) != 0 {
+			t.Errorf("engine %v: objective = %s, want 21", engine, sol.Objective)
+		}
+		if err := p.Check(sol.Values); err != nil {
+			t.Errorf("engine %v: solution fails exact check: %v", engine, err)
+		}
+	}
+}
+
+func TestSolveILPFeasibilityFirstSolution(t *testing.T) {
+	// Pure feasibility: 3x + 5y = 22, x,y in N -> (4,2) or (... only (4,2)).
+	p := &Problem{}
+	x := p.AddNat("x")
+	y := p.AddNat("y")
+	p.AddConstraint("c", []Term{T(x, 3), T(y, 5)}, EQ, rat(22, 1))
+	sol, err := SolveILP(p, ILPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if err := p.Check(sol.Values); err != nil {
+		t.Errorf("solution invalid: %v", err)
+	}
+	got := new(big.Rat).Add(new(big.Rat).Mul(rat(3, 1), sol.Values[x]), new(big.Rat).Mul(rat(5, 1), sol.Values[y]))
+	if got.Cmp(rat(22, 1)) != 0 {
+		t.Errorf("3x+5y = %s, want 22", got)
+	}
+}
+
+func TestSolveILPInfeasible(t *testing.T) {
+	// 2x + 4y = 7 has no integer solution (parity).
+	p := &Problem{}
+	x := p.AddNat("x")
+	y := p.AddNat("y")
+	p.AddConstraint("c", []Term{T(x, 2), T(y, 4)}, EQ, rat(7, 1))
+	p.AddConstraint("boundX", []Term{T(x, 1)}, LE, rat(10, 1))
+	p.AddConstraint("boundY", []Term{T(y, 1)}, LE, rat(10, 1))
+	sol, err := SolveILP(p, ILPOptions{Engine: EngineExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveILPNodeLimit(t *testing.T) {
+	p := &Problem{}
+	vars := make([]VarID, 12)
+	terms := make([]Term, 12)
+	for i := range vars {
+		vars[i] = p.AddIntVar("x", rat(0, 1), rat(1, 1))
+		terms[i] = T(vars[i], int64(2*i+3))
+	}
+	// An equality unlikely to be hit immediately forces branching.
+	p.AddConstraint("c", terms, EQ, rat(1, 1)) // infeasible: min positive term is 3
+	sol, err := SolveILP(p, ILPOptions{Engine: EngineExact, MaxNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusLimit && sol.Status != StatusInfeasible {
+		t.Errorf("status = %v, want limit or infeasible", sol.Status)
+	}
+}
+
+func TestCheckRejects(t *testing.T) {
+	p := &Problem{}
+	x := p.AddIntVar("x", rat(0, 1), rat(5, 1))
+	p.AddConstraint("c", []Term{T(x, 2)}, LE, rat(6, 1))
+	cases := []struct {
+		name string
+		vals []*big.Rat
+	}{
+		{"tooFew", nil},
+		{"belowLower", []*big.Rat{rat(-1, 1)}},
+		{"aboveUpper", []*big.Rat{rat(6, 1)}},
+		{"fractional", []*big.Rat{rat(1, 2)}},
+		{"violates", []*big.Rat{rat(4, 1)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := p.Check(tc.vals); err == nil {
+				t.Error("Check accepted invalid assignment")
+			}
+		})
+	}
+	if err := p.Check([]*big.Rat{rat(3, 1)}); err != nil {
+		t.Errorf("Check rejected valid assignment: %v", err)
+	}
+}
+
+func TestRatFloorAndRound(t *testing.T) {
+	cases := []struct {
+		in         *big.Rat
+		floor, rnd int64
+	}{
+		{rat(7, 2), 3, 4},    // 3.5
+		{rat(-7, 2), -4, -3}, // -3.5 rounds to -3 (floor -4 + frac 1/2 -> up)
+		{rat(5, 1), 5, 5},
+		{rat(-5, 1), -5, -5},
+		{rat(1, 3), 0, 0},
+		{rat(-1, 3), -1, 0},
+	}
+	for _, tc := range cases {
+		if got := ratFloor(tc.in); got.Cmp(rat(tc.floor, 1)) != 0 {
+			t.Errorf("ratFloor(%s) = %s, want %d", tc.in, got, tc.floor)
+		}
+		if got := ratRound(tc.in); got.Cmp(rat(tc.rnd, 1)) != 0 {
+			t.Errorf("ratRound(%s) = %s, want %d", tc.in, got, tc.rnd)
+		}
+	}
+}
+
+func TestProblemString(t *testing.T) {
+	p := &Problem{}
+	x := p.AddNat("x")
+	p.AddConstraint("c", []Term{T(x, 2)}, LE, rat(6, 1))
+	p.SetObjective([]Term{T(x, 1)}, true)
+	s := p.String()
+	for _, want := range []string{"max:", "c:", "2*x", "<= 6", "x in [0, +inf] int"} {
+		if !contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,246 @@
+// Package lp is a self-contained linear and integer-linear programming
+// solver used as the decision procedure behind the contract framework.
+//
+// The paper discharges flow-synthesis queries to the Z3 SMT solver; those
+// queries are quantifier-free linear integer arithmetic feasibility problems
+// (the paper notes the synthesis "is reducible to the Integer Linear
+// Programming problem"). This package decides the same fragment with a
+// two-phase primal simplex — available both in exact rational arithmetic
+// (math/big.Rat, Bland's rule, guaranteed termination) and in float64 with
+// tolerances (fast path) — plus a branch-and-bound wrapper for integrality.
+package lp
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// VarID identifies a decision variable within a Problem.
+type VarID int
+
+// Sense is the relational operator of a constraint.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // Σ terms ≤ rhs
+	GE              // Σ terms ≥ rhs
+	EQ              // Σ terms = rhs
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+// Term is one coefficient–variable product in a linear expression.
+type Term struct {
+	Var  VarID
+	Coef *big.Rat
+}
+
+// T is a convenience constructor for a Term with an integer coefficient.
+func T(v VarID, coef int64) Term { return Term{Var: v, Coef: big.NewRat(coef, 1)} }
+
+// Var describes one decision variable.
+type Var struct {
+	Name    string
+	Lower   *big.Rat // nil means -inf
+	Upper   *big.Rat // nil means +inf
+	Integer bool
+}
+
+// Constraint is a linear constraint Σ Coef·Var (Sense) RHS.
+type Constraint struct {
+	Name  string
+	Terms []Term
+	Sense Sense
+	RHS   *big.Rat
+}
+
+// Problem is a linear (or mixed-integer linear) program. The zero value is
+// an empty feasibility problem; add variables and constraints, optionally an
+// objective, then hand it to SolveLP or SolveILP.
+type Problem struct {
+	Vars        []Var
+	Constraints []Constraint
+	// Objective is maximized when Maximize is true, else minimized. A nil or
+	// empty objective makes the problem a pure feasibility question.
+	Objective []Term
+	Maximize  bool
+}
+
+// AddVar declares a continuous variable with the given bounds (nil = ±inf)
+// and returns its ID.
+func (p *Problem) AddVar(name string, lower, upper *big.Rat) VarID {
+	p.Vars = append(p.Vars, Var{Name: name, Lower: lower, Upper: upper})
+	return VarID(len(p.Vars) - 1)
+}
+
+// AddIntVar declares an integer variable with the given bounds.
+func (p *Problem) AddIntVar(name string, lower, upper *big.Rat) VarID {
+	p.Vars = append(p.Vars, Var{Name: name, Lower: lower, Upper: upper, Integer: true})
+	return VarID(len(p.Vars) - 1)
+}
+
+// AddNat declares an integer variable over {0} ∪ N, the domain the paper
+// gives every agent flow.
+func (p *Problem) AddNat(name string) VarID {
+	return p.AddIntVar(name, big.NewRat(0, 1), nil)
+}
+
+// AddConstraint appends a constraint and returns its index. Terms mentioning
+// out-of-range variables cause a panic: that is a programming error, not an
+// input error.
+func (p *Problem) AddConstraint(name string, terms []Term, sense Sense, rhs *big.Rat) int {
+	for _, t := range terms {
+		if t.Var < 0 || int(t.Var) >= len(p.Vars) {
+			panic(fmt.Sprintf("lp: constraint %q references unknown variable %d", name, t.Var))
+		}
+		if t.Coef == nil {
+			panic(fmt.Sprintf("lp: constraint %q has nil coefficient", name))
+		}
+	}
+	if rhs == nil {
+		panic(fmt.Sprintf("lp: constraint %q has nil rhs", name))
+	}
+	p.Constraints = append(p.Constraints, Constraint{Name: name, Terms: terms, Sense: sense, RHS: rhs})
+	return len(p.Constraints) - 1
+}
+
+// SetObjective installs the objective Σ terms, maximized or minimized.
+func (p *Problem) SetObjective(terms []Term, maximize bool) {
+	p.Objective = terms
+	p.Maximize = maximize
+}
+
+// NumVars returns the number of declared variables.
+func (p *Problem) NumVars() int { return len(p.Vars) }
+
+// Status classifies the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	StatusOptimal    Status = iota // solution found (optimal for LP; incumbent for ILP)
+	StatusInfeasible               // no assignment satisfies the constraints
+	StatusUnbounded                // objective can improve without limit
+	StatusLimit                    // ILP search hit its node limit before deciding
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusLimit:
+		return "limit"
+	}
+	return "unknown"
+}
+
+// Solution is an assignment of rationals to every variable.
+type Solution struct {
+	Status    Status
+	Values    []*big.Rat
+	Objective *big.Rat // nil for pure feasibility problems
+}
+
+// Value returns the assigned value of v.
+func (s *Solution) Value(v VarID) *big.Rat { return s.Values[v] }
+
+// Int returns the value of v as an int, which must be exact.
+func (s *Solution) Int(v VarID) int {
+	r := s.Values[v]
+	if !r.IsInt() {
+		panic(fmt.Sprintf("lp: value %s of variable %d is not integral", r, v))
+	}
+	return int(r.Num().Int64())
+}
+
+// Check verifies an assignment against every constraint and bound of p using
+// exact arithmetic. It returns nil if the assignment is feasible; otherwise
+// an error naming the first violated constraint. Integrality of integer
+// variables is enforced.
+func (p *Problem) Check(values []*big.Rat) error {
+	if len(values) != len(p.Vars) {
+		return fmt.Errorf("lp: %d values for %d variables", len(values), len(p.Vars))
+	}
+	for i, v := range p.Vars {
+		x := values[i]
+		if v.Lower != nil && x.Cmp(v.Lower) < 0 {
+			return fmt.Errorf("lp: %s = %s below lower bound %s", v.Name, x, v.Lower)
+		}
+		if v.Upper != nil && x.Cmp(v.Upper) > 0 {
+			return fmt.Errorf("lp: %s = %s above upper bound %s", v.Name, x, v.Upper)
+		}
+		if v.Integer && !x.IsInt() {
+			return fmt.Errorf("lp: %s = %s is not integral", v.Name, x)
+		}
+	}
+	for _, c := range p.Constraints {
+		lhs := new(big.Rat)
+		tmp := new(big.Rat)
+		for _, t := range c.Terms {
+			lhs.Add(lhs, tmp.Mul(t.Coef, values[t.Var]))
+		}
+		cmp := lhs.Cmp(c.RHS)
+		ok := (c.Sense == LE && cmp <= 0) || (c.Sense == GE && cmp >= 0) || (c.Sense == EQ && cmp == 0)
+		if !ok {
+			return fmt.Errorf("lp: constraint %q violated: lhs=%s %s rhs=%s", c.Name, lhs, c.Sense, c.RHS)
+		}
+	}
+	return nil
+}
+
+// String renders the problem in an LP-file-like format, useful in tests and
+// error messages.
+func (p *Problem) String() string {
+	var b strings.Builder
+	if len(p.Objective) > 0 {
+		if p.Maximize {
+			b.WriteString("max:")
+		} else {
+			b.WriteString("min:")
+		}
+		writeTerms(&b, p, p.Objective)
+		b.WriteByte('\n')
+	}
+	for _, c := range p.Constraints {
+		fmt.Fprintf(&b, "%s:", c.Name)
+		writeTerms(&b, p, c.Terms)
+		fmt.Fprintf(&b, " %s %s\n", c.Sense, c.RHS.RatString())
+	}
+	for _, v := range p.Vars {
+		lo, hi := "-inf", "+inf"
+		if v.Lower != nil {
+			lo = v.Lower.RatString()
+		}
+		if v.Upper != nil {
+			hi = v.Upper.RatString()
+		}
+		kind := "cont"
+		if v.Integer {
+			kind = "int"
+		}
+		fmt.Fprintf(&b, "%s in [%s, %s] %s\n", v.Name, lo, hi, kind)
+	}
+	return b.String()
+}
+
+func writeTerms(b *strings.Builder, p *Problem, terms []Term) {
+	for _, t := range terms {
+		fmt.Fprintf(b, " %s*%s", t.Coef.RatString(), p.Vars[t.Var].Name)
+	}
+}

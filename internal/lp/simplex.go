@@ -1,0 +1,462 @@
+package lp
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// SolveLP solves the continuous relaxation of p with the exact rational
+// two-phase simplex (Bland's rule, guaranteed termination). Integrality
+// markers on variables are ignored.
+func SolveLP(p *Problem) (*Solution, error) {
+	return solveWith[*big.Rat](p, ratArith{}, nil, nil)
+}
+
+// SolveLPFloat solves the continuous relaxation of p with the float64
+// engine. It is much faster than SolveLP on large problems but subject to
+// rounding; callers that need certainty should verify with Problem.Check.
+func SolveLPFloat(p *Problem) (*Solution, error) {
+	return solveWith[float64](p, floatArith{eps: defaultEps}, nil, nil)
+}
+
+// solveWith runs two-phase simplex over the chosen field. loOverride and
+// hiOverride, when non-nil, replace per-variable bounds (used by branch and
+// bound); entries that are nil fall back to the declared bounds.
+func solveWith[T any](p *Problem, ar arith[T], loOverride, hiOverride []*big.Rat) (*Solution, error) {
+	std, err := standardize(p, ar, loOverride, hiOverride)
+	if err != nil {
+		return nil, err
+	}
+	if std.infeasible {
+		return &Solution{Status: StatusInfeasible}, nil
+	}
+	status := std.run()
+	switch status {
+	case StatusInfeasible, StatusUnbounded:
+		return &Solution{Status: status}, nil
+	}
+	values := std.extract()
+	sol := &Solution{Status: StatusOptimal, Values: values}
+	if len(p.Objective) > 0 {
+		obj := new(big.Rat)
+		tmp := new(big.Rat)
+		for _, t := range p.Objective {
+			obj.Add(obj, tmp.Mul(t.Coef, values[t.Var]))
+		}
+		sol.Objective = obj
+	}
+	return sol, nil
+}
+
+// colInfo records how a model variable maps into simplex columns.
+type colInfo struct {
+	pos   int      // column of the (shifted) non-negative part, -1 if none
+	neg   int      // column of the negative part for free variables, -1 if none
+	shift *big.Rat // value to add back after solving (the lower bound), may be nil
+	fixed *big.Rat // set when lower == upper: variable eliminated, may be nil
+}
+
+// tableauState is a dense simplex tableau over field T.
+//
+// Layout: rows 0..m-1 are constraints in equality form with non-negative
+// RHS (column n holds the RHS). basis[i] is the variable occupying row i.
+// Columns 0..nStruct-1 are structural, then slacks, then artificials.
+type tableauState[T any] struct {
+	ar         arith[T]
+	m, n       int // rows, total columns excluding RHS
+	nStruct    int
+	rows       [][]T // m x (n+1)
+	basis      []int
+	cost       []T // phase-2 reduced-objective coefficients, len n
+	hasObj     bool
+	nArt       int
+	artStart   int
+	cols       []colInfo
+	p          *Problem
+	infeasible bool // detected during standardization (e.g. lo > hi)
+}
+
+// standardize converts p into equality standard form.
+func standardize[T any](p *Problem, ar arith[T], loOverride, hiOverride []*big.Rat) (*tableauState[T], error) {
+	st := &tableauState[T]{ar: ar, p: p}
+	st.cols = make([]colInfo, len(p.Vars))
+
+	effLo := func(i int) *big.Rat {
+		if loOverride != nil && loOverride[i] != nil {
+			return loOverride[i]
+		}
+		return p.Vars[i].Lower
+	}
+	effHi := func(i int) *big.Rat {
+		if hiOverride != nil && hiOverride[i] != nil {
+			return hiOverride[i]
+		}
+		return p.Vars[i].Upper
+	}
+
+	// Assign structural columns. Fixed variables (lo == hi) are eliminated.
+	ncol := 0
+	type upperRow struct {
+		col int
+		cap *big.Rat // upper - lower
+	}
+	var uppers []upperRow
+	for i := range p.Vars {
+		lo, hi := effLo(i), effHi(i)
+		if lo != nil && hi != nil {
+			switch lo.Cmp(hi) {
+			case 1:
+				st.infeasible = true
+				return st, nil
+			case 0:
+				st.cols[i] = colInfo{pos: -1, neg: -1, fixed: lo}
+				continue
+			}
+		}
+		if lo != nil {
+			st.cols[i] = colInfo{pos: ncol, neg: -1, shift: lo}
+			if hi != nil {
+				uppers = append(uppers, upperRow{ncol, new(big.Rat).Sub(hi, lo)})
+			}
+			ncol++
+			continue
+		}
+		// Free below: split x = x+ - x-. A finite upper bound on such a
+		// variable becomes a synthetic x+ - x- <= hi row, added after the
+		// model constraints below.
+		st.cols[i] = colInfo{pos: ncol, neg: ncol + 1}
+		ncol += 2
+	}
+	st.nStruct = ncol
+
+	// Build rows: one per model constraint plus one per finite upper bound.
+	type rawRow struct {
+		coefs map[int]*big.Rat
+		sense Sense
+		rhs   *big.Rat
+	}
+	var raws []rawRow
+	for ci := range p.Constraints {
+		c := &p.Constraints[ci]
+		coefs := make(map[int]*big.Rat)
+		rhs := new(big.Rat).Set(c.RHS)
+		for _, t := range c.Terms {
+			info := st.cols[t.Var]
+			if info.fixed != nil {
+				rhs.Sub(rhs, new(big.Rat).Mul(t.Coef, info.fixed))
+				continue
+			}
+			if info.shift != nil {
+				rhs.Sub(rhs, new(big.Rat).Mul(t.Coef, info.shift))
+			}
+			addCoef(coefs, info.pos, t.Coef)
+			if info.neg >= 0 {
+				addCoef(coefs, info.neg, new(big.Rat).Neg(t.Coef))
+			}
+		}
+		raws = append(raws, rawRow{coefs, c.Sense, rhs})
+	}
+	for _, u := range uppers {
+		coefs := map[int]*big.Rat{u.col: big.NewRat(1, 1)}
+		raws = append(raws, rawRow{coefs, LE, u.cap})
+	}
+	// Upper bounds on free-below variables.
+	for i := range p.Vars {
+		info := st.cols[i]
+		if info.neg < 0 || info.fixed != nil {
+			continue
+		}
+		if hi := effHi(i); hi != nil {
+			coefs := map[int]*big.Rat{
+				info.pos: big.NewRat(1, 1),
+				info.neg: big.NewRat(-1, 1),
+			}
+			raws = append(raws, rawRow{coefs, LE, new(big.Rat).Set(hi)})
+		}
+	}
+
+	st.m = len(raws)
+	// Count slack columns.
+	nSlack := 0
+	for _, r := range raws {
+		if r.sense != EQ {
+			nSlack++
+		}
+	}
+	st.artStart = st.nStruct + nSlack
+	st.nArt = st.m // one artificial per row (unused ones are dropped by phase 1)
+	st.n = st.artStart + st.nArt
+
+	st.rows = make([][]T, st.m)
+	st.basis = make([]int, st.m)
+	slackCol := st.nStruct
+	one := ar.one()
+	negOne := ar.sub(ar.zero(), one)
+	for ri, r := range raws {
+		row := make([]T, st.n+1)
+		for j := range row {
+			row[j] = ar.zero()
+		}
+		negate := r.rhs.Sign() < 0
+		for col, coef := range r.coefs {
+			v := ar.fromRat(coef)
+			if negate {
+				v = ar.sub(ar.zero(), v)
+			}
+			row[col] = v
+		}
+		rhs := new(big.Rat).Set(r.rhs)
+		sense := r.sense
+		if negate {
+			rhs.Neg(rhs)
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		row[st.n] = ar.fromRat(rhs)
+		switch sense {
+		case LE:
+			row[slackCol] = one
+			slackCol++
+		case GE:
+			row[slackCol] = negOne
+			slackCol++
+		}
+		// Artificial for this row.
+		art := st.artStart + ri
+		row[art] = one
+		st.basis[ri] = art
+		st.rows[ri] = row
+	}
+
+	// Phase-2 cost vector from the objective (minimization form).
+	st.cost = make([]T, st.n)
+	for j := range st.cost {
+		st.cost[j] = ar.zero()
+	}
+	if len(p.Objective) > 0 {
+		st.hasObj = true
+		for _, t := range p.Objective {
+			coef := new(big.Rat).Set(t.Coef)
+			if p.Maximize {
+				coef.Neg(coef)
+			}
+			info := st.cols[t.Var]
+			if info.fixed != nil {
+				continue
+			}
+			v := ar.fromRat(coef)
+			st.cost[info.pos] = ar.add(st.cost[info.pos], v)
+			if info.neg >= 0 {
+				st.cost[info.neg] = ar.sub(st.cost[info.neg], v)
+			}
+		}
+	}
+	return st, nil
+}
+
+func addCoef(coefs map[int]*big.Rat, col int, c *big.Rat) {
+	if prev, ok := coefs[col]; ok {
+		coefs[col] = new(big.Rat).Add(prev, c)
+	} else {
+		coefs[col] = new(big.Rat).Set(c)
+	}
+}
+
+// run executes phase 1 then (if there is an objective) phase 2.
+func (st *tableauState[T]) run() Status {
+	ar := st.ar
+	// Phase 1: minimize the sum of artificials. Since every initial basis
+	// variable is an artificial with cost 1, the phase-1 objective row entry
+	// for column j is Σ_i rows[i][j]; the row is pivoted with the tableau and
+	// its RHS entry is the current infeasibility, driven to zero.
+	objRow := make([]T, st.n+1)
+	for j := 0; j <= st.n; j++ {
+		s := ar.zero()
+		for i := 0; i < st.m; i++ {
+			s = ar.add(s, st.rows[i][j])
+		}
+		objRow[j] = s
+	}
+	// Artificial columns have reduced cost 0 in their own basis; exclude them
+	// from entering by zeroing their objective entries.
+	for j := st.artStart; j < st.n; j++ {
+		objRow[j] = ar.zero()
+	}
+	if !st.pivotLoop(objRow, st.artStart) {
+		// Phase 1 of a feasibility system cannot be unbounded (objective is
+		// bounded below by 0); treat as numerical failure -> infeasible.
+		return StatusInfeasible
+	}
+	if ar.sign(objRow[st.n]) != 0 {
+		return StatusInfeasible
+	}
+	// Drive any artificial still in the basis out (degenerate rows).
+	for i := 0; i < st.m; i++ {
+		if st.basis[i] < st.artStart {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < st.artStart; j++ {
+			if ar.sign(st.rows[i][j]) != 0 {
+				st.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Row is all zeros across structural+slack columns: redundant.
+			// Leave the artificial basic at value 0; it never re-enters.
+			continue
+		}
+	}
+	if !st.hasObj {
+		return StatusOptimal
+	}
+	// Phase 2: reduced costs r_j = c_j - c_B B^-1 A_j. Build the objective
+	// row from st.cost and current basis.
+	objRow2 := make([]T, st.n+1)
+	copy(objRow2, st.cost)
+	objRow2[st.n] = ar.zero()
+	// Subtract c_B times each row to zero out basic columns.
+	for i := 0; i < st.m; i++ {
+		cb := ar.zero()
+		if st.basis[i] < st.n {
+			cb = st.cost[st.basis[i]]
+		}
+		if ar.sign(cb) == 0 {
+			continue
+		}
+		for j := 0; j <= st.n; j++ {
+			objRow2[j] = ar.sub(objRow2[j], ar.mul(cb, st.rows[i][j]))
+		}
+	}
+	// In phase 2 the entering test wants negative reduced cost; pivotLoop is
+	// written for "positive entries enter" (phase-1 style), so negate.
+	for j := 0; j <= st.n; j++ {
+		objRow2[j] = ar.sub(ar.zero(), objRow2[j])
+	}
+	if !st.pivotLoop(objRow2, st.artStart) {
+		return StatusUnbounded
+	}
+	return StatusOptimal
+}
+
+// pivotLoop repeatedly pivots while some eligible column has a positive
+// objective-row entry (Bland's rule: lowest index first). colLimit bounds the
+// eligible columns (artificials are excluded by passing artStart). Returns
+// false if an entering column has no positive pivot element (unbounded).
+func (st *tableauState[T]) pivotLoop(objRow []T, colLimit int) bool {
+	ar := st.ar
+	for {
+		enter := -1
+		for j := 0; j < colLimit; j++ {
+			if ar.sign(objRow[j]) > 0 {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return true
+		}
+		// Ratio test with Bland tie-breaking on the leaving basic variable.
+		leave := -1
+		var best T
+		for i := 0; i < st.m; i++ {
+			a := st.rows[i][enter]
+			if ar.sign(a) <= 0 {
+				continue
+			}
+			ratio := ar.div(st.rows[i][st.n], a)
+			if leave < 0 {
+				leave, best = i, ratio
+				continue
+			}
+			switch ar.sign(ar.sub(ratio, best)) {
+			case -1:
+				leave, best = i, ratio
+			case 0:
+				if st.basis[i] < st.basis[leave] {
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return false
+		}
+		st.pivotWithObj(leave, enter, objRow)
+	}
+}
+
+// pivot makes (row, col) the pivot element and updates basis.
+func (st *tableauState[T]) pivot(row, col int) {
+	st.pivotWithObj(row, col, nil)
+}
+
+func (st *tableauState[T]) pivotWithObj(row, col int, objRow []T) {
+	ar := st.ar
+	pr := st.rows[row]
+	pv := pr[col]
+	inv := ar.div(ar.one(), pv)
+	for j := 0; j <= st.n; j++ {
+		pr[j] = ar.mul(pr[j], inv)
+	}
+	for i := 0; i < st.m; i++ {
+		if i == row {
+			continue
+		}
+		f := st.rows[i][col]
+		if ar.sign(f) == 0 {
+			continue
+		}
+		ri := st.rows[i]
+		for j := 0; j <= st.n; j++ {
+			ri[j] = ar.sub(ri[j], ar.mul(f, pr[j]))
+		}
+	}
+	if objRow != nil {
+		f := objRow[col]
+		if ar.sign(f) != 0 {
+			for j := 0; j <= st.n; j++ {
+				objRow[j] = ar.sub(objRow[j], ar.mul(f, pr[j]))
+			}
+		}
+	}
+	st.basis[row] = col
+}
+
+// extract reads the model-variable values out of the final tableau.
+func (st *tableauState[T]) extract() []*big.Rat {
+	ar := st.ar
+	colVal := make([]*big.Rat, st.n)
+	for j := range colVal {
+		colVal[j] = new(big.Rat)
+	}
+	for i := 0; i < st.m; i++ {
+		if st.basis[i] < st.n {
+			colVal[st.basis[i]] = ar.toRat(st.rows[i][st.n])
+		}
+	}
+	out := make([]*big.Rat, len(st.p.Vars))
+	for i := range st.p.Vars {
+		info := st.cols[i]
+		if info.fixed != nil {
+			out[i] = new(big.Rat).Set(info.fixed)
+			continue
+		}
+		v := new(big.Rat).Set(colVal[info.pos])
+		if info.neg >= 0 {
+			v.Sub(v, colVal[info.neg])
+		}
+		if info.shift != nil {
+			v.Add(v, info.shift)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+var _ = fmt.Sprintf // keep fmt imported for debug helpers

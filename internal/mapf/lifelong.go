@@ -1,0 +1,102 @@
+package mapf
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// IteratedOptions tunes IteratedECBS.
+type IteratedOptions struct {
+	// Window is the replanning window in timesteps (0 = 20).
+	Window int
+	// W is the suboptimality factor (0 = 1.5).
+	W float64
+	// Limits bound each window's search and the overall plan length.
+	Limits Limits
+}
+
+// IteratedECBS is the lifelong deployment of the bounded-suboptimal solver:
+// every Window timesteps, each agent plans toward its next outstanding goal
+// with ECBS, the first Window steps are committed, and planning repeats —
+// the standard windowed scheme for warehouse-scale MAPD, and the
+// configuration of the paper's comparison baseline.
+//
+// It returns the executed paths (one position per timestep for every agent)
+// once every goal sequence is exhausted, or an error when the expansion
+// budget or horizon runs out first.
+func IteratedECBS(g *grid.Grid, starts []grid.VertexID, goals [][]grid.VertexID, opts IteratedOptions) (*Solution, error) {
+	if len(starts) != len(goals) {
+		return nil, fmt.Errorf("mapf: %d starts for %d goal sequences", len(starts), len(goals))
+	}
+	window := opts.Window
+	if window == 0 {
+		window = 20
+	}
+	w := opts.W
+	if w == 0 {
+		w = 1.5
+	}
+	horizon := opts.Limits.horizon(g)
+	budget := opts.Limits.expansions()
+
+	cur := append([]grid.VertexID(nil), starts...)
+	remaining := make([][]grid.VertexID, len(goals))
+	for i := range goals {
+		remaining[i] = append([]grid.VertexID(nil), goals[i]...)
+	}
+	executed := make([]Path, len(starts))
+	for i := range executed {
+		executed[i] = Path{cur[i]}
+	}
+	total := &Solution{Paths: executed}
+
+	for t := 0; t < horizon; t += window {
+		done := true
+		for i := range remaining {
+			if len(remaining[i]) > 0 {
+				done = false
+				break
+			}
+		}
+		if done {
+			return total, nil
+		}
+		// Plan each agent toward its next goal only (windowed decomposition).
+		next := make([][]grid.VertexID, len(remaining))
+		for i := range remaining {
+			if len(remaining[i]) > 0 {
+				next[i] = remaining[i][:1]
+			}
+		}
+		lim := Limits{MaxExpansions: budget, Horizon: opts.Limits.horizon(g)}
+		sol, err := ECBS(g, cur, next, w, lim)
+		budget -= sol.Expansions
+		total.Expansions += sol.Expansions
+		total.HighLevelNodes += sol.HighLevelNodes
+		if err != nil {
+			return total, err
+		}
+		if budget <= 0 {
+			return total, ErrExpansionLimit
+		}
+		// Execute the first `window` steps.
+		for i, p := range sol.Paths {
+			for dt := 1; dt <= window; dt++ {
+				v := p.Vertex(dt)
+				executed[i] = append(executed[i], v)
+			}
+			cur[i] = executed[i][len(executed[i])-1]
+			// Goal reached within the window?
+			if len(remaining[i]) > 0 {
+				for dt := 1; dt <= window; dt++ {
+					if p.Vertex(dt) == remaining[i][0] {
+						remaining[i] = remaining[i][1:]
+						break
+					}
+				}
+			}
+		}
+	}
+	return total, fmt.Errorf("mapf: horizon exhausted with goals outstanding")
+}

@@ -1,0 +1,40 @@
+package mapf
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// Prioritized plans agents one at a time in index order (cooperative A*):
+// each agent's space-time path is inserted into a shared reservation table
+// that later agents must respect. Fast and scalable but incomplete — a
+// lower-priority agent can be walled in by earlier paths.
+func Prioritized(g *grid.Grid, starts []grid.VertexID, goals [][]grid.VertexID, lim Limits) (*Solution, error) {
+	if len(starts) != len(goals) {
+		return nil, fmt.Errorf("mapf: %d starts for %d goal sequences", len(starts), len(goals))
+	}
+	res := newReservations()
+	h := newHeuristic(g)
+	budget := lim.expansions()
+	horizon := lim.horizon(g)
+	sol := &Solution{Paths: make([]Path, len(starts))}
+	for i := range starts {
+		before := budget
+		p, err := planPath(planParams{
+			g: g, h: h,
+			start: starts[i], goals: goals[i],
+			res: res, horizon: horizon, budget: &budget,
+		})
+		sol.Expansions += before - budget
+		if err != nil {
+			return sol, err
+		}
+		if p == nil {
+			return sol, fmt.Errorf("mapf: prioritized planning failed for agent %d", i)
+		}
+		sol.Paths[i] = p
+		res.reservePath(p)
+	}
+	return sol, nil
+}

@@ -1,0 +1,336 @@
+// Package maps generates the evaluation warehouses of §V together with
+// their co-designed traffic systems: two fulfillment-center maps modeled on
+// the Kiva layout of [10] and a sorting-center map modeled on [11], plus a
+// parametric family used by the scaling and design-space benches.
+//
+// Topology. A generated map is a row of S vertical stripes. Each stripe has
+// a west corridor (width V, carrying traffic up), a bay of shelf columns
+// (width B), and an east corridor (width V, carrying traffic down). Aisle
+// rows run eastward through the bays every third row; the bottom row is a
+// single westward avenue shared by all stripes, holding the stations.
+// Between consecutive aisle rows sit shelf bands (two shelf rows in the
+// fulfillment maps, one chute row in the sorting map); the band between the
+// bottom avenue and the first aisle row is left empty so station queues
+// never mix with shelf access cells. An eastward avenue above the top aisle
+// row closes the global circulation (the bottom avenue only flows west), so
+// the traffic system graph is strongly connected.
+//
+// Every lane either ends at a junction cell it owns (so its exit can feed
+// both the continuing lane and a turn) or starts at one (so it can be fed by
+// a crossing and by through traffic), which is exactly the wiring rule of
+// §IV-A under the Algorithm 1 direction convention. Corridor crossings are
+// 2V+1-cell serpentines, so corridor capacity scales with V.
+package maps
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/traffic"
+	"repro/internal/warehouse"
+)
+
+// Params describes one parametric warehouse.
+type Params struct {
+	// Stripes is S, the number of vertical circulation stripes (≥1).
+	Stripes int
+	// Rows is R: aisle rows above the bottom avenue (≥2).
+	Rows int
+	// BayWidth is B, shelf columns per stripe (≥2).
+	BayWidth int
+	// CorridorWidth is V, corridor columns per side (≥2).
+	CorridorWidth int
+	// MaxComponentLen caps component length (sets m and tc = 2m). Zero
+	// means 6.
+	MaxComponentLen int
+	// DoubleShelfRows selects two shelf rows per band (fulfillment pods)
+	// instead of one (sorting chutes).
+	DoubleShelfRows bool
+	// NumProducts is |ρ|; products are assigned to shelves round-robin.
+	NumProducts int
+	// UnitsPerShelf is the stock each shelf holds of its product.
+	UnitsPerShelf int
+	// StationsPerStripe places this many station berths on the bottom
+	// avenue under each stripe (total stations = Stripes × StationsPerStripe).
+	StationsPerStripe int
+}
+
+// Map bundles a generated warehouse with its co-designed traffic system.
+type Map struct {
+	W      *warehouse.Warehouse
+	S      *traffic.System
+	Params Params
+	// Shelves lists the shelf cells (obstacles holding stock).
+	Shelves []grid.Coord
+}
+
+func (p Params) validate() error {
+	switch {
+	case p.Stripes < 1:
+		return fmt.Errorf("maps: Stripes %d < 1", p.Stripes)
+	case p.Rows < 2:
+		return fmt.Errorf("maps: Rows %d < 2", p.Rows)
+	case p.BayWidth < 2:
+		return fmt.Errorf("maps: BayWidth %d < 2", p.BayWidth)
+	case p.CorridorWidth < 2:
+		return fmt.Errorf("maps: CorridorWidth %d < 2", p.CorridorWidth)
+	case p.NumProducts < 1:
+		return fmt.Errorf("maps: NumProducts %d < 1", p.NumProducts)
+	case p.UnitsPerShelf < 1:
+		return fmt.Errorf("maps: UnitsPerShelf %d < 1", p.UnitsPerShelf)
+	case p.StationsPerStripe < 1:
+		return fmt.Errorf("maps: StationsPerStripe %d < 1", p.StationsPerStripe)
+	}
+	return nil
+}
+
+// Generate builds the warehouse and traffic system for p.
+func Generate(p Params) (*Map, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if p.MaxComponentLen == 0 {
+		p.MaxComponentLen = 6
+	}
+	sw := 2*p.CorridorWidth + p.BayWidth // stripe width
+	W := p.Stripes * sw
+	H := 3*p.Rows + 2 // +1 for the bottom avenue, +1 for the top avenue
+	V := p.CorridorWidth
+
+	// Stripe landmarks.
+	xW := func(i int) int { return i*sw + V - 1 }             // west junction column
+	xE := func(i int) int { return i*sw + V + p.BayWidth }    // east junction column
+	bayX0 := func(i int) int { return i*sw + V }              // first bay column
+	bayX1 := func(i int) int { return i*sw + V + p.BayWidth } // one past last bay column
+
+	// Raster: everything passable except shelf cells.
+	passable := make([][]bool, H)
+	for y := range passable {
+		passable[y] = make([]bool, W)
+		for x := range passable[y] {
+			passable[y][x] = true
+		}
+	}
+	var shelves []grid.Coord
+	// Shelf bands between aisle rows r and r+1 for r = 1..Rows-1.
+	for r := 1; r < p.Rows; r++ {
+		yLo, yHi := 3*r+1, 3*r+2
+		for i := 0; i < p.Stripes; i++ {
+			for x := bayX0(i); x < bayX1(i); x++ {
+				passable[yLo][x] = false
+				shelves = append(shelves, grid.Coord{X: x, Y: yLo})
+				if p.DoubleShelfRows {
+					passable[yHi][x] = false
+					shelves = append(shelves, grid.Coord{X: x, Y: yHi})
+				}
+			}
+		}
+	}
+	g, err := grid.New(passable)
+	if err != nil {
+		return nil, err
+	}
+
+	// Shelf access: a lower shelf (y = 3r+1) is served from the aisle cell
+	// below it; an upper shelf (y = 3r+2) from the aisle cell above. Access
+	// cells may serve two shelves (one above, one below).
+	accessIndex := make(map[grid.VertexID]int)
+	var accessList []grid.VertexID
+	accessOf := func(c grid.Coord) int {
+		v := g.At(c)
+		if v == grid.None {
+			panic(fmt.Sprintf("maps: access cell %v not passable", c))
+		}
+		if idx, ok := accessIndex[v]; ok {
+			return idx
+		}
+		idx := len(accessList)
+		accessIndex[v] = idx
+		accessList = append(accessList, v)
+		return idx
+	}
+	type shelfRef struct {
+		col  int // Λ column of the access vertex
+		prod int
+	}
+	var refs []shelfRef
+	shelfAccessCol := make([]int, len(shelves))
+	for si, sc := range shelves {
+		var access grid.Coord
+		if (sc.Y-1)%3 == 0 { // lower shelf row: served from below
+			access = grid.Coord{X: sc.X, Y: sc.Y - 1}
+		} else { // upper shelf row: served from above
+			access = grid.Coord{X: sc.X, Y: sc.Y + 1}
+		}
+		shelfAccessCol[si] = accessOf(access)
+		refs = append(refs, shelfRef{col: shelfAccessCol[si], prod: si % p.NumProducts})
+	}
+	// With more products than shelves (e.g. 36 destinations on 32 chutes),
+	// the leftover products become second occupants, round-robin.
+	for k := len(shelves); k < p.NumProducts; k++ {
+		refs = append(refs, shelfRef{col: shelfAccessCol[k%len(shelves)], prod: k})
+	}
+
+	// Stations on the bottom avenue near each stripe mouth's east end (the
+	// end every loop enters through), spaced so each lands in its own
+	// component after splitting.
+	var stations []grid.VertexID
+	minGap := p.MaxComponentLen + 2
+	for i := 0; i < p.Stripes; i++ {
+		lo, hi := xW(i)+2, xE(i)-2
+		for j := 0; j < p.StationsPerStripe; j++ {
+			x := hi - j*minGap
+			if x < lo {
+				return nil, fmt.Errorf("maps: stripe %d cannot hold %d stations with gap %d", i, p.StationsPerStripe, minGap)
+			}
+			stations = append(stations, g.At(grid.Coord{X: x, Y: 0}))
+		}
+	}
+
+	// Location matrix.
+	stock := make([][]int, p.NumProducts)
+	for k := range stock {
+		stock[k] = make([]int, len(accessList))
+	}
+	for _, ref := range refs {
+		stock[ref.prod][ref.col] += p.UnitsPerShelf
+	}
+	w, err := warehouse.New(g, accessList, stations, p.NumProducts, stock)
+	if err != nil {
+		return nil, err
+	}
+
+	lanes, err := buildLanes(p, g, sw, W)
+	if err != nil {
+		return nil, err
+	}
+	segs, err := traffic.SplitLanes(w, lanes, traffic.SplitOptions{MaxLen: p.MaxComponentLen})
+	if err != nil {
+		return nil, err
+	}
+	s, err := traffic.Build(w, segs)
+	if err != nil {
+		return nil, err
+	}
+	// Each station berth must sit in its own queue component so station
+	// throughput scales with the berth count.
+	seen := make(map[traffic.ComponentID]bool)
+	for _, st := range stations {
+		c := s.ComponentAt(st)
+		if seen[c] {
+			return nil, fmt.Errorf("maps: two stations share component %d; increase spacing", c)
+		}
+		seen[c] = true
+	}
+	return &Map{W: w, S: s, Params: p, Shelves: shelves}, nil
+}
+
+// buildLanes emits the directed lanes of the stripe-circulation design.
+func buildLanes(p Params, g *grid.Grid, sw, W int) ([][]grid.VertexID, error) {
+	V := p.CorridorWidth
+	at := func(x, y int) grid.VertexID {
+		v := g.At(grid.Coord{X: x, Y: y})
+		if v == grid.None {
+			panic(fmt.Sprintf("maps: lane cell (%d,%d) not passable", x, y))
+		}
+		return v
+	}
+	xW := func(i int) int { return i*sw + V - 1 }
+	xE := func(i int) int { return i*sw + V + p.BayWidth }
+	x0 := func(i int) int { return i * sw }
+
+	var lanes [][]grid.VertexID
+	add := func(cells []grid.VertexID) { lanes = append(lanes, cells) }
+
+	// Bottom avenue: westward from the last stripe's east junction to the
+	// first stripe's west junction. Junction cells xE(i) start segments;
+	// junction cells xW(i) end them.
+	last := p.Stripes - 1
+	// Stripe-mouth segments [xE(i) .. xW(i)] and inter-stripe connectors
+	// [xW(i)-1 .. xE(i-1)+1].
+	for i := last; i >= 0; i-- {
+		var mouth []grid.VertexID
+		for x := xE(i); x >= xW(i); x-- {
+			mouth = append(mouth, at(x, 0))
+		}
+		add(mouth)
+		if i > 0 {
+			var conn []grid.VertexID
+			for x := xW(i) - 1; x >= xE(i-1)+1; x-- {
+				conn = append(conn, at(x, 0))
+			}
+			if len(conn) < 2 {
+				return nil, fmt.Errorf("maps: inter-stripe connector too short; CorridorWidth must be >= 2")
+			}
+			add(conn)
+		}
+	}
+
+	// Top avenue: eastward at y = 3*Rows+1, split at each stripe's west
+	// junction (segment start, fed by the stripe's top crossing) and east
+	// junction (segment end, feeding the stripe's east corridor).
+	yTop := 3*p.Rows + 1
+	for i := 0; i < p.Stripes; i++ {
+		var seg []grid.VertexID
+		for x := xW(i); x <= xE(i); x++ {
+			seg = append(seg, at(x, yTop))
+		}
+		add(seg)
+		if i < p.Stripes-1 {
+			var conn []grid.VertexID
+			for x := xE(i) + 1; x <= xW(i+1)-1; x++ {
+				conn = append(conn, at(x, yTop))
+			}
+			if len(conn) < 2 {
+				return nil, fmt.Errorf("maps: top connector too short; CorridorWidth must be >= 2")
+			}
+			add(conn)
+		}
+	}
+
+	for i := 0; i < p.Stripes; i++ {
+		// Bay aisle rows r = 1..Rows: eastward from west junction+1 to east
+		// junction-1 (the east junction belongs to the east crossing).
+		for r := 1; r <= p.Rows; r++ {
+			y := 3 * r
+			var bay []grid.VertexID
+			for x := xW(i) + 1; x <= xE(i)-1; x++ {
+				bay = append(bay, at(x, y))
+			}
+			add(bay)
+		}
+		// West corridor crossings (upward): crossing r -> r+1 starts at
+		// (xW, 3r+1), serpentines west then east, and ends at the junction
+		// (xW, 3(r+1)) so it can feed both the bay row and the next crossing.
+		for r := 0; r < p.Rows; r++ {
+			y := 3 * r
+			var c []grid.VertexID
+			for x := xW(i); x >= x0(i); x-- {
+				c = append(c, at(x, y+1))
+			}
+			for x := x0(i); x <= xW(i); x++ {
+				c = append(c, at(x, y+2))
+			}
+			c = append(c, at(xW(i), y+3))
+			add(c)
+		}
+		// East corridor crossings (downward): crossing r -> r-1 starts at
+		// the junction (xE, 3r) (fed by bay row r and the crossing above),
+		// serpentines east then west, and exits at (xE, 3r-2) which feeds
+		// the junction below.
+		for r := p.Rows; r >= 1; r-- {
+			y := 3 * r
+			var c []grid.VertexID
+			for x := xE(i); x <= xE(i)+V-1; x++ {
+				c = append(c, at(x, y))
+			}
+			for x := xE(i) + V - 1; x >= xE(i); x-- {
+				c = append(c, at(x, y-1))
+			}
+			c = append(c, at(xE(i), y-2))
+			add(c)
+		}
+	}
+	_ = W
+	return lanes, nil
+}

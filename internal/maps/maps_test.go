@@ -1,0 +1,101 @@
+package maps
+
+import (
+	"testing"
+
+	"repro/internal/traffic"
+	"repro/internal/warehouse"
+)
+
+func TestGenerateSmall(t *testing.T) {
+	m, err := Generate(Params{
+		Stripes: 1, Rows: 2, BayWidth: 4, CorridorWidth: 2,
+		NumProducts: 3, UnitsPerShelf: 10, StationsPerStripe: 1,
+		DoubleShelfRows: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(m.Shelves), 4*1*2; got != want { // B*S*(R-1)*2
+		t.Errorf("shelves = %d, want %d", got, want)
+	}
+	if got := len(m.W.Stations); got != 1 {
+		t.Errorf("stations = %d, want 1", got)
+	}
+	st := traffic.Summarize(m.S)
+	if st.ShelvingRows == 0 || st.StationQueues == 0 || st.Transports == 0 {
+		t.Errorf("missing component kinds: %+v", st)
+	}
+	// All stock accounted for.
+	total := 0
+	for k := 0; k < m.W.NumProducts; k++ {
+		total += m.W.TotalStock(warehouse.ProductID(k))
+	}
+	if want := len(m.Shelves) * 10; total != want {
+		t.Errorf("total stock = %d, want %d", total, want)
+	}
+}
+
+func TestGenerateValidatesParams(t *testing.T) {
+	bad := []Params{
+		{Stripes: 0, Rows: 2, BayWidth: 4, CorridorWidth: 2, NumProducts: 1, UnitsPerShelf: 1, StationsPerStripe: 1},
+		{Stripes: 1, Rows: 1, BayWidth: 4, CorridorWidth: 2, NumProducts: 1, UnitsPerShelf: 1, StationsPerStripe: 1},
+		{Stripes: 1, Rows: 2, BayWidth: 1, CorridorWidth: 2, NumProducts: 1, UnitsPerShelf: 1, StationsPerStripe: 1},
+		{Stripes: 1, Rows: 2, BayWidth: 4, CorridorWidth: 1, NumProducts: 1, UnitsPerShelf: 1, StationsPerStripe: 1},
+		{Stripes: 1, Rows: 2, BayWidth: 4, CorridorWidth: 2, NumProducts: 0, UnitsPerShelf: 1, StationsPerStripe: 1},
+		{Stripes: 1, Rows: 2, BayWidth: 4, CorridorWidth: 2, NumProducts: 1, UnitsPerShelf: 0, StationsPerStripe: 1},
+		{Stripes: 1, Rows: 2, BayWidth: 4, CorridorWidth: 2, NumProducts: 1, UnitsPerShelf: 1, StationsPerStripe: 0},
+	}
+	for i, p := range bad {
+		if _, err := Generate(p); err == nil {
+			t.Errorf("case %d: bad params accepted", i)
+		}
+	}
+	// Too many stations for the stripe mouth.
+	if _, err := Generate(Params{
+		Stripes: 1, Rows: 2, BayWidth: 4, CorridorWidth: 2,
+		NumProducts: 1, UnitsPerShelf: 1, StationsPerStripe: 5,
+	}); err == nil {
+		t.Error("overfull station placement accepted")
+	}
+}
+
+func TestPaperMapsMatchReportedCounts(t *testing.T) {
+	cases := []struct {
+		name     string
+		build    func() (*Map, error)
+		shelves  int
+		stations int
+		products int
+	}{
+		{"Fulfillment1", Fulfillment1, 560, 4, 55},
+		{"Fulfillment2", Fulfillment2, 240, 4, 120}, // 1 station = 4 berths
+		{"SortingCenter", SortingCenter, 32, 4, 36},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(m.Shelves); got != tc.shelves {
+				t.Errorf("shelves = %d, want %d", got, tc.shelves)
+			}
+			if got := len(m.W.Stations); got != tc.stations {
+				t.Errorf("station berths = %d, want %d", got, tc.stations)
+			}
+			if got := m.W.NumProducts; got != tc.products {
+				t.Errorf("products = %d, want %d", got, tc.products)
+			}
+			st := traffic.Summarize(m.S)
+			t.Logf("%s: %d cells, %d components (%d rows, %d queues, %d transports), %d edges, tc=%d",
+				tc.name, m.W.Graph.NumVertices(), st.Components, st.ShelvingRows, st.StationQueues, st.Transports, st.Edges, st.CycleTime)
+			// Every product must be stocked.
+			for k := 0; k < m.W.NumProducts; k++ {
+				if m.W.TotalStock(warehouse.ProductID(k)) == 0 {
+					t.Errorf("product %d unstocked", k)
+				}
+			}
+		})
+	}
+}

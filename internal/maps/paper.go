@@ -1,0 +1,60 @@
+package maps
+
+// The three §V evaluation maps. Counts differ from the paper's cell totals
+// (our generator's aisle geometry is fixed), but shelf, station, and product
+// counts match the paper's figures; EXPERIMENTS.md records the actuals.
+
+// Fulfillment1 models the real Kiva fulfillment center of [10]:
+// 560 shelves, 4 stations, 55 unique products.
+//
+// Sizing rule (see DESIGN.md): every shelf-bearing aisle needs one concurrent
+// agent cycle for the whole horizon, and all of a stripe's cycles pass its
+// first corridor crossing, so aisles-per-stripe must not exceed the corridor
+// width V. Here 3 aisles ≤ V = 3.
+func Fulfillment1() (*Map, error) {
+	return Generate(Params{
+		Stripes:           4,
+		Rows:              3,
+		BayWidth:          35,
+		CorridorWidth:     3,
+		MaxComponentLen:   7,
+		DoubleShelfRows:   true, // 4 stripes × 35 cols × 2 bands × 2 rows = 560
+		NumProducts:       55,
+		UnitsPerShelf:     30,
+		StationsPerStripe: 1,
+	})
+}
+
+// Fulfillment2 models the synthetic fulfillment center based on [10]:
+// 240 shelves, 1 station (modeled as two picking berths so its throughput
+// matches the paper's demand rate), 120 unique products.
+func Fulfillment2() (*Map, error) {
+	return Generate(Params{
+		Stripes:           4,
+		Rows:              4,
+		BayWidth:          10,
+		CorridorWidth:     4, // 4 shelf aisles per stripe need V = 4
+		MaxComponentLen:   12,
+		DoubleShelfRows:   true, // 4 × 10 × 3 × 2 = 240
+		NumProducts:       120,
+		UnitsPerShelf:     30,
+		StationsPerStripe: 1, // 4 berths = the single station's picking area
+	})
+}
+
+// SortingCenter models the package sorting center of [11]: 32 chutes
+// (shelves with effectively unlimited stock) and 4 bins (stations). Table I
+// runs 36 unique products on it; chutes hold products round-robin.
+func SortingCenter() (*Map, error) {
+	return Generate(Params{
+		Stripes:           4,
+		Rows:              2,
+		BayWidth:          8,
+		CorridorWidth:     2,
+		MaxComponentLen:   6,
+		DoubleShelfRows:   false, // 4 stripes × 8 cols × 1 band = 32 chutes
+		NumProducts:       36,
+		UnitsPerShelf:     200, // "unlimited" packages per chute
+		StationsPerStripe: 1,
+	})
+}

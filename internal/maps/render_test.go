@@ -1,0 +1,88 @@
+package maps
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/traffic"
+	"repro/internal/warehouse"
+)
+
+// TestRenderPaperMaps is the Fig. 4 / Fig. 5 analogue: the rendered maps
+// must show component arrows, exits, obstacles (shelf blocks), and stations,
+// with the raster dimensions of the generated grid.
+func TestRenderPaperMaps(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func() (*Map, error)
+	}{
+		{"Fulfillment1_Fig4", Fulfillment1},
+		{"SortingCenter_Fig5", SortingCenter},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := traffic.Render(m.S)
+			for _, marker := range []string{"!", ">", "<", "^", "v", "#", "T"} {
+				if !strings.Contains(out, marker) {
+					t.Errorf("render missing %q", marker)
+				}
+			}
+			lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+			if len(lines) != m.W.Graph.Height() {
+				t.Errorf("render has %d rows, want %d", len(lines), m.W.Graph.Height())
+			}
+			if len(lines[0]) != m.W.Graph.Width() {
+				t.Errorf("render row width %d, want %d", len(lines[0]), m.W.Graph.Width())
+			}
+			if strings.Count(out, "T") != len(m.W.Stations) {
+				t.Errorf("render shows %d stations, want %d", strings.Count(out, "T"), len(m.W.Stations))
+			}
+		})
+	}
+}
+
+// Property: random small parameterizations either fail fast with a clear
+// error or produce a warehouse whose traffic system passed validation and
+// whose stock covers every product.
+func TestGenerateRandomParamsProperty(t *testing.T) {
+	f := func(sRaw, rRaw, bRaw, vRaw uint8) bool {
+		p := Params{
+			Stripes:           1 + int(sRaw%3),
+			Rows:              2 + int(rRaw%3),
+			BayWidth:          4 + int(bRaw%10),
+			CorridorWidth:     2 + int(vRaw%3),
+			NumProducts:       3,
+			UnitsPerShelf:     5,
+			StationsPerStripe: 1,
+			DoubleShelfRows:   bRaw%2 == 0,
+		}
+		m, err := Generate(p)
+		if err != nil {
+			// Some parameter combinations are legitimately infeasible (e.g.
+			// station spacing); an error is an acceptable outcome, a panic
+			// is not (quick.Check would catch it).
+			return true
+		}
+		for k := 0; k < m.W.NumProducts; k++ {
+			if m.W.TotalStock(warehouse.ProductID(k)) == 0 {
+				return false
+			}
+		}
+		// The system survived traffic.Build's Validate; spot-check a core
+		// invariant anyway: every station is covered by a queue component.
+		for _, st := range m.W.Stations {
+			ci := m.S.ComponentAt(st)
+			if ci < 0 || m.S.Components[ci].Kind != traffic.StationQueue {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+package refine
+
+import (
+	"testing"
+
+	"repro/internal/agentplan"
+	"repro/internal/core"
+	"repro/internal/cycles"
+	"repro/internal/maps"
+	"repro/internal/testmaps"
+	"repro/internal/warehouse"
+	"repro/internal/workload"
+)
+
+func TestMergeCyclesReducesAgents(t *testing.T) {
+	m, err := maps.SortingCenter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.Uniform(m.W, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force fragmentation: a small leg cap produces extra cycles per loop.
+	cs, err := cycles.Synthesize(m.S, wl, 3600, cycles.Options{MaxLegsPerCycle: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeCycles(cs, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumAgents() > cs.NumAgents() {
+		t.Errorf("merge increased agents: %d -> %d", cs.NumAgents(), merged.NumAgents())
+	}
+	if len(merged.Cycles) >= len(cs.Cycles) && cs.NumAgents() > merged.NumAgents() {
+		t.Errorf("expected fewer cycles after merge: %d -> %d", len(cs.Cycles), len(merged.Cycles))
+	}
+	// The merged set must still realize into a servicing plan.
+	plan, stats, err := agentplan.Realize(merged, wl, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := warehouse.ValidatePlan(m.W, plan); len(v) > 0 {
+		t.Fatalf("merged plan infeasible: %v", v[0])
+	}
+	if stats.ServicedAt < 0 {
+		t.Error("merged plan does not service the workload")
+	}
+}
+
+func TestMergeCyclesIdempotentOnCompactSets(t *testing.T) {
+	w, s := testmaps.MustRing()
+	wl, err := warehouse.NewWorkload(w, []int{6, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := cycles.Synthesize(s, wl, 800, cycles.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := MergeCycles(cs, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := MergeCycles(m1, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Cycles) != len(m1.Cycles) || m2.NumAgents() != m1.NumAgents() {
+		t.Errorf("second merge changed the set: %d/%d -> %d/%d cycles/agents",
+			len(m1.Cycles), m1.NumAgents(), len(m2.Cycles), m2.NumAgents())
+	}
+}
+
+func TestMinimalHorizonShrinks(t *testing.T) {
+	w, s := testmaps.MustRing()
+	wl, err := warehouse.NewWorkload(w, []int{10, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const T = 2400
+	base, err := core.Solve(s, wl, T, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := MinimalHorizon(s, wl, T, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.T > T {
+		t.Errorf("minimal horizon %d exceeds original %d", hr.T, T)
+	}
+	if hr.T > base.Sim.ServicedAt*2 {
+		t.Errorf("minimal horizon %d far above the observed makespan %d", hr.T, base.Sim.ServicedAt)
+	}
+	// The refined solution must actually service at its tighter horizon.
+	if ok, why := warehouse.Services(w, hr.Result.Plan, wl); !ok {
+		t.Errorf("refined solution does not service: %v", why)
+	}
+	if hr.Probes < 2 {
+		t.Errorf("suspiciously few probes: %d", hr.Probes)
+	}
+	// Feasibility is not monotone in T (warm-up margins quantize with qc),
+	// so hr.T is a certified upper bound rather than the global minimum; it
+	// must still beat the generous original horizon substantially.
+	if hr.T >= T {
+		t.Errorf("no improvement: %d >= %d", hr.T, T)
+	}
+}
+
+func TestMinimalHorizonErrors(t *testing.T) {
+	w, s := testmaps.MustRing()
+	wl, err := warehouse.NewWorkload(w, []int{300, 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unsolvable at this horizon at all.
+	if _, err := MinimalHorizon(s, wl, 120, core.Options{}); err == nil {
+		t.Error("unsolvable instance accepted")
+	}
+	wl2, _ := warehouse.NewWorkload(w, []int{1, 0})
+	if _, err := MinimalHorizon(s, wl2, 5, core.Options{}); err == nil {
+		t.Error("horizon below a cycle period accepted")
+	}
+	if _, err := MinimalHorizon(s, wl2, 800, core.Options{SkipRealization: true}); err == nil {
+		t.Error("SkipRealization accepted")
+	}
+}

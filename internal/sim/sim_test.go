@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/agentplan"
+	"repro/internal/cycles"
+	"repro/internal/testmaps"
+	"repro/internal/warehouse"
+)
+
+func TestRunCountsDeliveriesAndMoves(t *testing.T) {
+	w, s := testmaps.MustRing()
+	wl, err := warehouse.NewWorkload(w, []int{6, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := cycles.Synthesize(s, wl, 800, cycles.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, stats, err := agentplan.Realize(cs, wl, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(w, plan, wl)
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations[0])
+	}
+	if res.Delivered[0] != stats.Delivered[0] || res.Delivered[1] != stats.Delivered[1] {
+		t.Errorf("sim delivered %v, realization says %v", res.Delivered, stats.Delivered)
+	}
+	if res.ServicedAt != stats.ServicedAt {
+		t.Errorf("sim ServicedAt %d, realization %d", res.ServicedAt, stats.ServicedAt)
+	}
+	if got, want := res.Moves+res.Waits, plan.NumAgents()*(plan.Horizon()-1); got != want {
+		t.Errorf("moves+waits = %d, want %d", got, want)
+	}
+	if len(res.DeliveryTimes) != res.Delivered[0]+res.Delivered[1] {
+		t.Errorf("delivery events %d, delivered %v", len(res.DeliveryTimes), res.Delivered)
+	}
+	// Ten deliveries across the ring take at least a loop's worth of loaded
+	// travel each.
+	if res.Carrying < 10 {
+		t.Errorf("Carrying = %d, want >= 10 loaded agent-steps", res.Carrying)
+	}
+	for i := 1; i < len(res.DeliveryTimes); i++ {
+		if res.DeliveryTimes[i] < res.DeliveryTimes[i-1] {
+			t.Error("DeliveryTimes not sorted")
+			break
+		}
+	}
+}
+
+func TestRunZeroWorkloadServicedImmediately(t *testing.T) {
+	w, _ := testmaps.MustRing()
+	wl := warehouse.Workload{Units: []int{0, 0}}
+	plan := &warehouse.Plan{}
+	res := Run(w, plan, wl)
+	if res.ServicedAt != 0 {
+		t.Errorf("ServicedAt = %d, want 0", res.ServicedAt)
+	}
+}
+
+func TestThroughputBinning(t *testing.T) {
+	res := Result{DeliveryTimes: []int{1, 5, 9, 10, 19, 25}}
+	bins := Throughput(res, 30, 10)
+	if len(bins) != 3 {
+		t.Fatalf("bins = %d, want 3", len(bins))
+	}
+	if bins[0] != 3 || bins[1] != 2 || bins[2] != 1 {
+		t.Errorf("bins = %v, want [3 2 1]", bins)
+	}
+	if Throughput(res, 0, 10) != nil || Throughput(res, 30, 0) != nil {
+		t.Error("degenerate Throughput inputs should return nil")
+	}
+}

@@ -1,0 +1,224 @@
+package traffic
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/grid"
+	"repro/internal/warehouse"
+)
+
+// SplitOptions tunes SplitLanes.
+type SplitOptions struct {
+	// MaxLen caps component length (and thereby the cycle time tc = 2m).
+	// Zero means the default of 10.
+	MaxLen int
+}
+
+// SplitLanes turns directed lanes (long simple paths produced by a map
+// designer) into component-sized cell paths:
+//
+//   - a segment never mixes shelf-access and station cells (§IV-A forbids a
+//     component containing both);
+//   - segments are at most MaxLen cells long, and over-long runs are split
+//     into balanced pieces (⌈L/MaxLen⌉ pieces of near-equal length) so that
+//     no piece degenerates to a low-capacity tail — a 12-cell run under
+//     MaxLen 9 becomes 6+6 (capacities 3+3), not 9+3 (capacities 4+1, which
+//     would throttle every agent cycle passing through the run);
+//   - no segment is a single cell (capacity ⌊1/2⌋ = 0 would make it
+//     unusable).
+//
+// Lane junction points must already be lane boundaries: connections are only
+// wired exit-to-entry, so a turn in the middle of a lane is unreachable.
+func SplitLanes(w *warehouse.Warehouse, lanes [][]grid.VertexID, opts SplitOptions) ([][]grid.VertexID, error) {
+	maxLen := opts.MaxLen
+	if maxLen == 0 {
+		maxLen = 10
+	}
+	if maxLen < 2 {
+		return nil, fmt.Errorf("traffic: MaxLen %d must be at least 2", maxLen)
+	}
+	var out [][]grid.VertexID
+	for li, lane := range lanes {
+		if len(lane) < 2 {
+			return nil, fmt.Errorf("traffic: lane %d has %d cells, want at least 2", li, len(lane))
+		}
+		// Pass 1: split at kind boundaries only.
+		var runs [][]grid.VertexID
+		var cur []grid.VertexID
+		hasShelf, hasStation := false, false
+		for _, v := range lane {
+			cellShelf := w.ShelfColumn(v) >= 0
+			cellStation := w.IsStation(v)
+			if (cellShelf && hasStation) || (cellStation && hasShelf) {
+				runs = append(runs, cur)
+				cur = nil
+				hasShelf, hasStation = false, false
+			}
+			cur = append(cur, v)
+			hasShelf = hasShelf || cellShelf
+			hasStation = hasStation || cellStation
+		}
+		runs = append(runs, cur)
+		// Fix one-cell runs by borrowing from a neighboring run.
+		for i := 0; i < len(runs); i++ {
+			if len(runs[i]) != 1 {
+				continue
+			}
+			switch {
+			case i > 0 && len(runs[i-1]) > 2:
+				last := runs[i-1][len(runs[i-1])-1]
+				runs[i-1] = runs[i-1][:len(runs[i-1])-1]
+				runs[i] = append([]grid.VertexID{last}, runs[i]...)
+			case i+1 < len(runs) && len(runs[i+1]) > 2:
+				first := runs[i+1][0]
+				runs[i+1] = runs[i+1][1:]
+				runs[i] = append(runs[i], first)
+			case i > 0:
+				merged := append(runs[i-1], runs[i]...)
+				if segmentMixes(w, merged) {
+					return nil, fmt.Errorf("traffic: lane %d leaves an unfixable 1-cell segment", li)
+				}
+				runs[i-1] = merged
+				runs = append(runs[:i], runs[i+1:]...)
+				i--
+			default:
+				return nil, fmt.Errorf("traffic: lane %d too short to split", li)
+			}
+		}
+		// Pass 2: balanced length split of each run. If balancing would
+		// create a 1-cell piece (e.g. 3 cells under MaxLen 2), fall back to
+		// fewer pieces and tolerate a slight MaxLen overflow: length only
+		// influences the cycle time, while a capacity-0 component would be
+		// unusable.
+		for _, run := range runs {
+			pieces := (len(run) + maxLen - 1) / maxLen
+			if pieces > 1 && len(run)/pieces < 2 {
+				pieces = len(run) / 2
+				if pieces < 1 {
+					pieces = 1
+				}
+			}
+			base := len(run) / pieces
+			extra := len(run) % pieces
+			at := 0
+			for p := 0; p < pieces; p++ {
+				n := base
+				if p < extra {
+					n++
+				}
+				out = append(out, run[at:at+n])
+				at += n
+			}
+		}
+	}
+	return out, nil
+}
+
+func segmentMixes(w *warehouse.Warehouse, cells []grid.VertexID) bool {
+	hasShelf, hasStation := false, false
+	for _, v := range cells {
+		if w.ShelfColumn(v) >= 0 {
+			hasShelf = true
+		}
+		if w.IsStation(v) {
+			hasStation = true
+		}
+	}
+	return hasShelf && hasStation
+}
+
+// Render draws the traffic system in the style of the paper's Fig. 4/5:
+// shelves '@', stations 'T', obstacles '#', unused cells '.', component exit
+// cells '!', and every other component cell an arrow pointing to the next
+// cell in its component.
+func Render(s *System) string {
+	g := s.W.Graph
+	w, h := g.Width(), g.Height()
+	canvas := make([][]byte, h)
+	for y := range canvas {
+		canvas[y] = make([]byte, w)
+		for x := range canvas[y] {
+			if g.At(grid.Coord{X: x, Y: y}) != grid.None {
+				canvas[y][x] = '.'
+			} else {
+				canvas[y][x] = '#'
+			}
+		}
+	}
+	put := func(v grid.VertexID, b byte) {
+		c := g.Coord(v)
+		canvas[c.Y][c.X] = b
+	}
+	for _, c := range s.Components {
+		for i, v := range c.Cells {
+			if i == len(c.Cells)-1 {
+				put(v, '!')
+				continue
+			}
+			d, ok := g.DirTo(v, c.Cells[i+1])
+			if !ok {
+				put(v, '?')
+				continue
+			}
+			switch d {
+			case grid.East:
+				put(v, '>')
+			case grid.West:
+				put(v, '<')
+			case grid.North:
+				put(v, '^')
+			case grid.South:
+				put(v, 'v')
+			}
+		}
+	}
+	// Stations overlay their cell so the picking locations stay visible
+	// even inside queue components (as in the paper's Fig. 4/5).
+	for _, v := range s.W.Stations {
+		c := g.Coord(v)
+		canvas[c.Y][c.X] = 'T'
+	}
+	var b strings.Builder
+	for row := h - 1; row >= 0; row-- {
+		b.Write(canvas[row])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Stats summarizes a system for reports and experiment logs.
+type Stats struct {
+	Components    int
+	ShelvingRows  int
+	StationQueues int
+	Transports    int
+	Edges         int
+	MaxLen        int
+	CycleTime     int
+	UnusedCells   int
+}
+
+// Summarize computes summary statistics for s.
+func Summarize(s *System) Stats {
+	st := Stats{
+		Components: len(s.Components),
+		MaxLen:     s.MaxComponentLen(),
+		CycleTime:  s.CycleTime(),
+	}
+	used := 0
+	for _, c := range s.Components {
+		used += c.Len()
+		switch c.Kind {
+		case ShelvingRow:
+			st.ShelvingRows++
+		case StationQueue:
+			st.StationQueues++
+		case Transport:
+			st.Transports++
+		}
+	}
+	st.UnusedCells = s.W.Graph.NumVertices() - used
+	st.Edges = len(s.Edges())
+	return st
+}

@@ -1,0 +1,85 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/warehouse"
+)
+
+// corridor builds a 1-row all-passable warehouse of the given width with no
+// shelves or stations, for split-length testing.
+func corridor(t *testing.T, width int) (*warehouse.Warehouse, []grid.VertexID) {
+	t.Helper()
+	raster := make([][]bool, 1)
+	raster[0] = make([]bool, width)
+	for i := range raster[0] {
+		raster[0][i] = true
+	}
+	g, err := grid.New(raster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := warehouse.New(g, nil, nil, 0, [][]int{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := make([]grid.VertexID, width)
+	for x := 0; x < width; x++ {
+		lane[x] = g.At(grid.Coord{X: x, Y: 0})
+	}
+	return w, lane
+}
+
+func TestSplitLanesBalanced(t *testing.T) {
+	cases := []struct {
+		width, maxLen int
+		wantLens      []int
+	}{
+		{12, 9, []int{6, 6}}, // not 9+3: the 3-cell tail would halve capacity
+		{37, 7, []int{7, 6, 6, 6, 6, 6}},
+		{10, 6, []int{5, 5}},
+		{6, 6, []int{6}},
+		{7, 6, []int{4, 3}},
+	}
+	for _, tc := range cases {
+		w, lane := corridor(t, tc.width)
+		segs, err := SplitLanes(w, [][]grid.VertexID{lane}, SplitOptions{MaxLen: tc.maxLen})
+		if err != nil {
+			t.Fatalf("width %d maxLen %d: %v", tc.width, tc.maxLen, err)
+		}
+		if len(segs) != len(tc.wantLens) {
+			t.Errorf("width %d maxLen %d: %d segments, want %d", tc.width, tc.maxLen, len(segs), len(tc.wantLens))
+			continue
+		}
+		for i, seg := range segs {
+			if len(seg) != tc.wantLens[i] {
+				t.Errorf("width %d maxLen %d: segment %d has %d cells, want %d",
+					tc.width, tc.maxLen, i, len(seg), tc.wantLens[i])
+			}
+		}
+		// Cells preserved in order.
+		idx := 0
+		for _, seg := range segs {
+			for _, v := range seg {
+				if v != lane[idx] {
+					t.Fatalf("cell order broken at %d", idx)
+				}
+				idx++
+			}
+		}
+	}
+}
+
+func TestSplitLanesOverflowFallback(t *testing.T) {
+	// 3 cells with MaxLen 2 cannot split into pieces of >= 2 cells; the
+	// fallback emits one 3-cell segment rather than a capacity-0 singleton.
+	w, lane := corridor(t, 3)
+	segs, err := SplitLanes(w, [][]grid.VertexID{lane}, SplitOptions{MaxLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || len(segs[0]) != 3 {
+		t.Errorf("segments = %v, want one 3-cell segment", segs)
+	}
+}

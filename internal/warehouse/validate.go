@@ -1,0 +1,149 @@
+package warehouse
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// PlanViolation describes one breach of the feasibility conditions of §III.
+type PlanViolation struct {
+	Timestep  int // 0-based timestep at which the violation occurs
+	Agent     int // primary agent involved
+	OtherIdx  int // second agent for collision violations, else -1
+	Condition int // 1 = movement, 2 = collision, 3 = product handling
+	Detail    string
+}
+
+func (v PlanViolation) Error() string {
+	return fmt.Sprintf("plan violation (condition %d) at t=%d agent=%d: %s", v.Condition, v.Timestep, v.Agent, v.Detail)
+}
+
+// ValidatePlan checks the three feasibility conditions of §III against the
+// warehouse and returns every violation found (nil means feasible).
+//
+//	(1) an agent moves by 0 or 1 vertices per timestep;
+//	(2) no two agents occupy the same vertex or swap along an edge;
+//	(3) pickups happen only at shelf-access vertices stocking the product,
+//	    drop-offs only at stations, and carried products never mutate.
+//
+// ValidatePlan also checks that shelf stock is never over-drawn: the number
+// of units of product k picked up at shelf-access vertex v over the whole
+// plan must not exceed Λ[k][v].
+func ValidatePlan(w *Warehouse, p *Plan) []PlanViolation {
+	var out []PlanViolation
+	T := p.Horizon()
+	c := p.NumAgents()
+	for i := 0; i < c; i++ {
+		if len(p.States[i]) != T {
+			out = append(out, PlanViolation{Agent: i, OtherIdx: -1, Condition: 1,
+				Detail: fmt.Sprintf("agent has %d states, want %d", len(p.States[i]), T)})
+			return out
+		}
+	}
+	// Per-(vertex,product) pickup totals for stock accounting.
+	type pick struct {
+		v grid.VertexID
+		k ProductID
+	}
+	picked := make(map[pick]int)
+
+	occupied := make(map[grid.VertexID]int, c)
+	for t := 0; t < T; t++ {
+		// Condition 2a: vertex conflicts.
+		clear(occupied)
+		for i := 0; i < c; i++ {
+			v := p.States[i][t].Vertex
+			if v < 0 || int(v) >= w.Graph.NumVertices() {
+				out = append(out, PlanViolation{Timestep: t, Agent: i, OtherIdx: -1, Condition: 1,
+					Detail: fmt.Sprintf("vertex %d out of range", v)})
+				continue
+			}
+			if j, clash := occupied[v]; clash {
+				out = append(out, PlanViolation{Timestep: t, Agent: i, OtherIdx: j, Condition: 2,
+					Detail: fmt.Sprintf("agents %d and %d both at vertex %d", j, i, v)})
+			}
+			occupied[v] = i
+		}
+		if t+1 >= T {
+			break
+		}
+		for i := 0; i < c; i++ {
+			cur, next := p.States[i][t], p.States[i][t+1]
+			// Condition 1: unit moves.
+			if cur.Vertex != next.Vertex && !w.Graph.Adjacent(cur.Vertex, next.Vertex) {
+				out = append(out, PlanViolation{Timestep: t, Agent: i, OtherIdx: -1, Condition: 1,
+					Detail: fmt.Sprintf("teleport %d -> %d", cur.Vertex, next.Vertex)})
+			}
+			// Condition 2b: edge swaps.
+			if j, ok := occupied[next.Vertex]; ok && j != i {
+				if p.States[j][t+1].Vertex == cur.Vertex {
+					if i < j { // report each swap once
+						out = append(out, PlanViolation{Timestep: t, Agent: i, OtherIdx: j, Condition: 2,
+							Detail: fmt.Sprintf("agents %d and %d swap across edge %d-%d", i, j, cur.Vertex, next.Vertex)})
+					}
+				}
+			}
+			// Condition 3: product handling.
+			switch {
+			case cur.Carried == next.Carried:
+				// holding steady is always fine
+			case cur.Carried == NoProduct:
+				// pickup: must stand at a shelf-access vertex stocking it
+				if w.UnitsAt(cur.Vertex, next.Carried) <= 0 {
+					out = append(out, PlanViolation{Timestep: t, Agent: i, OtherIdx: -1, Condition: 3,
+						Detail: fmt.Sprintf("picked product %d at vertex %d which stocks none", next.Carried, cur.Vertex)})
+				} else {
+					picked[pick{cur.Vertex, next.Carried}]++
+				}
+			case next.Carried == NoProduct:
+				// drop-off: must stand at a station
+				if !w.IsStation(cur.Vertex) {
+					out = append(out, PlanViolation{Timestep: t, Agent: i, OtherIdx: -1, Condition: 3,
+						Detail: fmt.Sprintf("dropped product %d at non-station vertex %d", cur.Carried, cur.Vertex)})
+				}
+			default:
+				out = append(out, PlanViolation{Timestep: t, Agent: i, OtherIdx: -1, Condition: 3,
+					Detail: fmt.Sprintf("carried product mutated %d -> %d", cur.Carried, next.Carried)})
+			}
+		}
+	}
+	for pk, n := range picked {
+		if have := w.UnitsAt(pk.v, pk.k); n > have {
+			out = append(out, PlanViolation{Timestep: T - 1, Agent: -1, OtherIdx: -1, Condition: 3,
+				Detail: fmt.Sprintf("picked %d units of product %d at vertex %d, stock is %d", n, pk.k, pk.v, have)})
+		}
+	}
+	return out
+}
+
+// Delivered counts, per product, the units a plan transfers to stations: a
+// delivery is a transition carried=k -> carried=ρ0 at a station vertex.
+func Delivered(w *Warehouse, p *Plan) []int {
+	units := make([]int, w.NumProducts)
+	for i := 0; i < p.NumAgents(); i++ {
+		for t := 0; t+1 < p.Horizon(); t++ {
+			cur, next := p.States[i][t], p.States[i][t+1]
+			if cur.Carried != NoProduct && next.Carried == NoProduct && w.IsStation(cur.Vertex) {
+				units[cur.Carried]++
+			}
+		}
+	}
+	return units
+}
+
+// Services reports whether plan p services workload wl: it is feasible and
+// delivers at least Units[k] of every product k.
+func Services(w *Warehouse, p *Plan, wl Workload) (bool, []PlanViolation) {
+	if v := ValidatePlan(w, p); len(v) > 0 {
+		return false, v
+	}
+	got := Delivered(w, p)
+	for k, want := range wl.Units {
+		if got[k] < want {
+			return false, []PlanViolation{{Timestep: p.Horizon() - 1, Agent: -1, OtherIdx: -1, Condition: 3,
+				Detail: fmt.Sprintf("delivered %d of product %d, want %d", got[k], k, want)}}
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,116 @@
+// Package workload generates the demand vectors of the §V evaluation: the
+// nine Table I instances spread demand uniformly over a map's products, and
+// skewed/random generators support the extension benches.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/warehouse"
+)
+
+// Uniform spreads totalUnits as evenly as possible over every product
+// (Table I workloads: e.g. 550 units over 55 products = 10 each), clamped
+// per product by available stock.
+func Uniform(w *warehouse.Warehouse, totalUnits int) (warehouse.Workload, error) {
+	p := w.NumProducts
+	if p == 0 {
+		return warehouse.Workload{}, fmt.Errorf("workload: warehouse has no products")
+	}
+	units := make([]int, p)
+	base, extra := totalUnits/p, totalUnits%p
+	for k := range units {
+		units[k] = base
+		if k < extra {
+			units[k]++
+		}
+	}
+	// Clamp by stock, pushing the overflow onto products with headroom.
+	overflow := 0
+	for k := range units {
+		if stock := w.TotalStock(warehouse.ProductID(k)); units[k] > stock {
+			overflow += units[k] - stock
+			units[k] = stock
+		}
+	}
+	for k := 0; k < p && overflow > 0; k++ {
+		room := w.TotalStock(warehouse.ProductID(k)) - units[k]
+		if room <= 0 {
+			continue
+		}
+		if room > overflow {
+			room = overflow
+		}
+		units[k] += room
+		overflow -= room
+	}
+	if overflow > 0 {
+		return warehouse.Workload{}, fmt.Errorf("workload: %d units exceed total stock", totalUnits)
+	}
+	return warehouse.NewWorkload(w, units)
+}
+
+// Skewed draws a Zipf-like demand: product popularity falls off as 1/(k+1),
+// a common e-commerce assumption. The result is stock-clamped and sums to
+// totalUnits (or errors if stock cannot cover it).
+func Skewed(w *warehouse.Warehouse, totalUnits int, rng *rand.Rand) (warehouse.Workload, error) {
+	p := w.NumProducts
+	if p == 0 {
+		return warehouse.Workload{}, fmt.Errorf("workload: warehouse has no products")
+	}
+	weights := make([]float64, p)
+	var sum float64
+	for k := range weights {
+		weights[k] = 1 / float64(k+1)
+		sum += weights[k]
+	}
+	units := make([]int, p)
+	assigned := 0
+	for k := range units {
+		units[k] = int(float64(totalUnits) * weights[k] / sum)
+		if stock := w.TotalStock(warehouse.ProductID(k)); units[k] > stock {
+			units[k] = stock
+		}
+		assigned += units[k]
+	}
+	// Distribute the rounding remainder randomly over products with stock
+	// headroom.
+	for assigned < totalUnits {
+		progressed := false
+		for tries := 0; tries < 4*p; tries++ {
+			k := rng.Intn(p)
+			if units[k] < w.TotalStock(warehouse.ProductID(k)) {
+				units[k]++
+				assigned++
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			// Fall back to a deterministic sweep.
+			added := false
+			for k := 0; k < p && assigned < totalUnits; k++ {
+				if units[k] < w.TotalStock(warehouse.ProductID(k)) {
+					units[k]++
+					assigned++
+					added = true
+				}
+			}
+			if !added {
+				return warehouse.Workload{}, fmt.Errorf("workload: %d units exceed total stock", totalUnits)
+			}
+		}
+	}
+	return warehouse.NewWorkload(w, units)
+}
+
+// Single demands totalUnits of one product only.
+func Single(w *warehouse.Warehouse, product warehouse.ProductID, totalUnits int) (warehouse.Workload, error) {
+	units := make([]int, w.NumProducts)
+	if int(product) < 0 || int(product) >= w.NumProducts {
+		return warehouse.Workload{}, fmt.Errorf("workload: product %d out of range", product)
+	}
+	units[product] = totalUnits
+	return warehouse.NewWorkload(w, units)
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/warehouse"
+)
+
+// smallWarehouse has 3 products with stocks 40, 40, 10.
+func smallWarehouse(t *testing.T) *warehouse.Warehouse {
+	t.Helper()
+	g, _, _, err := grid.Parse("...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	access := []grid.VertexID{g.At(grid.Coord{X: 0, Y: 0}), g.At(grid.Coord{X: 1, Y: 0})}
+	stock := [][]int{{20, 20}, {40, 0}, {10, 0}}
+	w, err := warehouse.New(g, access, nil, 3, stock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestUniformSpreadsEvenly(t *testing.T) {
+	w := smallWarehouse(t)
+	wl, err := Uniform(w, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.TotalUnits() != 30 {
+		t.Errorf("total = %d, want 30", wl.TotalUnits())
+	}
+	for k, u := range wl.Units {
+		if u != 10 {
+			t.Errorf("product %d demand = %d, want 10", k, u)
+		}
+	}
+}
+
+func TestUniformRemainderGoesToLowProducts(t *testing.T) {
+	w := smallWarehouse(t)
+	wl, err := Uniform(w, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Units[0] != 11 || wl.Units[1] != 10 || wl.Units[2] != 10 {
+		t.Errorf("units = %v, want [11 10 10]", wl.Units)
+	}
+}
+
+func TestUniformClampsByStock(t *testing.T) {
+	w := smallWarehouse(t)
+	// 75 over 3 products = 25 each, but product 2 stocks only 10; overflow
+	// must land on products with headroom.
+	wl, err := Uniform(w, 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.TotalUnits() != 75 {
+		t.Errorf("total = %d, want 75", wl.TotalUnits())
+	}
+	if wl.Units[2] > 10 {
+		t.Errorf("product 2 demand %d exceeds stock 10", wl.Units[2])
+	}
+}
+
+func TestUniformRejectsOverStock(t *testing.T) {
+	w := smallWarehouse(t)
+	if _, err := Uniform(w, 91); err == nil { // total stock is 90
+		t.Error("over-stock workload accepted")
+	}
+}
+
+func TestUniformNoProducts(t *testing.T) {
+	g, _, _, err := grid.Parse("...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := warehouse.New(g, nil, nil, 0, [][]int{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Uniform(w, 1); err == nil {
+		t.Error("workload on product-less warehouse accepted")
+	}
+}
+
+func TestSkewedHeadHeavyAndStockSafe(t *testing.T) {
+	w := smallWarehouse(t)
+	rng := rand.New(rand.NewSource(7))
+	wl, err := Skewed(w, 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.TotalUnits() != 60 {
+		t.Errorf("total = %d, want 60", wl.TotalUnits())
+	}
+	for k, u := range wl.Units {
+		if u > w.TotalStock(warehouse.ProductID(k)) {
+			t.Errorf("product %d demand %d exceeds stock", k, u)
+		}
+	}
+	// Zipf-like: product 0 should not be the least demanded.
+	if wl.Units[0] < wl.Units[2] {
+		t.Errorf("head product demand %d below tail %d", wl.Units[0], wl.Units[2])
+	}
+}
+
+func TestSkewedOverStock(t *testing.T) {
+	w := smallWarehouse(t)
+	rng := rand.New(rand.NewSource(7))
+	if _, err := Skewed(w, 91, rng); err == nil {
+		t.Error("over-stock skewed workload accepted")
+	}
+}
+
+func TestSingle(t *testing.T) {
+	w := smallWarehouse(t)
+	wl, err := Single(w, 1, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Units[0] != 0 || wl.Units[1] != 15 || wl.Units[2] != 0 {
+		t.Errorf("units = %v", wl.Units)
+	}
+	if _, err := Single(w, 9, 1); err == nil {
+		t.Error("out-of-range product accepted")
+	}
+	if _, err := Single(w, 1, 999); err == nil {
+		t.Error("over-stock single workload accepted")
+	}
+}
