@@ -1,0 +1,30 @@
+# Tier-1 gate plus the perf-trajectory harness. `make ci` is what a future
+# pipeline should run; `make bench` appends a Table I snapshot to
+# BENCH_table1.json so every PR leaves comparable numbers behind.
+
+GO ?= go
+BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
+
+.PHONY: build test vet race bench ci fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Table I + solver-pool throughput, recorded with allocation stats.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkTableI$$|BenchmarkSolveBatch' -benchmem -benchtime 100x . | \
+		$(GO) run ./scripts/benchjson -o BENCH_table1.json -label "$(BENCH_LABEL)"
+
+fmt:
+	gofmt -l .
+
+ci: build vet test race

@@ -1,9 +1,11 @@
 // Benchmark harness reproducing every table and figure of the paper's
-// evaluation (§V). Each benchmark corresponds to an experiment in
-// DESIGN.md's per-experiment index; EXPERIMENTS.md records paper-vs-measured
-// outcomes.
+// evaluation (§V). DESIGN.md maps each benchmark to the paper table or
+// figure it backs and records the errata the implementation corrects.
 //
 // Run with:  go test -bench=. -benchmem
+//
+// `make bench` runs the Table I benchmarks and appends a snapshot to
+// BENCH_table1.json so successive PRs leave a performance trajectory.
 package repro
 
 import (
@@ -17,6 +19,7 @@ import (
 	"repro/internal/maps"
 	"repro/internal/refine"
 	"repro/internal/sim"
+	"repro/internal/solverpool"
 	"repro/internal/testmaps"
 	"repro/internal/warehouse"
 	"repro/internal/workload"
@@ -59,6 +62,40 @@ func BenchmarkTableI(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkSolveBatch measures solver-pool throughput: the nine Table I
+// instances solved end to end as one batch, at pool widths 1 and 4. Results
+// are bit-identical across widths (solverpool's parity test asserts it);
+// the speedup on multi-core hardware approaches min(width, GOMAXPROCS).
+func BenchmarkSolveBatch(b *testing.B) {
+	var reqs []solverpool.Request
+	for _, row := range tableIRows {
+		m, err := row.build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, units := range row.units {
+			wl, err := workload.Uniform(m.W, units)
+			if err != nil {
+				b.Fatal(err)
+			}
+			reqs = append(reqs, solverpool.Request{S: m.S, WL: wl, T: horizonT})
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallel=%d", workers), func(b *testing.B) {
+			pool := solverpool.New(workers)
+			for i := 0; i < b.N; i++ {
+				for _, r := range pool.SolveBatch(reqs) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(reqs))*float64(b.N)/b.Elapsed().Seconds(), "solves/s")
+		})
 	}
 }
 

@@ -6,7 +6,7 @@
 //
 //	wsp map   -name fulfillment1|fulfillment2|sorting
 //	wsp solve -name sorting -units 480 [-T 3600] [-strategy route|flows|contract]
-//	wsp table                              # reproduce Table I
+//	wsp table [-parallel N]                # reproduce Table I (N-wide solver pool)
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/maps"
+	"repro/internal/solverpool"
 	"repro/internal/traffic"
 	"repro/internal/workload"
 	"repro/internal/wspio"
@@ -210,6 +211,7 @@ func cmdSolve(args []string) error {
 func cmdTable(args []string) error {
 	fs := flag.NewFlagSet("table", flag.ExitOnError)
 	T := fs.Int("T", 3600, "timestep limit")
+	parallel := fs.Int("parallel", 1, "solver pool width (0 = GOMAXPROCS); results are bit-identical to -parallel 1")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -221,8 +223,13 @@ func cmdTable(args []string) error {
 		{"fulfillment1", []int{550, 825, 1100}},
 		{"fulfillment2", []int{1200, 1320, 1440}},
 	}
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "Map\tUnique Products\tUnits Moved\tRuntime\tAgents\tServiced@")
+	type inst struct {
+		name     string
+		products int
+		units    int
+	}
+	var insts []inst
+	var reqs []solverpool.Request
 	for _, row := range rows {
 		m, err := buildMap(row.name)
 		if err != nil {
@@ -233,15 +240,31 @@ func cmdTable(args []string) error {
 			if err != nil {
 				return err
 			}
-			start := time.Now()
-			res, err := core.Solve(m.S, wl, *T, core.Options{})
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(tw, "%s\t%d\t%d\t%v\t%d\t%d\n",
-				row.name, m.W.NumProducts, u, time.Since(start).Round(time.Microsecond),
-				res.Stats.Agents, res.Sim.ServicedAt)
+			insts = append(insts, inst{row.name, m.W.NumProducts, u})
+			reqs = append(reqs, solverpool.Request{S: m.S, WL: wl, T: *T})
 		}
 	}
-	return tw.Flush()
+	pool := solverpool.New(*parallel)
+	start := time.Now()
+	results := pool.SolveBatch(reqs)
+	batch := time.Since(start)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Map\tUnique Products\tUnits Moved\tRuntime\tAgents\tServiced@")
+	for i, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("%s (%d units): %w", insts[i].name, insts[i].units, r.Err)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%v\t%d\t%d\n",
+			insts[i].name, insts[i].products, insts[i].units, r.Elapsed.Round(time.Microsecond),
+			r.Res.Stats.Agents, r.Res.Sim.ServicedAt)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	workers := pool.Workers()
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	fmt.Printf("\n%d instances in %v (%d workers)\n", len(results), batch.Round(time.Microsecond), workers)
+	return nil
 }

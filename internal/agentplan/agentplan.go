@@ -17,11 +17,9 @@ package agentplan
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/cycles"
 	"repro/internal/grid"
-	"repro/internal/traffic"
 	"repro/internal/warehouse"
 )
 
@@ -75,7 +73,6 @@ func Realize(cs *cycles.Set, wl warehouse.Workload, T int) (*warehouse.Plan, Sta
 	// of the position's component, filling from the exit backward.
 	var agents []*agent
 	nextFree := make([]int, s.NumComponents()) // cells used so far, from exit
-	occupant := make(map[grid.VertexID]int)    // vertex -> agent index at time t
 	for ci, cyc := range cs.Cycles {
 		for pos, comp := range cyc.Components {
 			cells := s.Components[comp].Cells
@@ -93,7 +90,6 @@ func Realize(cs *cycles.Set, wl warehouse.Workload, T int) (*warehouse.Plan, Sta
 				legIdx:   -1,
 				advanceT: -1,
 			}
-			occupant[a.vertex] = len(agents)
 			agents = append(agents, a)
 		}
 	}
@@ -106,21 +102,17 @@ func Realize(cs *cycles.Set, wl warehouse.Workload, T int) (*warehouse.Plan, Sta
 			legQuota[ci][li] = leg.Quota
 		}
 	}
-	stock := make(map[grid.VertexID][]int, len(w.ShelfAccess))
-	for k := 0; k < w.NumProducts; k++ {
+	// Dense mutable stock: shelf column x product, indexed col*|ρ|+k.
+	p := w.NumProducts
+	stock := grid.GetInt32(len(w.ShelfAccess) * p)
+	defer grid.PutInt32(stock)
+	for k := 0; k < p; k++ {
 		row := w.Stock[k]
 		if row == nil {
 			continue
 		}
 		for l, units := range row {
-			if units == 0 {
-				continue
-			}
-			v := w.ShelfAccess[l]
-			if stock[v] == nil {
-				stock[v] = make([]int, w.NumProducts)
-			}
-			stock[v][k] = units
+			stock[l*p+k] = int32(units)
 		}
 	}
 
@@ -147,42 +139,47 @@ func Realize(cs *cycles.Set, wl warehouse.Workload, T int) (*warehouse.Plan, Sta
 		stats.ServicedAt = 0
 	}
 
-	// Per-component agent membership, rebuilt each step ordered by distance
-	// to exit.
-	members := make([][]int, s.NumComponents())
+	// Stamped occupancy arenas, pooled across runs. An entry is valid at the
+	// current step iff its stamp equals the step's stamp, so no per-step
+	// clearing or map allocation happens: occ* holds positions at time t,
+	// new* the claims for t+1, entry* the per-component entry arbitration.
+	nv := w.Graph.NumVertices()
+	occVal := grid.GetInt32(nv)
+	occStamp := grid.GetInt32(nv)
+	newStamp := grid.GetInt32(nv)
+	entryStamp := grid.GetInt32(s.NumComponents())
+	defer grid.PutInt32(occVal)
+	defer grid.PutInt32(occStamp)
+	defer grid.PutInt32(newStamp)
+	defer grid.PutInt32(entryStamp)
 
 	for t := 0; t+1 < T; t++ {
 		periodStart := (t / tc) * tc
+		stamp := int32(t) + 1
 
-		for i := range members {
-			members[i] = members[i][:0]
-		}
+		// Occupancy at time t, from the agents themselves.
 		for ai, a := range agents {
-			comp := cs.Cycles[a.cycle].Components[a.pos]
-			members[comp] = append(members[comp], ai)
-		}
-		// Order by cell index descending: nearest exit first.
-		for compID := range members {
-			comp := s.Components[compID]
-			sort.Slice(members[compID], func(x, y int) bool {
-				return comp.IndexOf(agents[members[compID][x]].vertex) > comp.IndexOf(agents[members[compID][y]].vertex)
-			})
+			occVal[a.vertex] = int32(ai)
+			occStamp[a.vertex] = stamp
 		}
 
 		// Phase 1: pick/drop decisions from positions at time t.
 		for _, a := range agents {
 			cyc := cs.Cycles[a.cycle]
 			if a.carried == warehouse.NoProduct {
+				col := w.ShelfColumn(a.vertex)
+				if col < 0 {
+					continue
+				}
 				for li := range cyc.Legs {
 					leg := &cyc.Legs[li]
 					if leg.PickIdx != a.pos || legQuota[a.cycle][li] <= 0 {
 						continue
 					}
-					st := stock[a.vertex]
-					if st == nil || st[leg.Product] <= 0 {
+					if stock[col*p+int(leg.Product)] <= 0 {
 						continue
 					}
-					st[leg.Product]--
+					stock[col*p+int(leg.Product)]--
 					legQuota[a.cycle][li]--
 					a.carried = leg.Product
 					a.dropPos = leg.DropIdx
@@ -198,14 +195,20 @@ func Realize(cs *cycles.Set, wl warehouse.Workload, T int) (*warehouse.Plan, Sta
 			}
 		}
 
-		// Phase 2: movement. entryClaimed arbitrates concurrent entrants.
-		entryClaimed := make(map[traffic.ComponentID]bool)
-		newOccupant := make(map[grid.VertexID]int, len(occupant))
-
+		// Phase 2: movement, component by component, members nearest the
+		// exit first. Walking each component's cells from the exit backward
+		// over the time-t occupancy yields exactly that order without the
+		// per-step sort the map-based version needed.
 		for compID := range s.Components {
 			comp := s.Components[compID]
-			lst := members[compID]
-			for rank, ai := range lst {
+			cells := comp.Cells
+			rank := 0
+			for ci := len(cells) - 1; ci >= 0; ci-- {
+				v := cells[ci]
+				if occStamp[v] != stamp {
+					continue
+				}
+				ai := int(occVal[v])
 				a := agents[ai]
 				advanced := false
 				if rank == 0 && a.vertex == comp.Exit() && a.advanceT < periodStart {
@@ -213,9 +216,9 @@ func Realize(cs *cycles.Set, wl warehouse.Workload, T int) (*warehouse.Plan, Sta
 					nextPos := (a.pos + 1) % len(cyc.Components)
 					nextComp := cyc.Components[nextPos]
 					entry := s.Components[nextComp].Entry()
-					if !entryClaimed[nextComp] {
-						if _, occupied := occupant[entry]; !occupied {
-							entryClaimed[nextComp] = true
+					if entryStamp[nextComp] != stamp {
+						if occStamp[entry] != stamp {
+							entryStamp[nextComp] = stamp
 							a.pos = nextPos
 							a.vertex = entry
 							a.advanceT = t + 1
@@ -226,20 +229,18 @@ func Realize(cs *cycles.Set, wl warehouse.Workload, T int) (*warehouse.Plan, Sta
 				}
 				if !advanced {
 					// Internal shift toward the exit.
-					next := comp.Next(a.vertex)
+					next := s.NextCellAt(a.vertex)
 					if next != grid.None {
-						if _, occupied := occupant[next]; !occupied {
-							if _, claimed := newOccupant[next]; !claimed {
-								a.vertex = next
-								stats.Moves++
-							}
+						if occStamp[next] != stamp && newStamp[next] != stamp {
+							a.vertex = next
+							stats.Moves++
 						}
 					}
 				}
-				newOccupant[a.vertex] = ai
+				newStamp[a.vertex] = stamp
+				rank++
 			}
 		}
-		occupant = newOccupant
 
 		for ai, a := range agents {
 			plan.States[ai][t+1] = warehouse.AgentState{Vertex: a.vertex, Carried: a.carried}

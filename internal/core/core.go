@@ -88,12 +88,27 @@ type Result struct {
 	Attempts int
 }
 
+// Scratch holds reusable synthesis buffers for repeated Solve calls. A
+// solver-pool worker (or any caller solving many instances back to back)
+// keeps one Scratch per goroutine so the synthesis hot path reuses its
+// working memory instead of reallocating it per solve. A Scratch must not
+// be shared between concurrent SolveScratch calls; the zero value is ready
+// to use.
+type Scratch struct {
+	cyc cycles.Scratch
+}
+
 // Solve answers Problem 3.1: find a T-timestep plan (with however many
 // agents the cycle set needs) that services workload wl on warehouse w
 // under traffic system s. The plan is synthesized, realized, and verified;
 // if the realization falls short of the workload (warm-up underestimate),
 // synthesis is retried with a doubled warm-up margin.
 func Solve(s *traffic.System, wl warehouse.Workload, T int, opts Options) (*Result, error) {
+	return SolveScratch(s, wl, T, opts, nil)
+}
+
+// SolveScratch is Solve with caller-owned scratch buffers; sc may be nil.
+func SolveScratch(s *traffic.System, wl warehouse.Workload, T int, opts Options, sc *Scratch) (*Result, error) {
 	maxAttempts := opts.MaxAttempts
 	if maxAttempts == 0 {
 		maxAttempts = 3
@@ -103,10 +118,13 @@ func Solve(s *traffic.System, wl warehouse.Workload, T int, opts Options) (*Resu
 			return nil, err
 		}
 	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	margin := 0 // 0 = automatic, per strategy
 	var lastErr error
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
-		res, err := solveOnce(s, wl, T, opts, margin)
+		res, err := solveOnce(s, wl, T, opts, margin, sc)
 		if err == nil {
 			res.Attempts = attempt
 			return res, nil
@@ -139,14 +157,14 @@ func defaultMargin(s *traffic.System, T int) int {
 	return m
 }
 
-func solveOnce(s *traffic.System, wl warehouse.Workload, T int, opts Options, margin int) (*Result, error) {
+func solveOnce(s *traffic.System, wl warehouse.Workload, T int, opts Options, margin int, sc *Scratch) (*Result, error) {
 	res := &Result{}
 	start := time.Now()
 
 	var cs *cycles.Set
 	switch opts.Strategy {
 	case RoutePacking:
-		c, err := cycles.Synthesize(s, wl, T, cycles.Options{WarmupMargin: margin})
+		c, err := cycles.Synthesize(s, wl, T, cycles.Options{WarmupMargin: margin, Scratch: &sc.cyc})
 		if err != nil {
 			return nil, err
 		}

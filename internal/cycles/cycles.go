@@ -85,13 +85,10 @@ func (cs *Set) NumAgents() int {
 func (cs *Set) Check(wl warehouse.Workload) []error {
 	var errs []error
 	s := cs.S
+	p := s.W.NumProducts
 	usage := make([]int, s.NumComponents())
-	arc := make(map[[2]traffic.ComponentID]bool)
-	for _, e := range s.Edges() {
-		arc[e] = true
-	}
-	quotaByRow := make(map[[2]int]int) // (row, product) -> assigned quota
-	delivered := make([]int, s.W.NumProducts)
+	quotaByRow := make([]int, s.NumComponents()*p) // row*|ρ|+product -> assigned quota
+	delivered := make([]int, p)
 	for ci, c := range cs.Cycles {
 		if c.Len() < 2 {
 			errs = append(errs, fmt.Errorf("cycles: cycle %d has %d components, want >= 2", ci, c.Len()))
@@ -104,7 +101,7 @@ func (cs *Set) Check(wl warehouse.Workload) []error {
 				queueVisits++
 			}
 			next := c.Components[(i+1)%c.Len()]
-			if !arc[[2]traffic.ComponentID{comp, next}] {
+			if s.EdgeID(comp, next) < 0 {
 				errs = append(errs, fmt.Errorf("cycles: cycle %d step %d: no arc %d->%d in Gs", ci, i, comp, next))
 			}
 		}
@@ -132,7 +129,7 @@ func (cs *Set) Check(wl warehouse.Workload) []error {
 				errs = append(errs, fmt.Errorf("cycles: cycle %d leg %d quota %d exceeds %d deliverable periods", ci, li, leg.Quota, cs.QEff))
 			}
 			totalQuota += leg.Quota
-			quotaByRow[[2]int{int(row), int(leg.Product)}] += leg.Quota
+			quotaByRow[int(row)*p+int(leg.Product)] += leg.Quota
 			delivered[leg.Product] += leg.Quota
 		}
 		// Throughput bound: one agent arrives at each queue position per
@@ -148,9 +145,13 @@ func (cs *Set) Check(wl warehouse.Workload) []error {
 				comp.ID, usage[comp.ID], comp.Capacity()))
 		}
 	}
-	for key, q := range quotaByRow {
-		if stock := s.UnitsAt(traffic.ComponentID(key[0]), warehouse.ProductID(key[1])); q > stock {
-			errs = append(errs, fmt.Errorf("cycles: row %d product %d quota %d exceeds stock %d", key[0], key[1], q, stock))
+	for idx, q := range quotaByRow {
+		if q == 0 {
+			continue
+		}
+		row, k := idx/p, idx%p
+		if stock := s.UnitsAt(traffic.ComponentID(row), warehouse.ProductID(k)); q > stock {
+			errs = append(errs, fmt.Errorf("cycles: row %d product %d quota %d exceeds stock %d", row, k, q, stock))
 		}
 	}
 	for k, want := range wl.Units {
@@ -189,15 +190,16 @@ func FromFlowSet(set *flow.Set, wl warehouse.Workload) (*Set, error) {
 
 	// Chain alternating product/empty paths into closed walks (B_F
 	// generalized). Index unused paths by their start component.
-	prodByStart := make(map[traffic.ComponentID][]int)
+	n := s.NumComponents()
+	prodByStart := make([][]int, n)
 	for i, pp := range productPaths {
 		prodByStart[pp.comps[0]] = append(prodByStart[pp.comps[0]], i)
 	}
-	emptyByStart := make(map[traffic.ComponentID][]int)
+	emptyByStart := make([][]int, n)
 	for i, ep := range emptyPaths {
 		emptyByStart[ep.comps[0]] = append(emptyByStart[ep.comps[0]], i)
 	}
-	pop := func(m map[traffic.ComponentID][]int, at traffic.ComponentID) int {
+	pop := func(m [][]int, at traffic.ComponentID) int {
 		lst := m[at]
 		if len(lst) == 0 {
 			return -1
@@ -208,12 +210,10 @@ func FromFlowSet(set *flow.Set, wl warehouse.Workload) (*Set, error) {
 	}
 
 	cs := &Set{S: s, Tc: set.Tc, Qc: set.Qc, QEff: set.QEff}
-	quotaPool := make(map[[2]int]int)
+	quotaPool := make([]int, n*p) // row*|ρ|+product -> undistributed quota
 	for i := range set.Quota {
 		for k, q := range set.Quota[i] {
-			if q > 0 {
-				quotaPool[[2]int{i, k}] = q
-			}
+			quotaPool[i*p+k] = q
 		}
 	}
 	demand := append([]int(nil), wl.Units...)
@@ -255,7 +255,7 @@ func FromFlowSet(set *flow.Set, wl warehouse.Workload) (*Set, error) {
 			}
 			cur = productPaths[ni]
 		}
-		assignLegQuotas(cyc, cs.QEff, quotaPool, demand)
+		assignLegQuotas(cyc, cs.QEff, p, quotaPool, demand)
 		cs.Cycles = append(cs.Cycles, cyc)
 	}
 	if errs := cs.Check(wl); len(errs) > 0 {
@@ -265,12 +265,12 @@ func FromFlowSet(set *flow.Set, wl warehouse.Workload) (*Set, error) {
 }
 
 // assignLegQuotas hands each leg as much of its (row, product) quota pool as
-// the delivery rate allows, clamped by remaining workload demand.
-func assignLegQuotas(cyc *Cycle, qeff int, quotaPool map[[2]int]int, demand []int) {
+// the delivery rate allows, clamped by remaining workload demand. quotaPool
+// is indexed row*numProducts+product.
+func assignLegQuotas(cyc *Cycle, qeff, numProducts int, quotaPool, demand []int) {
 	for li := range cyc.Legs {
 		leg := &cyc.Legs[li]
-		row := int(cyc.Components[leg.PickIdx])
-		key := [2]int{row, int(leg.Product)}
+		key := int(cyc.Components[leg.PickIdx])*numProducts + int(leg.Product)
 		give := quotaPool[key]
 		if give > qeff {
 			give = qeff
@@ -293,10 +293,8 @@ func decompose(set *flow.Set, k int) ([]path, error) {
 	p := s.W.NumProducts
 	n := s.NumComponents()
 	residual := make([]int, len(set.Edges))
-	outEdges := make([][]int, n)
-	for e, edge := range set.Edges {
+	for e := range set.Edges {
 		residual[e] = set.F[e][k]
-		outEdges[edge[0]] = append(outEdges[edge[0]], e)
 	}
 	source := make([]int, n)
 	sink := make([]int, n)
@@ -335,7 +333,7 @@ func decompose(set *flow.Set, k int) ([]path, error) {
 					break
 				}
 				advanced := false
-				for _, e := range outEdges[cur] {
+				for _, e := range s.OutEdgeIDs(traffic.ComponentID(cur)) {
 					if residual[e] > 0 {
 						residual[e]--
 						cur = int(set.Edges[e][1])

@@ -17,6 +17,53 @@ type Options struct {
 	// MaxLegsPerCycle caps how many (row, product) legs are packed into one
 	// cycle. Zero means the default of 32.
 	MaxLegsPerCycle int
+	// Scratch, when non-nil, supplies reusable buffers so repeated
+	// syntheses (the core.Solve retry loop, solver-pool workers) stay
+	// allocation-free on the packing hot path. A Scratch must not be shared
+	// between concurrent Synthesize calls.
+	Scratch *Scratch
+}
+
+// Scratch holds the per-synthesis working buffers of the route packer. The
+// zero value is ready to use; buffers grow to the largest instance seen and
+// are reused on subsequent calls.
+type Scratch struct {
+	stockUsed []int32 // row*|ρ|+product -> units already assigned
+	residual  []int   // component -> remaining intake capacity
+	count     []int32 // component -> occurrences on the candidate loop
+	prev      []int32 // BFS parent, -1 = unvisited
+	queue     []traffic.ComponentID
+	path      []traffic.ComponentID
+	loop      []traffic.ComponentID
+	cands     []traffic.ComponentID
+}
+
+// grow readies the scratch for a system with n components and p products.
+func (sc *Scratch) grow(n, p int) {
+	if cap(sc.stockUsed) < n*p {
+		sc.stockUsed = make([]int32, n*p)
+	}
+	sc.stockUsed = sc.stockUsed[:n*p]
+	for i := range sc.stockUsed {
+		sc.stockUsed[i] = 0
+	}
+	if cap(sc.residual) < n {
+		sc.residual = make([]int, n)
+		sc.count = make([]int32, n)
+		sc.prev = make([]int32, n)
+	}
+	sc.residual = sc.residual[:n]
+	sc.count = sc.count[:n]
+	sc.prev = sc.prev[:n]
+	for i := 0; i < n; i++ {
+		sc.count[i] = 0
+	}
+}
+
+// rowRef locates a shelving row on an open cycle's loop.
+type rowRef struct {
+	row traffic.ComponentID
+	idx int // first index of the row within Cycle.Components
 }
 
 // Synthesize builds an agent cycle set directly by route packing — the
@@ -29,6 +76,10 @@ type Options struct {
 // FromFlowSet), route packing works at total-units granularity rather than
 // integer units-per-period, which is what instances with hundreds of
 // products and demand ≪ one unit per period per product require.
+//
+// All bookkeeping lives in flat slices indexed by the traffic system's
+// component and arc numbering; with a warm Options.Scratch the packing loop
+// itself does not allocate.
 func Synthesize(s *traffic.System, wl warehouse.Workload, T int, opts Options) (*Set, error) {
 	maxLegs := opts.MaxLegsPerCycle
 	if maxLegs == 0 {
@@ -59,8 +110,16 @@ func Synthesize(s *traffic.System, wl warehouse.Workload, T int, opts Options) (
 		qeff = 1
 	}
 
+	n := s.NumComponents()
+	p := s.W.NumProducts
+	sc := opts.Scratch
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.grow(n, p)
+
 	cs := &Set{S: s, Tc: tc, Qc: qc, QEff: qeff}
-	residual := make([]int, s.NumComponents())
+	residual := sc.residual
 	for i, c := range s.Components {
 		residual[i] = c.Capacity()
 	}
@@ -80,33 +139,33 @@ func Synthesize(s *traffic.System, wl warehouse.Workload, T int, opts Options) (
 		budget   int
 		legs     int
 		queueIdx int
-		rowPos   map[traffic.ComponentID]int // shelving rows on the loop -> first index
+		rows     []rowRef // shelving rows on the loop, in loop order
 	}
 	var open []*openCycle
-	stockUsed := make(map[[2]int]int) // (row, product) -> units taken
 
 	stockLeft := func(ri traffic.ComponentID, k int) int {
-		return s.UnitsAt(ri, warehouse.ProductID(k)) - stockUsed[[2]int{int(ri), k}]
+		return s.UnitsAt(ri, warehouse.ProductID(k)) - int(sc.stockUsed[int(ri)*p+k])
 	}
-	addLeg := func(oc *openCycle, ri traffic.ComponentID, k, units int) {
+	addLeg := func(oc *openCycle, ri traffic.ComponentID, pickIdx, k, units int) {
 		oc.cyc.Legs = append(oc.cyc.Legs, Leg{
-			PickIdx: oc.rowPos[ri],
+			PickIdx: pickIdx,
 			DropIdx: oc.queueIdx,
 			Product: warehouse.ProductID(k),
 			Quota:   units,
 		})
 		oc.budget -= units
 		oc.legs++
-		stockUsed[[2]int{int(ri), k}] += units
+		sc.stockUsed[int(ri)*p+k] += int32(units)
 	}
 	newCycle := func(k int) (*openCycle, error) {
 		// Candidate target rows, by remaining stock of product k.
-		cands := make([]traffic.ComponentID, 0, 4)
+		cands := sc.cands[:0]
 		for _, ri := range rows {
 			if stockLeft(ri, k) > 0 {
 				cands = append(cands, ri)
 			}
 		}
+		sc.cands = cands
 		sort.Slice(cands, func(a, b int) bool {
 			sa, sb := stockLeft(cands[a], k), stockLeft(cands[b], k)
 			if sa != sb {
@@ -119,16 +178,23 @@ func Synthesize(s *traffic.System, wl warehouse.Workload, T int, opts Options) (
 			// Target the last segment of the row's aisle chain so the loop
 			// traverses every segment of the aisle.
 			target := zoneLast(s, ri)
-			cyc, err := routeCycle(s, []traffic.ComponentID{target}, queues, residual, qeff)
+			cyc, err := routeCycle(s, []traffic.ComponentID{target}, queues, residual, sc)
 			if err != nil {
 				attempts = append(attempts, fmt.Sprintf("row %d (target %d): %v", ri, target, err))
 				continue
 			}
-			oc := &openCycle{cyc: cyc, budget: qeff, queueIdx: -1, rowPos: map[traffic.ComponentID]int{}}
+			oc := &openCycle{cyc: cyc, budget: qeff, queueIdx: -1}
 			for i, comp := range cyc.Components {
 				if s.Components[comp].Kind == traffic.ShelvingRow {
-					if _, ok := oc.rowPos[comp]; !ok {
-						oc.rowPos[comp] = i
+					seen := false
+					for _, rr := range oc.rows {
+						if rr.row == comp {
+							seen = true
+							break
+						}
+					}
+					if !seen {
+						oc.rows = append(oc.rows, rowRef{row: comp, idx: i})
 					}
 				}
 				if oc.queueIdx < 0 && s.Components[comp].Kind == traffic.StationQueue {
@@ -148,29 +214,31 @@ func Synthesize(s *traffic.System, wl warehouse.Workload, T int, opts Options) (
 	for k, want := range wl.Units {
 		remaining := want
 		for remaining > 0 {
-			// Prefer an open cycle passing a row that still stocks k.
+			// Prefer an open cycle passing a row that still stocks k. Among
+			// equal gives the lowest row wins, then the earliest-opened cycle.
 			var bestOC *openCycle
+			bestPick := 0
 			var bestRow traffic.ComponentID
 			bestGive := 0
 			for _, oc := range open {
 				if oc.budget <= 0 || oc.legs >= maxLegs {
 					continue
 				}
-				for ri := range oc.rowPos {
-					give := stockLeft(ri, k)
+				for _, rr := range oc.rows {
+					give := stockLeft(rr.row, k)
 					if give > oc.budget {
 						give = oc.budget
 					}
 					if give > remaining {
 						give = remaining
 					}
-					if give > bestGive || (give == bestGive && give > 0 && (bestOC == nil || ri < bestRow)) {
-						bestOC, bestRow, bestGive = oc, ri, give
+					if give > bestGive || (give == bestGive && give > 0 && (bestOC == nil || rr.row < bestRow)) {
+						bestOC, bestRow, bestPick, bestGive = oc, rr.row, rr.idx, give
 					}
 				}
 			}
 			if bestGive > 0 {
-				addLeg(bestOC, bestRow, k, bestGive)
+				addLeg(bestOC, bestRow, bestPick, k, bestGive)
 				remaining -= bestGive
 				continue
 			}
@@ -180,10 +248,11 @@ func Synthesize(s *traffic.System, wl warehouse.Workload, T int, opts Options) (
 			}
 			// The new cycle must serve k (its target row stocks it).
 			give := 0
+			givePick := 0
 			var giveRow traffic.ComponentID
-			for ri := range oc.rowPos {
-				if g := stockLeft(ri, k); g > give {
-					give, giveRow = g, ri
+			for _, rr := range oc.rows {
+				if g := stockLeft(rr.row, k); g > give {
+					give, giveRow, givePick = g, rr.row, rr.idx
 				}
 			}
 			if give > oc.budget {
@@ -195,7 +264,7 @@ func Synthesize(s *traffic.System, wl warehouse.Workload, T int, opts Options) (
 			if give <= 0 {
 				return nil, fmt.Errorf("cycles: routed cycle for product %d does not pass a stocked row", k)
 			}
-			addLeg(oc, giveRow, k, give)
+			addLeg(oc, giveRow, givePick, k, give)
 			remaining -= give
 		}
 	}
@@ -241,34 +310,36 @@ func zoneLast(s *traffic.System, ri traffic.ComponentID) traffic.ComponentID {
 // capacity-feasible loop, the one giving the shortest loop wins — locality
 // keeps loops inside their own circulation stripe, which is what preserves
 // corridor capacity for the remaining cycles.
-func routeCycle(s *traffic.System, rows []traffic.ComponentID, queues []traffic.ComponentID, residual []int, qeff int) (*Cycle, error) {
+func routeCycle(s *traffic.System, rows []traffic.ComponentID, queues []traffic.ComponentID, residual []int, sc *Scratch) (*Cycle, error) {
 	var best []traffic.ComponentID
 	var lastErr error
 	for _, q := range queues {
 		if residual[q] <= 0 {
 			continue
 		}
-		loop, err := routeLoop(s, rows, q, residual)
+		loop, err := routeLoop(s, rows, q, residual, sc)
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		// The loop must fit the residual capacities, one unit per occurrence.
 		ok := true
-		count := map[traffic.ComponentID]int{}
 		for _, comp := range loop {
-			count[comp]++
-			if count[comp] > residual[comp] {
+			sc.count[comp]++
+			if int(sc.count[comp]) > residual[comp] {
 				ok = false
 				break
 			}
+		}
+		for _, comp := range loop {
+			sc.count[comp] = 0
 		}
 		if !ok {
 			lastErr = fmt.Errorf("cycles: loop revisits a component beyond its residual capacity")
 			continue
 		}
 		if best == nil || len(loop) < len(best) {
-			best = loop
+			best = append(best[:0], loop...)
 		}
 	}
 	if best == nil {
@@ -286,56 +357,69 @@ func routeCycle(s *traffic.System, rows []traffic.ComponentID, queues []traffic.
 // routeLoop routes waypoints rows[0] -> rows[1] -> ... -> queue -> rows[0]
 // through Gs, using only components with residual capacity (waypoints
 // included), and returns the loop with the final return to rows[0] omitted
-// (the cycle wraps implicitly).
-func routeLoop(s *traffic.System, rows []traffic.ComponentID, queue traffic.ComponentID, residual []int) ([]traffic.ComponentID, error) {
-	waypoints := append(append([]traffic.ComponentID(nil), rows...), queue, rows[0])
-	var loop []traffic.ComponentID
-	for i := 0; i+1 < len(waypoints); i++ {
-		seg, err := bfsComponents(s, waypoints[i], waypoints[i+1], residual)
+// (the cycle wraps implicitly). The returned slice aliases sc.loop and is
+// only valid until the next routeLoop call.
+func routeLoop(s *traffic.System, rows []traffic.ComponentID, queue traffic.ComponentID, residual []int, sc *Scratch) ([]traffic.ComponentID, error) {
+	loop := sc.loop[:0]
+	prevWP := rows[0]
+	for i := 0; i <= len(rows); i++ {
+		nextWP := queue
+		if i < len(rows)-1 {
+			nextWP = rows[i+1]
+		} else if i == len(rows) {
+			nextWP = rows[0]
+		}
+		seg, err := bfsComponents(s, prevWP, nextWP, residual, sc)
 		if err != nil {
+			sc.loop = loop
 			return nil, err
 		}
 		loop = append(loop, seg[:len(seg)-1]...) // drop the junction duplicate
+		prevWP = nextWP
 	}
+	sc.loop = loop
 	return loop, nil
 }
 
 // bfsComponents finds a shortest path from a to b in Gs restricted to
 // components with positive residual capacity (a and b themselves must have
-// capacity too).
-func bfsComponents(s *traffic.System, a, b traffic.ComponentID, residual []int) ([]traffic.ComponentID, error) {
+// capacity too). The returned slice aliases sc.path and is only valid until
+// the next call.
+func bfsComponents(s *traffic.System, a, b traffic.ComponentID, residual []int, sc *Scratch) ([]traffic.ComponentID, error) {
 	if residual[a] <= 0 || residual[b] <= 0 {
 		return nil, fmt.Errorf("cycles: waypoint %d or %d has no residual capacity", a, b)
 	}
 	if a == b {
-		return []traffic.ComponentID{a}, nil
+		sc.path = append(sc.path[:0], a)
+		return sc.path, nil
 	}
-	prev := make([]traffic.ComponentID, s.NumComponents())
+	prev := sc.prev
 	for i := range prev {
 		prev[i] = -1
 	}
-	prev[a] = a
-	queue := []traffic.ComponentID{a}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	prev[a] = int32(a)
+	queue := append(sc.queue[:0], a)
+	defer func() { sc.queue = queue[:0] }()
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
 		for _, u := range s.Outlets[v] {
 			if prev[u] >= 0 || residual[u] <= 0 {
 				continue
 			}
-			prev[u] = v
+			prev[u] = int32(v)
 			if u == b {
-				var rev []traffic.ComponentID
-				for x := b; ; x = prev[x] {
-					rev = append(rev, x)
+				path := sc.path[:0]
+				for x := b; ; x = traffic.ComponentID(prev[x]) {
+					path = append(path, x)
 					if x == a {
 						break
 					}
 				}
-				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-					rev[i], rev[j] = rev[j], rev[i]
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
 				}
-				return rev, nil
+				sc.path = path
+				return path, nil
 			}
 			queue = append(queue, u)
 		}

@@ -1,0 +1,62 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/testmaps"
+	"repro/internal/traffic"
+	"repro/internal/warehouse"
+)
+
+// TestEdgeIndexZeroAllocs guards the dense arc numbering: EdgeIndex is
+// called inside synthesis inner loops and must stay a zero-allocation
+// degree-bounded scan, never a map (or worse, a rebuilt index).
+func TestEdgeIndexZeroAllocs(t *testing.T) {
+	w, s := testmaps.MustRing()
+	wl, err := warehouse.NewWorkload(w, []int{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := SynthesizeSequential(s, wl, 800, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := set.Edges
+	sink := 0
+	got := testing.AllocsPerRun(100, func() {
+		for _, e := range edges {
+			sink += set.EdgeIndex(e[0], e[1])
+		}
+		sink += set.EdgeIndex(0, 0) // miss path
+	})
+	if got != 0 {
+		t.Errorf("EdgeIndex allocated %v times per sweep, want 0", got)
+	}
+	if sink == 0 {
+		t.Error("sweep accumulated nothing; fixture broken")
+	}
+}
+
+// TestEnteringTotalZeroAllocs pins the in-edge-list rewrite of the per-
+// component intake sum.
+func TestEnteringTotalZeroAllocs(t *testing.T) {
+	w, s := testmaps.MustRing()
+	wl, err := warehouse.NewWorkload(w, []int{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := SynthesizeSequential(s, wl, 800, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := 0
+	got := testing.AllocsPerRun(100, func() {
+		for i := 0; i < s.NumComponents(); i++ {
+			sink += set.EnteringTotal(traffic.ComponentID(i))
+		}
+	})
+	if got != 0 {
+		t.Errorf("EnteringTotal allocated %v times per sweep, want 0", got)
+	}
+	_ = sink
+}

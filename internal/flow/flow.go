@@ -53,8 +53,6 @@ type Set struct {
 	// Quota[i][k] is the total number of units of product k that execution
 	// may pick up at component i over the whole plan (bounded by stock).
 	Quota [][]int
-
-	edgeIndex map[[2]traffic.ComponentID]int
 }
 
 // EmptyIndex returns the commodity index of ρ0 within F.
@@ -65,45 +63,43 @@ func newSet(s *traffic.System, tc, qc, qeff int) *Set {
 	n := s.NumComponents()
 	p := s.W.NumProducts
 	set := &Set{
-		S:         s,
-		Tc:        tc,
-		Qc:        qc,
-		QEff:      qeff,
-		Edges:     s.Edges(),
-		Fin:       make([][]int, n),
-		Fout:      make([][]int, n),
-		Quota:     make([][]int, n),
-		edgeIndex: make(map[[2]traffic.ComponentID]int),
+		S:     s,
+		Tc:    tc,
+		Qc:    qc,
+		QEff:  qeff,
+		Edges: s.Edges(),
+		Fin:   make([][]int, n),
+		Fout:  make([][]int, n),
+		Quota: make([][]int, n),
 	}
+	// One backing array per matrix keeps the per-edge and per-component rows
+	// contiguous in memory.
+	fBack := make([]int, len(set.Edges)*(p+1))
 	set.F = make([][]int, len(set.Edges))
 	for e := range set.Edges {
-		set.F[e] = make([]int, p+1)
-		set.edgeIndex[set.Edges[e]] = e
+		set.F[e] = fBack[e*(p+1) : (e+1)*(p+1) : (e+1)*(p+1)]
 	}
+	ioBack := make([]int, 3*n*p)
 	for i := 0; i < n; i++ {
-		set.Fin[i] = make([]int, p)
-		set.Fout[i] = make([]int, p)
-		set.Quota[i] = make([]int, p)
+		set.Fin[i] = ioBack[i*p : (i+1)*p : (i+1)*p]
+		set.Fout[i] = ioBack[(n+i)*p : (n+i+1)*p : (n+i+1)*p]
+		set.Quota[i] = ioBack[(2*n+i)*p : (2*n+i+1)*p : (2*n+i+1)*p]
 	}
 	return set
 }
 
-// EdgeIndex returns the index of arc (i, j) in Edges, or -1.
+// EdgeIndex returns the index of arc (i, j) in Edges, or -1. Edges share the
+// traffic system's contiguous arc numbering, so this is a constant-time
+// degree-bounded scan rather than a map lookup.
 func (f *Set) EdgeIndex(i, j traffic.ComponentID) int {
-	if e, ok := f.edgeIndex[[2]traffic.ComponentID{i, j}]; ok {
-		return e
-	}
-	return -1
+	return f.S.EdgeID(i, j)
 }
 
 // EnteringTotal returns the total agent flow entering component i per
 // period, summed over all commodities.
 func (f *Set) EnteringTotal(i traffic.ComponentID) int {
 	total := 0
-	for e, edge := range f.Edges {
-		if edge[1] != i {
-			continue
-		}
+	for _, e := range f.S.InEdgeIDs(i) {
 		for _, v := range f.F[e] {
 			total += v
 		}
@@ -128,19 +124,17 @@ func (f *Set) Check(wl warehouse.Workload) []error {
 		}
 		inFlow := make([]int, p+1)
 		outFlow := make([]int, p+1)
-		for e, edge := range f.Edges {
-			if edge[1] == i {
-				for k, v := range f.F[e] {
-					if v < 0 {
-						errs = append(errs, fmt.Errorf("flow: negative flow on edge %v commodity %d", edge, k))
-					}
-					inFlow[k] += v
+		for _, e := range s.InEdgeIDs(i) {
+			for k, v := range f.F[e] {
+				if v < 0 {
+					errs = append(errs, fmt.Errorf("flow: negative flow on edge %v commodity %d", f.Edges[e], k))
 				}
+				inFlow[k] += v
 			}
-			if edge[0] == i {
-				for k, v := range f.F[e] {
-					outFlow[k] += v
-				}
+		}
+		for _, e := range s.OutEdgeIDs(i) {
+			for k, v := range f.F[e] {
+				outFlow[k] += v
 			}
 		}
 		sumFin, sumFout := 0, 0

@@ -158,10 +158,7 @@ func SynthesizeSequential(s *traffic.System, wl warehouse.Workload, T int, opts 
 	// Recompute fout from the final edge flows: everything that arrives at a
 	// queue carrying k is dropped there (queues re-emit agents empty).
 	for _, q := range queues {
-		for e, edge := range set.Edges {
-			if edge[1] != q {
-				continue
-			}
+		for _, e := range s.InEdgeIDs(q) {
 			for k := 0; k < p; k++ {
 				set.Fout[q][k] += set.F[e][k]
 			}

@@ -1,0 +1,31 @@
+package grid
+
+import "sync"
+
+// int32Pool recycles vertex-indexed scratch buffers across simulation and
+// realization runs (and across the core.Solve retry loop).
+var int32Pool sync.Pool // holds *[]int32
+
+// GetInt32 returns a zeroed []int32 of length n, reusing a pooled buffer
+// when one is large enough. Callers that use the stamp/epoch idiom rely on
+// the zeroing: a fresh buffer compares unequal to any positive stamp.
+// Return the buffer with PutInt32 when done; failing to do so merely leaks
+// it to the garbage collector.
+func GetInt32(n int) []int32 {
+	if bp, _ := int32Pool.Get().(*[]int32); bp != nil && cap(*bp) >= n {
+		b := (*bp)[:n]
+		clear(b)
+		return b
+	}
+	return make([]int32, n)
+}
+
+// PutInt32 returns a buffer obtained from GetInt32 to the pool. The buffer
+// must not be used after Put.
+func PutInt32(b []int32) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	int32Pool.Put(&b)
+}

@@ -129,17 +129,15 @@ func standardize[T any](p *Problem, ar arith[T], loOverride, hiOverride []*big.R
 	}
 	st.nStruct = ncol
 
-	// Build rows: one per model constraint plus one per finite upper bound.
-	type rawRow struct {
-		coefs map[int]*big.Rat
-		sense Sense
-		rhs   *big.Rat
-	}
-	var raws []rawRow
+	// Build rows in sorted sparse-triplet (CSR) form: one per model
+	// constraint plus one per finite upper bound. The construction is
+	// big.Rat-valued and independent of the tableau field, so the float and
+	// rational engines share it.
+	csr := newCSRRows(len(p.Constraints)+len(uppers), 4*len(p.Constraints))
 	for ci := range p.Constraints {
 		c := &p.Constraints[ci]
-		coefs := make(map[int]*big.Rat)
 		rhs := new(big.Rat).Set(c.RHS)
+		csr.beginRow()
 		for _, t := range c.Terms {
 			info := st.cols[t.Var]
 			if info.fixed != nil {
@@ -149,16 +147,17 @@ func standardize[T any](p *Problem, ar arith[T], loOverride, hiOverride []*big.R
 			if info.shift != nil {
 				rhs.Sub(rhs, new(big.Rat).Mul(t.Coef, info.shift))
 			}
-			addCoef(coefs, info.pos, t.Coef)
+			csr.add(info.pos, t.Coef)
 			if info.neg >= 0 {
-				addCoef(coefs, info.neg, new(big.Rat).Neg(t.Coef))
+				csr.add(info.neg, new(big.Rat).Neg(t.Coef))
 			}
 		}
-		raws = append(raws, rawRow{coefs, c.Sense, rhs})
+		csr.endRow(c.Sense, rhs)
 	}
 	for _, u := range uppers {
-		coefs := map[int]*big.Rat{u.col: big.NewRat(1, 1)}
-		raws = append(raws, rawRow{coefs, LE, u.cap})
+		csr.beginRow()
+		csr.add(u.col, ratOne)
+		csr.endRow(LE, u.cap)
 	}
 	// Upper bounds on free-below variables.
 	for i := range p.Vars {
@@ -167,19 +166,18 @@ func standardize[T any](p *Problem, ar arith[T], loOverride, hiOverride []*big.R
 			continue
 		}
 		if hi := effHi(i); hi != nil {
-			coefs := map[int]*big.Rat{
-				info.pos: big.NewRat(1, 1),
-				info.neg: big.NewRat(-1, 1),
-			}
-			raws = append(raws, rawRow{coefs, LE, new(big.Rat).Set(hi)})
+			csr.beginRow()
+			csr.add(info.pos, ratOne)
+			csr.add(info.neg, ratNegOne)
+			csr.endRow(LE, new(big.Rat).Set(hi))
 		}
 	}
 
-	st.m = len(raws)
+	st.m = csr.numRows()
 	// Count slack columns.
 	nSlack := 0
-	for _, r := range raws {
-		if r.sense != EQ {
+	for _, sense := range csr.senses {
+		if sense != EQ {
 			nSlack++
 		}
 	}
@@ -192,21 +190,24 @@ func standardize[T any](p *Problem, ar arith[T], loOverride, hiOverride []*big.R
 	slackCol := st.nStruct
 	one := ar.one()
 	negOne := ar.sub(ar.zero(), one)
-	for ri, r := range raws {
-		row := make([]T, st.n+1)
-		for j := range row {
-			row[j] = ar.zero()
-		}
-		negate := r.rhs.Sign() < 0
-		for col, coef := range r.coefs {
-			v := ar.fromRat(coef)
+	// One backing array for the whole tableau keeps rows contiguous.
+	back := make([]T, st.m*(st.n+1))
+	for i := range back {
+		back[i] = ar.zero()
+	}
+	for ri := 0; ri < st.m; ri++ {
+		row := back[ri*(st.n+1) : (ri+1)*(st.n+1) : (ri+1)*(st.n+1)]
+		rcols, rvals := csr.row(ri)
+		negate := csr.rhs[ri].Sign() < 0
+		for idx, col := range rcols {
+			v := ar.fromRat(rvals[idx])
 			if negate {
 				v = ar.sub(ar.zero(), v)
 			}
 			row[col] = v
 		}
-		rhs := new(big.Rat).Set(r.rhs)
-		sense := r.sense
+		rhs := new(big.Rat).Set(csr.rhs[ri])
+		sense := csr.senses[ri]
 		if negate {
 			rhs.Neg(rhs)
 			switch sense {
@@ -258,12 +259,76 @@ func standardize[T any](p *Problem, ar arith[T], loOverride, hiOverride []*big.R
 	return st, nil
 }
 
-func addCoef(coefs map[int]*big.Rat, col int, c *big.Rat) {
-	if prev, ok := coefs[col]; ok {
-		coefs[col] = new(big.Rat).Add(prev, c)
-	} else {
-		coefs[col] = new(big.Rat).Set(c)
+var (
+	ratOne    = big.NewRat(1, 1)
+	ratNegOne = big.NewRat(-1, 1)
+)
+
+// csrRows accumulates the standardized constraint system as sorted sparse
+// triplets with a CSR layout: row r occupies cols/vals[ptr[r]:ptr[r+1]],
+// sorted by column with duplicates merged. Compared to one map[int]*big.Rat
+// per row this is two flat appends per term and no hashing.
+type csrRows struct {
+	ptr    []int32
+	cols   []int32
+	vals   []*big.Rat
+	senses []Sense
+	rhs    []*big.Rat
+}
+
+func newCSRRows(rowHint, nnzHint int) *csrRows {
+	return &csrRows{
+		ptr:    make([]int32, 1, rowHint+1),
+		cols:   make([]int32, 0, nnzHint),
+		vals:   make([]*big.Rat, 0, nnzHint),
+		senses: make([]Sense, 0, rowHint),
+		rhs:    make([]*big.Rat, 0, rowHint),
 	}
+}
+
+func (c *csrRows) numRows() int { return len(c.senses) }
+
+func (c *csrRows) row(r int) ([]int32, []*big.Rat) {
+	return c.cols[c.ptr[r]:c.ptr[r+1]], c.vals[c.ptr[r]:c.ptr[r+1]]
+}
+
+func (c *csrRows) beginRow() {}
+
+// add appends a term to the open row. coef is not retained; duplicates of
+// the same column are merged by endRow.
+func (c *csrRows) add(col int, coef *big.Rat) {
+	c.cols = append(c.cols, int32(col))
+	c.vals = append(c.vals, new(big.Rat).Set(coef))
+}
+
+// endRow seals the open row: sorts its triplets by column (insertion sort —
+// rows are short), merges duplicate columns, and records sense and RHS.
+func (c *csrRows) endRow(sense Sense, rhs *big.Rat) {
+	start := int(c.ptr[len(c.ptr)-1])
+	seg := c.cols[start:]
+	vseg := c.vals[start:]
+	for i := 1; i < len(seg); i++ {
+		for j := i; j > 0 && seg[j] < seg[j-1]; j-- {
+			seg[j], seg[j-1] = seg[j-1], seg[j]
+			vseg[j], vseg[j-1] = vseg[j-1], vseg[j]
+		}
+	}
+	// Merge equal columns in place.
+	out := 0
+	for i := 0; i < len(seg); i++ {
+		if out > 0 && seg[out-1] == seg[i] {
+			vseg[out-1].Add(vseg[out-1], vseg[i])
+			continue
+		}
+		seg[out] = seg[i]
+		vseg[out] = vseg[i]
+		out++
+	}
+	c.cols = c.cols[:start+out]
+	c.vals = c.vals[:start+out]
+	c.ptr = append(c.ptr, int32(len(c.cols)))
+	c.senses = append(c.senses, sense)
+	c.rhs = append(c.rhs, rhs)
 }
 
 // run executes phase 1 then (if there is an objective) phase 2.

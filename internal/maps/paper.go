@@ -2,7 +2,7 @@ package maps
 
 // The three §V evaluation maps. Counts differ from the paper's cell totals
 // (our generator's aisle geometry is fixed), but shelf, station, and product
-// counts match the paper's figures; EXPERIMENTS.md records the actuals.
+// counts match the paper's figures (see DESIGN.md).
 
 // Fulfillment1 models the real Kiva fulfillment center of [10]:
 // 560 shelves, 4 stations, 55 unique products.

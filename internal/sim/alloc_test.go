@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/agentplan"
+	"repro/internal/cycles"
+	"repro/internal/testmaps"
+	"repro/internal/warehouse"
+)
+
+// TestRunAllocsIndependentOfHorizon guards the dense occupancy rewrite: the
+// per-step validation and delivery loops must not allocate, so doubling the
+// horizon must not increase Run's allocation count. The map-based occupancy
+// this replaced allocated on every step and fails this test by hundreds of
+// allocations.
+func TestRunAllocsIndependentOfHorizon(t *testing.T) {
+	w, s := testmaps.MustRing()
+	wl, err := warehouse.NewWorkload(w, []int{6, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := make(map[int]*warehouse.Plan)
+	for _, T := range []int{800, 1600} {
+		cs, err := cycles.Synthesize(s, wl, T, cycles.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, _, err := agentplan.Realize(cs, wl, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[T] = plan
+	}
+	allocs := func(T int) float64 {
+		return testing.AllocsPerRun(10, func() {
+			res := Run(w, plans[T], wl)
+			if len(res.Violations) != 0 {
+				t.Fatalf("violations: %v", res.Violations[0])
+			}
+		})
+	}
+	short, long := allocs(800), allocs(1600)
+	// Setup allocations (Result slices, delivery log) are allowed; growth
+	// with the horizon is not. The small slack absorbs DeliveryTimes
+	// regrowth for the extra deliveries a longer plan performs.
+	if long > short+8 {
+		t.Errorf("Run allocations grew with horizon: %v at T=800, %v at T=1600", short, long)
+	}
+}
+
+// TestExecuteMCPAllocsIndependentOfHorizon pins the same property for the
+// minimal-communication executor, whose occupancy also lived in a map.
+func TestExecuteMCPAllocsIndependentOfHorizon(t *testing.T) {
+	w, s := testmaps.MustRing()
+	wl, err := warehouse.NewWorkload(w, []int{6, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := make(map[int]*warehouse.Plan)
+	for _, T := range []int{800, 1600} {
+		cs, err := cycles.Synthesize(s, wl, T, cycles.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, _, err := agentplan.Realize(cs, wl, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[T] = plan
+	}
+	allocs := func(T int) float64 {
+		return testing.AllocsPerRun(10, func() {
+			if _, err := ExecuteMCP(w, plans[T], wl, nil, 0); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short, long := allocs(800), allocs(1600)
+	// The plan-compression prologue allocates proportionally to the number
+	// of distinct cells visited, which grows with T; the wall-clock loop
+	// itself must not allocate. Compression appends amortize, so allow a
+	// factor well below the 2x horizon growth.
+	if long > 1.5*short+16 {
+		t.Errorf("ExecuteMCP allocations grew with horizon: %v at T=800, %v at T=1600", short, long)
+	}
+}

@@ -93,10 +93,21 @@ func ExecuteMCP(w *warehouse.Warehouse, plan *warehouse.Plan, wl warehouse.Workl
 		}
 	}
 
-	idx := make([]int, c)
-	occupant := make(map[grid.VertexID]int, c)
+	// Dense occupancy: occ[v] holds agent index + 1, 0 means free. The
+	// buffer is pooled across runs (and across Solve retries).
+	nv := w.Graph.NumVertices()
 	for i := 0; i < c; i++ {
-		occupant[seqs[i][0].v] = i
+		for _, s := range seqs[i] {
+			if s.v < 0 || int(s.v) >= nv {
+				return res, fmt.Errorf("sim: agent %d plan vertex %d out of range", i, s.v)
+			}
+		}
+	}
+	idx := make([]int, c)
+	occ := grid.GetInt32(nv)
+	defer grid.PutInt32(occ)
+	for i := 0; i < c; i++ {
+		occ[seqs[i][0].v] = int32(i) + 1
 	}
 	serviced := func() bool {
 		for k, want := range wl.Units {
@@ -136,12 +147,12 @@ func ExecuteMCP(w *warehouse.Warehouse, plan *warehouse.Plan, wl warehouse.Workl
 			}
 			next := seqs[i][idx[i]+1]
 			if next.v != seqs[i][idx[i]].v {
-				if holder, busy := occupant[next.v]; busy && holder != i {
+				if holder := occ[next.v]; holder != 0 && int(holder)-1 != i {
 					res.Waits++
 					continue
 				}
-				delete(occupant, seqs[i][idx[i]].v)
-				occupant[next.v] = i
+				occ[seqs[i][idx[i]].v] = 0
+				occ[next.v] = int32(i) + 1
 			}
 			idx[i]++
 			applyArrival(i)

@@ -1,0 +1,103 @@
+// Package solverpool serves batches of WSP instances concurrently: a
+// bounded pool of workers, each with its own reusable synthesis scratch,
+// drains a request list and solves every instance with core.SolveScratch.
+//
+// core.Solve is a pure function of its inputs — a traffic.System is
+// read-only after traffic.Build — so concurrent solves of requests that
+// share a System are safe, and the pool's output for every request is
+// bit-identical to what a sequential core.Solve of that request returns.
+// This is what lets an online re-planner answer many what-if workloads (or
+// serve many tenants on the same floorplan) at once without giving up the
+// reproducibility of the sequential path.
+package solverpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/traffic"
+	"repro/internal/warehouse"
+)
+
+// Request is one WSP instance to solve.
+type Request struct {
+	S    *traffic.System
+	WL   warehouse.Workload
+	T    int
+	Opts core.Options
+}
+
+// Result pairs a request's outcome with its wall-clock solve time.
+type Result struct {
+	Res     *core.Result
+	Err     error
+	Elapsed time.Duration
+}
+
+// Pool is a bounded solver pool. Use New; the zero value works but
+// degrades to draining every batch sequentially.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool of the given width. workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// SolveBatch solves every request and returns results in request order. At
+// most Workers() solves run concurrently; each worker owns a core.Scratch
+// that is reused across all requests it drains, so the synthesis hot path
+// allocates per worker, not per request.
+func (p *Pool) SolveBatch(reqs []Request) []Result {
+	results := make([]Result, len(reqs))
+	n := p.workers
+	if n > len(reqs) {
+		n = len(reqs)
+	}
+	if n <= 1 {
+		solveRange(reqs, results, new(atomic.Int64))
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			solveRange(reqs, results, &next)
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// solveRange drains requests by atomic index, reusing one scratch for every
+// request this worker handles.
+func solveRange(reqs []Request, results []Result, next *atomic.Int64) {
+	sc := &core.Scratch{}
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= len(reqs) {
+			return
+		}
+		start := time.Now()
+		res, err := core.SolveScratch(reqs[i].S, reqs[i].WL, reqs[i].T, reqs[i].Opts, sc)
+		results[i] = Result{Res: res, Err: err, Elapsed: time.Since(start)}
+	}
+}
+
+// SolveBatch solves reqs on a fresh pool of the given width (<= 0 selects
+// GOMAXPROCS) — the one-call form of Pool.SolveBatch.
+func SolveBatch(reqs []Request, workers int) []Result {
+	return New(workers).SolveBatch(reqs)
+}

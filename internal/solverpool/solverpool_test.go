@@ -1,0 +1,103 @@
+package solverpool
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/maps"
+	"repro/internal/workload"
+)
+
+// TestSolveBatchMatchesSequential checks that the concurrent pool returns
+// bit-identical results to sequential core.Solve on the three Table I maps:
+// same ServicedAt, same cycle sets, same plans. All requests per map share
+// one traffic.System on purpose — run under -race this also proves that
+// concurrent solves never mutate shared synthesis inputs.
+func TestSolveBatchMatchesSequential(t *testing.T) {
+	rows := []struct {
+		name  string
+		build func() (*maps.Map, error)
+		units int
+	}{
+		{"SortingCenter", maps.SortingCenter, 160},
+		{"Fulfillment1", maps.Fulfillment1, 550},
+		{"Fulfillment2", maps.Fulfillment2, 1200},
+	}
+	const T = 3600
+
+	var reqs []Request
+	for _, row := range rows {
+		m, err := row.build()
+		if err != nil {
+			t.Fatalf("%s: %v", row.name, err)
+		}
+		wl, err := workload.Uniform(m.W, row.units)
+		if err != nil {
+			t.Fatalf("%s: %v", row.name, err)
+		}
+		// Two identical requests per map: the pool must produce the same
+		// answer for both even when they solve concurrently on one System.
+		reqs = append(reqs,
+			Request{S: m.S, WL: wl, T: T},
+			Request{S: m.S, WL: wl, T: T},
+		)
+	}
+
+	want := make([]*core.Result, len(reqs))
+	for i, r := range reqs {
+		res, err := core.Solve(r.S, r.WL, r.T, r.Opts)
+		if err != nil {
+			t.Fatalf("sequential solve %d: %v", i, err)
+		}
+		want[i] = res
+	}
+
+	got := SolveBatch(reqs, 4)
+	if len(got) != len(reqs) {
+		t.Fatalf("SolveBatch returned %d results for %d requests", len(got), len(reqs))
+	}
+	for i, g := range got {
+		if g.Err != nil {
+			t.Fatalf("parallel solve %d: %v", i, g.Err)
+		}
+		if g.Res.Sim.ServicedAt != want[i].Sim.ServicedAt {
+			t.Errorf("request %d: parallel ServicedAt %d, sequential %d", i, g.Res.Sim.ServicedAt, want[i].Sim.ServicedAt)
+		}
+		if !reflect.DeepEqual(g.Res.CycleSet.Cycles, want[i].CycleSet.Cycles) {
+			t.Errorf("request %d: parallel cycle set differs from sequential", i)
+		}
+		if !reflect.DeepEqual(g.Res.Plan, want[i].Plan) {
+			t.Errorf("request %d: parallel plan differs from sequential", i)
+		}
+		if !reflect.DeepEqual(g.Res.Sim.Delivered, want[i].Sim.Delivered) {
+			t.Errorf("request %d: parallel deliveries %v, sequential %v", i, g.Res.Sim.Delivered, want[i].Sim.Delivered)
+		}
+	}
+}
+
+// TestPoolWidths checks ordering and error propagation across widths.
+func TestPoolWidths(t *testing.T) {
+	m, err := maps.SortingCenter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.Uniform(m.W, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Request{S: m.S, WL: wl, T: 3600, Opts: core.Options{SkipRealization: true}}
+	bad := Request{S: m.S, WL: wl, T: 1} // horizon shorter than one cycle period
+	for _, workers := range []int{1, 2, 8} {
+		got := SolveBatch([]Request{good, bad, good}, workers)
+		if got[0].Err != nil || got[2].Err != nil {
+			t.Fatalf("workers=%d: good requests failed: %v %v", workers, got[0].Err, got[2].Err)
+		}
+		if got[1].Err == nil {
+			t.Fatalf("workers=%d: infeasible request did not fail", workers)
+		}
+		if got[0].Res.CycleSet == nil || got[2].Res.CycleSet == nil {
+			t.Fatalf("workers=%d: missing cycle sets", workers)
+		}
+	}
+}

@@ -87,6 +87,10 @@ func (c *Component) Next(v grid.VertexID) grid.VertexID {
 
 // System is a validated traffic system: components plus the traffic system
 // graph Gs of inlet/outlet arcs.
+//
+// Arcs carry a contiguous numbering e = 0..NumEdges()-1 (the order of
+// Edges()), so downstream packages can keep per-arc state in flat slices
+// instead of maps keyed by component pairs.
 type System struct {
 	W          *warehouse.Warehouse
 	Components []*Component
@@ -95,7 +99,13 @@ type System struct {
 	// Inlets[i] lists the components feeding component i (1 or 2).
 	Inlets [][]ComponentID
 
-	cellOf []ComponentID // vertex -> component, -1 if unused
+	cellOf    []ComponentID // vertex -> component, -1 if unused
+	cellIndex []int32       // vertex -> position within its component, -1
+
+	edges      [][2]ComponentID // Es under the contiguous arc numbering
+	outEdgeIDs [][]int32        // arc IDs leaving component i, parallel to Outlets[i]
+	inEdgeIDs  [][]int32        // arc IDs entering component i, parallel to Inlets[i]
+	compStock  []int32          // dense UNITS_AT: component ci x product k at ci*|ρ|+k
 }
 
 // NumComponents returns |Vs|.
@@ -119,15 +129,58 @@ func (s *System) MaxComponentLen() int {
 // CycleTime returns tc = 2m (Property 4.1).
 func (s *System) CycleTime() int { return 2 * s.MaxComponentLen() }
 
-// Edges returns every arc (Ci, Cj) ∈ Es in a deterministic order.
-func (s *System) Edges() [][2]ComponentID {
-	var out [][2]ComponentID
-	for i, outs := range s.Outlets {
-		for _, j := range outs {
-			out = append(out, [2]ComponentID{ComponentID(i), j})
+// Edges returns every arc (Ci, Cj) ∈ Es in the contiguous arc numbering:
+// Edges()[e] is arc e. The returned slice is shared; callers must not
+// mutate it.
+func (s *System) Edges() [][2]ComponentID { return s.edges }
+
+// NumEdges returns |Es|.
+func (s *System) NumEdges() int { return len(s.edges) }
+
+// EdgeID returns the contiguous arc number of (i, j) ∈ Es, or -1 if the arc
+// does not exist. Out-degrees are at most 2, so the scan is constant time.
+func (s *System) EdgeID(i, j ComponentID) int {
+	for oi, out := range s.Outlets[i] {
+		if out == j {
+			return int(s.outEdgeIDs[i][oi])
 		}
 	}
-	return out
+	return -1
+}
+
+// OutEdgeIDs returns the arc numbers leaving component i, parallel to
+// Outlets[i]. The returned slice is shared; callers must not mutate it.
+func (s *System) OutEdgeIDs(i ComponentID) []int32 { return s.outEdgeIDs[i] }
+
+// InEdgeIDs returns the arc numbers entering component i, parallel to
+// Inlets[i]. The returned slice is shared; callers must not mutate it.
+func (s *System) InEdgeIDs(i ComponentID) []int32 { return s.inEdgeIDs[i] }
+
+// CellIndexAt returns the position of vertex v within its component
+// (Components[ComponentAt(v)].Cells[CellIndexAt(v)] == v), or -1 if v is
+// unused. It is the O(1) counterpart of Component.IndexOf.
+func (s *System) CellIndexAt(v grid.VertexID) int {
+	if v < 0 || int(v) >= len(s.cellIndex) {
+		return -1
+	}
+	return int(s.cellIndex[v])
+}
+
+// NextCellAt returns the cell following v on the way to its component's
+// exit, or grid.None if v is the exit or unused — Component.Next in O(1).
+func (s *System) NextCellAt(v grid.VertexID) grid.VertexID {
+	if v < 0 || int(v) >= len(s.cellIndex) {
+		return grid.None
+	}
+	i := s.cellIndex[v]
+	if i < 0 {
+		return grid.None
+	}
+	cells := s.Components[s.cellOf[v]].Cells
+	if int(i)+1 >= len(cells) {
+		return grid.None
+	}
+	return cells[i+1]
 }
 
 // Build assembles and validates a System from directed cell paths. Kind is
@@ -139,8 +192,10 @@ func (s *System) Edges() [][2]ComponentID {
 func Build(w *warehouse.Warehouse, paths [][]grid.VertexID) (*System, error) {
 	s := &System{W: w}
 	s.cellOf = make([]ComponentID, w.Graph.NumVertices())
+	s.cellIndex = make([]int32, w.Graph.NumVertices())
 	for i := range s.cellOf {
 		s.cellOf[i] = -1
+		s.cellIndex[i] = -1
 	}
 	for _, cells := range paths {
 		if err := s.addComponent(cells); err != nil {
@@ -150,10 +205,50 @@ func Build(w *warehouse.Warehouse, paths [][]grid.VertexID) (*System, error) {
 	if err := s.wire(); err != nil {
 		return nil, err
 	}
+	s.indexEdges()
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	s.indexStock()
 	return s, nil
+}
+
+// indexEdges assigns the contiguous arc numbering (the iteration order of
+// Outlets) and the per-component in/out arc ID lists.
+func (s *System) indexEdges() {
+	n := len(s.Components)
+	s.edges = s.edges[:0]
+	s.outEdgeIDs = make([][]int32, n)
+	s.inEdgeIDs = make([][]int32, n)
+	for i, outs := range s.Outlets {
+		for _, j := range outs {
+			e := int32(len(s.edges))
+			s.edges = append(s.edges, [2]ComponentID{ComponentID(i), j})
+			s.outEdgeIDs[i] = append(s.outEdgeIDs[i], e)
+			s.inEdgeIDs[j] = append(s.inEdgeIDs[j], e)
+		}
+	}
+}
+
+// indexStock precomputes the dense UNITS_AT table: stock is fixed for the
+// lifetime of a System, and synthesis queries it millions of times.
+func (s *System) indexStock() {
+	p := s.W.NumProducts
+	s.compStock = make([]int32, len(s.Components)*p)
+	for _, c := range s.Components {
+		base := int(c.ID) * p
+		for _, v := range c.Cells {
+			col := s.W.ShelfColumn(v)
+			if col < 0 {
+				continue
+			}
+			for k := 0; k < p; k++ {
+				if row := s.W.Stock[k]; row != nil {
+					s.compStock[base+k] += int32(row[col])
+				}
+			}
+		}
+	}
 }
 
 func (s *System) addComponent(cells []grid.VertexID) error {
@@ -173,6 +268,7 @@ func (s *System) addComponent(cells []grid.VertexID) error {
 			return fmt.Errorf("traffic: component %d cells %d and %d not adjacent", id, cells[i-1], v)
 		}
 		s.cellOf[v] = id
+		s.cellIndex[v] = int32(i)
 		if s.W.ShelfColumn(v) >= 0 {
 			hasShelf = true
 		}
@@ -303,6 +399,12 @@ func (s *System) byKind(k Kind) []ComponentID {
 // UnitsAt returns UNITS_AT(Ci, ρk): the stock of product k across the
 // shelf-access cells of component ci.
 func (s *System) UnitsAt(ci ComponentID, k warehouse.ProductID) int {
+	if k < 0 || int(k) >= s.W.NumProducts {
+		return 0
+	}
+	if s.compStock != nil {
+		return int(s.compStock[int(ci)*s.W.NumProducts+int(k)])
+	}
 	total := 0
 	for _, v := range s.Components[ci].Cells {
 		total += s.W.UnitsAt(v, k)

@@ -48,22 +48,29 @@ func ValidatePlan(w *Warehouse, p *Plan) []PlanViolation {
 	}
 	picked := make(map[pick]int)
 
-	occupied := make(map[grid.VertexID]int, c)
+	// Stamped occupancy arena: occAgent[v] holds the occupant at timestep t
+	// iff occStamp[v] == t+1, so no per-step clearing is needed.
+	nv := w.Graph.NumVertices()
+	occAgent := grid.GetInt32(nv)
+	occStamp := grid.GetInt32(nv)
+	defer grid.PutInt32(occAgent)
+	defer grid.PutInt32(occStamp)
 	for t := 0; t < T; t++ {
+		stamp := int32(t) + 1
 		// Condition 2a: vertex conflicts.
-		clear(occupied)
 		for i := 0; i < c; i++ {
 			v := p.States[i][t].Vertex
-			if v < 0 || int(v) >= w.Graph.NumVertices() {
+			if v < 0 || int(v) >= nv {
 				out = append(out, PlanViolation{Timestep: t, Agent: i, OtherIdx: -1, Condition: 1,
 					Detail: fmt.Sprintf("vertex %d out of range", v)})
 				continue
 			}
-			if j, clash := occupied[v]; clash {
-				out = append(out, PlanViolation{Timestep: t, Agent: i, OtherIdx: j, Condition: 2,
-					Detail: fmt.Sprintf("agents %d and %d both at vertex %d", j, i, v)})
+			if occStamp[v] == stamp {
+				out = append(out, PlanViolation{Timestep: t, Agent: i, OtherIdx: int(occAgent[v]), Condition: 2,
+					Detail: fmt.Sprintf("agents %d and %d both at vertex %d", occAgent[v], i, v)})
 			}
-			occupied[v] = i
+			occAgent[v] = int32(i)
+			occStamp[v] = stamp
 		}
 		if t+1 >= T {
 			break
@@ -76,8 +83,8 @@ func ValidatePlan(w *Warehouse, p *Plan) []PlanViolation {
 					Detail: fmt.Sprintf("teleport %d -> %d", cur.Vertex, next.Vertex)})
 			}
 			// Condition 2b: edge swaps.
-			if j, ok := occupied[next.Vertex]; ok && j != i {
-				if p.States[j][t+1].Vertex == cur.Vertex {
+			if next.Vertex >= 0 && int(next.Vertex) < nv && occStamp[next.Vertex] == stamp {
+				if j := int(occAgent[next.Vertex]); j != i && p.States[j][t+1].Vertex == cur.Vertex {
 					if i < j { // report each swap once
 						out = append(out, PlanViolation{Timestep: t, Agent: i, OtherIdx: j, Condition: 2,
 							Detail: fmt.Sprintf("agents %d and %d swap across edge %d-%d", i, j, cur.Vertex, next.Vertex)})

@@ -32,8 +32,8 @@ type Warehouse struct {
 	// nil, meaning the product is stocked nowhere.
 	Stock [][]int
 
-	shelfIndex map[grid.VertexID]int // vertex -> column of Λ
-	stationSet map[grid.VertexID]bool
+	shelfCol  []int32 // vertex -> column of Λ, -1 if v ∉ S
+	isStation []bool  // vertex -> v ∈ R
 }
 
 // New validates and indexes a warehouse description.
@@ -53,29 +53,32 @@ func New(g *grid.Grid, shelfAccess, stations []grid.VertexID, numProducts int, s
 		Stations:    stations,
 		NumProducts: numProducts,
 		Stock:       stock,
-		shelfIndex:  make(map[grid.VertexID]int, len(shelfAccess)),
-		stationSet:  make(map[grid.VertexID]bool, len(stations)),
+		shelfCol:    make([]int32, g.NumVertices()),
+		isStation:   make([]bool, g.NumVertices()),
+	}
+	for i := range w.shelfCol {
+		w.shelfCol[i] = -1
 	}
 	for i, v := range shelfAccess {
 		if v < 0 || int(v) >= g.NumVertices() {
 			return nil, fmt.Errorf("warehouse: shelf access vertex %d out of range", v)
 		}
-		if _, dup := w.shelfIndex[v]; dup {
+		if w.shelfCol[v] >= 0 {
 			return nil, fmt.Errorf("warehouse: duplicate shelf access vertex %d", v)
 		}
-		w.shelfIndex[v] = i
+		w.shelfCol[v] = int32(i)
 	}
 	for _, v := range stations {
 		if v < 0 || int(v) >= g.NumVertices() {
 			return nil, fmt.Errorf("warehouse: station vertex %d out of range", v)
 		}
-		if w.stationSet[v] {
+		if w.isStation[v] {
 			return nil, fmt.Errorf("warehouse: duplicate station vertex %d", v)
 		}
-		if _, isShelf := w.shelfIndex[v]; isShelf {
+		if w.shelfCol[v] >= 0 {
 			return nil, fmt.Errorf("warehouse: vertex %d is both shelf access and station", v)
 		}
-		w.stationSet[v] = true
+		w.isStation[v] = true
 	}
 	for k, row := range stock {
 		if row == nil {
@@ -94,21 +97,23 @@ func New(g *grid.Grid, shelfAccess, stations []grid.VertexID, numProducts int, s
 }
 
 // IsStation reports whether v ∈ R.
-func (w *Warehouse) IsStation(v grid.VertexID) bool { return w.stationSet[v] }
+func (w *Warehouse) IsStation(v grid.VertexID) bool {
+	return v >= 0 && int(v) < len(w.isStation) && w.isStation[v]
+}
 
 // ShelfColumn returns the Λ column of shelf-access vertex v, or -1 if v ∉ S.
 func (w *Warehouse) ShelfColumn(v grid.VertexID) int {
-	if i, ok := w.shelfIndex[v]; ok {
-		return i
+	if v < 0 || int(v) >= len(w.shelfCol) {
+		return -1
 	}
-	return -1
+	return int(w.shelfCol[v])
 }
 
 // UnitsAt returns Λ[k][column of v]: the stock of product k at shelf-access
 // vertex v, or 0 if v ∉ S or the product is unstocked.
 func (w *Warehouse) UnitsAt(v grid.VertexID, k ProductID) int {
-	col, ok := w.shelfIndex[v]
-	if !ok || k < 0 || int(k) >= w.NumProducts {
+	col := w.ShelfColumn(v)
+	if col < 0 || k < 0 || int(k) >= w.NumProducts {
 		return 0
 	}
 	row := w.Stock[k]
@@ -120,8 +125,8 @@ func (w *Warehouse) UnitsAt(v grid.VertexID, k ProductID) int {
 
 // ProductsAt returns PRODUCTS_AT(v): the products with positive stock at v.
 func (w *Warehouse) ProductsAt(v grid.VertexID) []ProductID {
-	col, ok := w.shelfIndex[v]
-	if !ok {
+	col := w.ShelfColumn(v)
+	if col < 0 {
 		return nil
 	}
 	var out []ProductID

@@ -1,0 +1,130 @@
+// Command benchjson converts `go test -bench` output (read from stdin) into
+// a JSON snapshot and appends it to a trajectory file, so successive PRs
+// can compare perf against every recorded predecessor.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkTableI$|BenchmarkSolveBatch' -benchmem . |
+//	    go run ./scripts/benchjson -o BENCH_table1.json -label my-change
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Bench is one benchmark's parsed result line.
+type Bench struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is one benchmarking session.
+type Snapshot struct {
+	Label      string           `json:"label"`
+	Date       string           `json:"date"`
+	CPU        string           `json:"cpu,omitempty"`
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+// File is the trajectory file layout.
+type File struct {
+	Unit      map[string]string `json:"unit"`
+	Snapshots []Snapshot        `json:"snapshots"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_table1.json", "trajectory file to append to")
+	label := flag.String("label", "", "snapshot label (required)")
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
+		os.Exit(2)
+	}
+
+	snap := Snapshot{
+		Label:      *label,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Benchmarks: map[string]Bench{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the run stays visible
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			snap.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		b := Bench{}
+		name := fields[0]
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				v := val
+				b.BytesPerOp = &v
+			case "allocs/op":
+				v := val
+				b.AllocsPerOp = &v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = val
+			}
+		}
+		snap.Benchmarks[name] = b
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	f := File{Unit: map[string]string{
+		"ns_per_op":     "nanoseconds per operation",
+		"bytes_per_op":  "heap bytes per operation",
+		"allocs_per_op": "heap allocations per operation",
+	}}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not a trajectory file: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	f.Snapshots = append(f.Snapshots, snap)
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: appended snapshot %q (%d benchmarks) to %s\n", *label, len(snap.Benchmarks), *out)
+}
