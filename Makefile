@@ -19,9 +19,10 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# Table I + solver-pool throughput, recorded with allocation stats.
+# Table I + solver-pool throughput + the contract→ILP path (ablation and
+# LP-core microbenchmarks), recorded with allocation stats.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkTableI$$|BenchmarkSolveBatch' -benchmem -benchtime 100x . | \
+	$(GO) test -run '^$$' -bench 'BenchmarkTableI$$|BenchmarkSolveBatch|BenchmarkSynthesizerAblation|BenchmarkLP' -benchmem -benchtime 100x . | \
 		$(GO) run ./scripts/benchjson -o BENCH_table1.json -label "$(BENCH_LABEL)"
 
 fmt:

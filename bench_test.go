@@ -10,11 +10,13 @@ package repro
 
 import (
 	"fmt"
+	"math/big"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/cycles"
 	"repro/internal/grid"
+	"repro/internal/lp"
 	"repro/internal/mapf"
 	"repro/internal/maps"
 	"repro/internal/refine"
@@ -223,6 +225,113 @@ func BenchmarkSynthesizerAblation(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// contractShapedLP builds an LP/ILP with the shape the §IV-D contract
+// compiler emits: per-arc per-commodity flow variables over a component
+// ring, conservation equalities per (component, commodity), a shared
+// capacity row per arc, and pickup/drop demand rows per product. With
+// ring=4, products=2 it matches the ablation instance's 16-variable scale;
+// larger parameters stress the solver the way co-design sweeps do.
+func contractShapedLP(ring, products int, integer bool) *lp.Problem {
+	p := &lp.Problem{}
+	ncom := products + 1 // commodity 0 is the empty flow
+	fv := make([][]lp.VarID, ring)
+	zero := big.NewRat(0, 1)
+	for e := 0; e < ring; e++ {
+		fv[e] = make([]lp.VarID, ncom)
+		for k := 0; k < ncom; k++ {
+			name := fmt.Sprintf("f_%d_%d", e, k)
+			if integer {
+				fv[e][k] = p.AddIntVar(name, zero, nil)
+			} else {
+				fv[e][k] = p.AddVar(name, zero, nil)
+			}
+		}
+	}
+	// Conservation: flow in = flow out on every component, per commodity,
+	// except commodity exchange at component 0 (the pick row): product k is
+	// created there and the empty commodity absorbed symmetrically.
+	for c := 0; c < ring; c++ {
+		in, out := (c+ring-1)%ring, c
+		for k := 0; k < ncom; k++ {
+			terms := []lp.Term{lp.T(fv[in][k], 1), lp.T(fv[out][k], -1)}
+			if c == 0 && k > 0 {
+				// Pick row converts empties into product-k carriers.
+				p.AddConstraint(fmt.Sprintf("pick_%d", k), terms, lp.GE, big.NewRat(-int64(2+k), 1))
+				continue
+			}
+			p.AddConstraint(fmt.Sprintf("cons_%d_%d", c, k), terms, lp.EQ, zero)
+		}
+	}
+	// Arc capacity: total concurrent flow per arc bounded by the corridor
+	// width, the contract guarantee that makes the ILP nontrivial.
+	for e := 0; e < ring; e++ {
+		terms := make([]lp.Term, ncom)
+		for k := 0; k < ncom; k++ {
+			terms[k] = lp.T(fv[e][k], 1)
+		}
+		p.AddConstraint(fmt.Sprintf("cap_%d", e), terms, lp.LE, big.NewRat(int64(3+products), 1))
+	}
+	// Demand: each product must ship at least its workload quota. Quotas
+	// sum to at most the arc capacity so every size stays feasible.
+	for k := 1; k < ncom; k++ {
+		p.AddConstraint(fmt.Sprintf("demand_%d", k),
+			[]lp.Term{lp.T(fv[ring/2][k], 1)}, lp.GE, big.NewRat(int64(1+k%2), 1))
+	}
+	return p
+}
+
+// BenchmarkLP isolates the internal/lp solver on contract-shaped problems:
+// the continuous relaxation in both engines, and the full branch-and-bound
+// ILP in both engines. These are the microbenchmarks behind the
+// `flow.Certify` / `SynthesizeContract` / `refine.MinimalHorizon` costs.
+func BenchmarkLP(b *testing.B) {
+	sizes := []struct {
+		name           string
+		ring, products int
+	}{
+		{"ring=4_products=2", 4, 2},
+		{"ring=8_products=4", 8, 4},
+	}
+	for _, sz := range sizes {
+		cont := contractShapedLP(sz.ring, sz.products, false)
+		obj := make([]lp.Term, 0, len(cont.Vars))
+		for i := range cont.Vars {
+			obj = append(obj, lp.T(lp.VarID(i), 1))
+		}
+		cont.SetObjective(obj, false) // minimize total flow
+		b.Run("Exact/"+sz.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sol, err := lp.SolveLP(cont)
+				if err != nil || sol.Status != lp.StatusOptimal {
+					b.Fatalf("status %v err %v", sol.Status, err)
+				}
+			}
+		})
+		b.Run("Float/"+sz.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sol, err := lp.SolveLPFloat(cont)
+				if err != nil || sol.Status != lp.StatusOptimal {
+					b.Fatalf("status %v err %v", sol.Status, err)
+				}
+			}
+		})
+		ilp := contractShapedLP(sz.ring, sz.products, true)
+		for _, eng := range []struct {
+			name   string
+			engine lp.Engine
+		}{{"ILPExact", lp.EngineExact}, {"ILPFloat", lp.EngineFloat}} {
+			b.Run(eng.name+"/"+sz.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sol, err := lp.SolveILP(ilp, lp.ILPOptions{Engine: eng.engine})
+					if err != nil || sol.Status != lp.StatusOptimal {
+						b.Fatalf("status %v err %v", sol.Status, err)
+					}
+				}
+			})
+		}
 	}
 }
 

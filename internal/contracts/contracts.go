@@ -263,8 +263,17 @@ type Assignment map[string]*big.Rat
 // Satisfy searches for an assignment satisfying Ã ∧ G̃ with the given solver
 // engine. It returns nil (no error) if the contract is unsatisfiable.
 func (c *Contract) Satisfy(engine lp.Engine) (Assignment, error) {
+	return c.SatisfyOpts(lp.ILPOptions{Engine: engine})
+}
+
+// SatisfyOpts is Satisfy with explicit solver options, letting callers set
+// node and pivot budgets. Contract conjunctions in the integer-rate regime
+// can be feasible in rationals yet integrally infeasible, and pure branch
+// and bound may need an exponential tree to prove that; budgets turn such
+// searches into a bounded "undecided" error instead of an unbounded grind.
+func (c *Contract) SatisfyOpts(opts lp.ILPOptions) (Assignment, error) {
 	p, index := c.ToProblem()
-	sol, err := lp.SolveILP(p, lp.ILPOptions{Engine: engine})
+	sol, err := lp.SolveILP(p, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -336,46 +345,48 @@ func Refines(c1, c2 *Contract) (bool, error) {
 // entails decides premise ⊨ goal over the declared variables by optimizing
 // the goal's left-hand side subject to the premise: for "lhs ≤ rhs" the goal
 // is entailed iff max lhs ≤ rhs (and symmetrically for ≥; equalities check
-// both directions). An infeasible premise entails everything.
+// both directions). An infeasible premise entails everything. The premise
+// system is compiled once and reused across both directions of an equality
+// goal — the solver treats the Problem as read-only, so only the objective
+// sense changes between the two solves.
 func entails(vars map[string]VarSpec, premise []Constraint, goal Constraint) (bool, error) {
-	switch goal.Sense {
-	case lp.LE:
-		return entailsDir(vars, premise, goal, true)
-	case lp.GE:
-		return entailsDir(vars, premise, goal, false)
-	case lp.EQ:
-		le, err := entailsDir(vars, premise, goal, true)
-		if err != nil || !le {
-			return false, err
-		}
-		return entailsDir(vars, premise, goal, false)
-	}
-	return false, fmt.Errorf("contracts: unknown sense %v", goal.Sense)
-}
-
-func entailsDir(vars map[string]VarSpec, premise []Constraint, goal Constraint, maximize bool) (bool, error) {
 	p, index := compile(vars, premise)
 	terms := make([]lp.Term, len(goal.Terms))
 	for i, t := range goal.Terms {
 		terms[i] = lp.Term{Var: index[t.Var], Coef: t.Coef}
 	}
-	p.SetObjective(terms, maximize)
-	sol, err := lp.SolveILP(p, lp.ILPOptions{Engine: lp.EngineExact})
-	if err != nil {
-		return false, err
-	}
-	switch sol.Status {
-	case lp.StatusInfeasible:
-		return true, nil // vacuous entailment
-	case lp.StatusUnbounded:
-		return false, nil
-	case lp.StatusOptimal:
-		if maximize {
-			return sol.Objective.Cmp(goal.RHS) <= 0, nil
+	dir := func(maximize bool) (bool, error) {
+		p.SetObjective(terms, maximize)
+		sol, err := lp.SolveILP(p, lp.ILPOptions{Engine: lp.EngineExact})
+		if err != nil {
+			return false, err
 		}
-		return sol.Objective.Cmp(goal.RHS) >= 0, nil
+		switch sol.Status {
+		case lp.StatusInfeasible:
+			return true, nil // vacuous entailment
+		case lp.StatusUnbounded:
+			return false, nil
+		case lp.StatusOptimal:
+			if maximize {
+				return sol.Objective.Cmp(goal.RHS) <= 0, nil
+			}
+			return sol.Objective.Cmp(goal.RHS) >= 0, nil
+		}
+		return false, fmt.Errorf("contracts: entailment solver returned %v", sol.Status)
 	}
-	return false, fmt.Errorf("contracts: entailment solver returned %v", sol.Status)
+	switch goal.Sense {
+	case lp.LE:
+		return dir(true)
+	case lp.GE:
+		return dir(false)
+	case lp.EQ:
+		le, err := dir(true)
+		if err != nil || !le {
+			return false, err
+		}
+		return dir(false)
+	}
+	return false, fmt.Errorf("contracts: unknown sense %v", goal.Sense)
 }
 
 // String renders the contract for debugging.

@@ -200,6 +200,28 @@ func CompileSystemContract(s *traffic.System, qc int, discharge bool) (*contract
 	return contracts.ComposeAllFast(cs)
 }
 
+// contractNodeBudget bounds the branch-and-bound tree per synthesis
+// attempt. The faithful strategy targets small and mid-size instances,
+// which decide within a handful of nodes; instances in the integer-rate
+// regime (DESIGN.md) can be rationally feasible yet integrally infeasible,
+// and proving that by branching alone is exponential — the budget converts
+// such doomed searches into a prompt, deterministic failure.
+const contractNodeBudget = 250
+
+// contractWorkBudget bounds total simplex work per synthesis attempt, in
+// the solver's deterministic row-update units. Nodes alone do not bound
+// latency on large tableaus (a warm reentry of a feasibility relaxation
+// can wander arbitrarily, and pivot cost grows with fill-in), so the
+// budget scales with the tableau footprint: the cold root solve costs on
+// the order of 150× rows×cols at contract sizes, leaving a few root-solves
+// worth of slack before the search is declared undecided. The constant
+// floor keeps small instances effectively unbudgeted.
+func contractWorkBudget(goal *contracts.Contract) int64 {
+	rows := int64(len(goal.Assumptions) + len(goal.Guarantees))
+	cols := int64(len(goal.Vars)) + 2*rows + 1
+	return 10_000_000 + 500*rows*cols
+}
+
 // SynthesizeContract is the faithful §IV-D pipeline: compile C̃TS ⊗-composed
 // from component contracts, conjoin with C̃w, and search for a satisfying
 // integer assignment with the ILP solver (the Z3 substitute). The assignment
@@ -232,7 +254,11 @@ func SynthesizeContract(s *traffic.System, wl warehouse.Workload, T int, opts Op
 	if opts.ExactILP {
 		engine = lp.EngineExact
 	}
-	asn, err := goal.Satisfy(engine)
+	asn, err := goal.SatisfyOpts(lp.ILPOptions{
+		Engine:   engine,
+		MaxNodes: contractNodeBudget,
+		MaxWork:  contractWorkBudget(goal),
+	})
 	if err != nil {
 		return nil, err
 	}

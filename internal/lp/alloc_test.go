@@ -1,0 +1,71 @@
+package lp
+
+import (
+	"math/big"
+	"testing"
+)
+
+// parityProblem builds a deliberately branchy feasibility ILP: Σ 2·x_i over
+// 0/1 variables can never equal an odd RHS, so branch and bound explores
+// nodes until MaxNodes with a deterministic node count, which lets the test
+// below measure the marginal allocation cost of one node.
+func parityProblem(nVars int) *Problem {
+	p := &Problem{}
+	terms := make([]Term, nVars)
+	for i := 0; i < nVars; i++ {
+		v := p.AddIntVar("x", big.NewRat(0, 1), big.NewRat(1, 1))
+		terms[i] = T(v, 2)
+	}
+	p.AddConstraint("odd", terms, EQ, big.NewRat(int64(nVars+nVars%2+1), 1))
+	return p
+}
+
+// TestSolveILPNodeAllocations pins the branch-and-bound allocation regime:
+// with the bound diff chain replacing per-node bound clones and one warm
+// tableau arena replacing per-node standardization, visiting one more node
+// must cost O(1) allocations (a diff node, the two branch bounds, a few
+// rationals) — NOT O(vars) clones or an O(m·n) tableau rebuild, which is
+// what the seed implementation paid per node.
+func TestSolveILPNodeAllocations(t *testing.T) {
+	const nVars = 48
+	p := parityProblem(nVars)
+	run := func(maxNodes int) float64 {
+		return testing.AllocsPerRun(5, func() {
+			sol, err := SolveILP(p, ILPOptions{Engine: EngineExact, MaxNodes: maxNodes})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sol.Status != StatusLimit {
+				t.Fatalf("status = %v, want limit", sol.Status)
+			}
+		})
+	}
+	few, many := run(8), run(208)
+	perNode := (many - few) / 200
+	t.Logf("allocs: %0.0f @ 8 nodes, %0.0f @ 208 nodes -> %0.2f allocs/node", few, many, perNode)
+	// The seed implementation re-standardized each node: ≥ m·n tableau cells
+	// plus four bound-slice clones, i.e. thousands of allocations per node
+	// at this size. The warm arena needs only the node bookkeeping.
+	if perNode > 40 {
+		t.Errorf("per-node allocations = %0.1f, want O(1) (≤ 40): bound diff chain or tableau arena regressed", perNode)
+	}
+	// And the node bookkeeping must not scale with the variable count.
+	pBig := parityProblem(4 * nVars)
+	runBig := func(maxNodes int) float64 {
+		return testing.AllocsPerRun(5, func() {
+			sol, err := SolveILP(pBig, ILPOptions{Engine: EngineExact, MaxNodes: maxNodes})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sol.Status != StatusLimit {
+				t.Fatalf("status = %v, want limit", sol.Status)
+			}
+		})
+	}
+	fewB, manyB := runBig(8), runBig(208)
+	perNodeBig := (manyB - fewB) / 200
+	t.Logf("4x vars: %0.2f allocs/node", perNodeBig)
+	if perNodeBig > 40 {
+		t.Errorf("per-node allocations at 4x vars = %0.1f, want O(1) (≤ 40)", perNodeBig)
+	}
+}

@@ -6,35 +6,50 @@ import (
 )
 
 // arith abstracts the field the simplex pivots over, so one implementation
-// serves both the exact rational engine and the float64 fast path.
+// serves the exact rational engines (big.Rat, and the int64 fast path in
+// rat64.go) and the float64 engine.
 type arith[T any] interface {
 	add(a, b T) T
 	sub(a, b T) T
 	mul(a, b T) T
 	div(a, b T) T
+	neg(a T) T
 	// sign returns -1, 0 or +1; the float implementation applies a tolerance.
 	sign(a T) int
+	// cmp returns the sign of a-b under the same tolerance regime as sign.
+	cmp(a, b T) int
 	zero() T
 	one() T
 	fromRat(r *big.Rat) T
 	toRat(a T) *big.Rat
+	// setRat writes a into dst without allocating a new big.Rat, so hot
+	// paths (branch-and-bound relaxation extraction) can reuse storage.
+	setRat(dst *big.Rat, a T)
+	// isInt reports whether a is integral, under the same tolerance regime
+	// as setRat (the float engine snaps near-integers).
+	isInt(a T) bool
 }
 
 // ratArith is exact arithmetic over *big.Rat. Values are treated as
-// immutable; every operation allocates.
+// immutable; every operation allocates. It is the promotion target when the
+// rat64 engine overflows machine words.
 type ratArith struct{}
 
 func (ratArith) add(a, b *big.Rat) *big.Rat { return new(big.Rat).Add(a, b) }
 func (ratArith) sub(a, b *big.Rat) *big.Rat { return new(big.Rat).Sub(a, b) }
 func (ratArith) mul(a, b *big.Rat) *big.Rat { return new(big.Rat).Mul(a, b) }
 func (ratArith) div(a, b *big.Rat) *big.Rat { return new(big.Rat).Quo(a, b) }
+func (ratArith) neg(a *big.Rat) *big.Rat    { return new(big.Rat).Neg(a) }
 func (ratArith) sign(a *big.Rat) int        { return a.Sign() }
+func (ratArith) cmp(a, b *big.Rat) int      { return a.Cmp(b) }
 func (ratArith) zero() *big.Rat             { return new(big.Rat) }
 func (ratArith) one() *big.Rat              { return big.NewRat(1, 1) }
 func (ratArith) fromRat(r *big.Rat) *big.Rat {
 	return new(big.Rat).Set(r)
 }
-func (ratArith) toRat(a *big.Rat) *big.Rat { return new(big.Rat).Set(a) }
+func (ratArith) toRat(a *big.Rat) *big.Rat       { return new(big.Rat).Set(a) }
+func (ratArith) setRat(dst *big.Rat, a *big.Rat) { dst.Set(a) }
+func (ratArith) isInt(a *big.Rat) bool           { return a.IsInt() }
 
 // floatArith is float64 arithmetic with an absolute tolerance used by sign.
 type floatArith struct{ eps float64 }
@@ -43,6 +58,7 @@ func (floatArith) add(a, b float64) float64 { return a + b }
 func (floatArith) sub(a, b float64) float64 { return a - b }
 func (floatArith) mul(a, b float64) float64 { return a * b }
 func (floatArith) div(a, b float64) float64 { return a / b }
+func (floatArith) neg(a float64) float64    { return -a }
 func (f floatArith) sign(a float64) int {
 	if a > f.eps {
 		return 1
@@ -52,20 +68,31 @@ func (f floatArith) sign(a float64) int {
 	}
 	return 0
 }
-func (floatArith) zero() float64 { return 0 }
-func (floatArith) one() float64  { return 1 }
+func (f floatArith) cmp(a, b float64) int { return f.sign(a - b) }
+func (floatArith) zero() float64          { return 0 }
+func (floatArith) one() float64           { return 1 }
 func (floatArith) fromRat(r *big.Rat) float64 {
 	v, _ := r.Float64()
 	return v
 }
-func (floatArith) toRat(a float64) *big.Rat {
+func (fa floatArith) toRat(a float64) *big.Rat {
+	out := new(big.Rat)
+	fa.setRat(out, a)
+	return out
+}
+func (floatArith) setRat(dst *big.Rat, a float64) {
 	// Round near-integers exactly so integral solutions survive conversion.
 	if r := math.Round(a); math.Abs(a-r) < 1e-7 && math.Abs(r) < 1e15 {
-		return big.NewRat(int64(r), 1)
+		dst.SetFrac64(int64(r), 1)
+		return
 	}
-	out := new(big.Rat)
-	out.SetFloat64(a)
-	return out
+	dst.SetFloat64(a)
+}
+
+// isInt matches setRat's snapping: a float counts as integral exactly when
+// setRat would emit an integer for it.
+func (floatArith) isInt(a float64) bool {
+	return math.Abs(a-math.Round(a)) < 1e-7 && math.Abs(a) < 1e15
 }
 
 // defaultEps is the float engine's zero tolerance.

@@ -1,0 +1,51 @@
+package lp
+
+import "math/big"
+
+// boundDiff is one branch-and-bound bound tightening, stored as a parent
+// chain exactly like mapf's cbsNode constraint chain: a child node differs
+// from its parent by ONE bound, so materializing a node's effective bounds
+// walks the chain instead of cloning per-variable slices. Pushing a node
+// allocates O(1) regardless of the variable count (the alloc regression
+// test in alloc_test.go pins this down).
+type boundDiff struct {
+	parent *boundDiff
+	v      int      // variable index
+	upper  bool     // true: tightened upper bound, false: raised lower bound
+	val    *big.Rat // the new bound
+	depth  int
+}
+
+func (nd *boundDiff) push(v int, upper bool, val *big.Rat) *boundDiff {
+	d := 0
+	if nd != nil {
+		d = nd.depth
+	}
+	return &boundDiff{parent: nd, v: v, upper: upper, val: val, depth: d + 1}
+}
+
+// materialize fills lo/hi (len == NumVars, reused across nodes) with the
+// node's effective bounds: the declared Problem bounds overlaid with every
+// diff on the chain, deeper diffs winning. scratch is a reusable stack for
+// the root-to-leaf replay; the returned slice is the (possibly grown)
+// scratch for the caller to keep.
+func (nd *boundDiff) materialize(p *Problem, lo, hi []*big.Rat, scratch []*boundDiff) []*boundDiff {
+	for i := range p.Vars {
+		lo[i] = p.Vars[i].Lower
+		hi[i] = p.Vars[i].Upper
+	}
+	scratch = scratch[:0]
+	for cur := nd; cur != nil; cur = cur.parent {
+		scratch = append(scratch, cur)
+	}
+	// Replay root→leaf so deeper (later) diffs overwrite shallower ones.
+	for i := len(scratch) - 1; i >= 0; i-- {
+		d := scratch[i]
+		if d.upper {
+			hi[d.v] = d.val
+		} else {
+			lo[d.v] = d.val
+		}
+	}
+	return scratch
+}

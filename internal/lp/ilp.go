@@ -10,8 +10,9 @@ type Engine int
 
 // Available engines.
 const (
-	// EngineExact uses the rational simplex for every relaxation. Complete
-	// and exact, but slow on large problems.
+	// EngineExact uses the exact rational simplex for every relaxation:
+	// int64 numerator/denominator arithmetic promoted transparently to
+	// big.Rat on overflow. Complete and exact.
 	EngineExact Engine = iota
 	// EngineFloat uses the float64 simplex for relaxations and verifies the
 	// final incumbent exactly with Problem.Check. Fast; an (unlikely)
@@ -28,29 +29,63 @@ type ILPOptions struct {
 	// (200000). When exhausted the solver returns StatusLimit (or the best
 	// incumbent found so far, if any).
 	MaxNodes int
+	// MaxWork bounds the total tableau work across the whole branch-and-
+	// bound run, measured in row-update operations (rows touched by an
+	// elimination × row length); 0 means unlimited. Neither nodes nor
+	// pivots bound latency on large tableaus: a warm reentry of a
+	// feasibility relaxation can wander for thousands of pivots (zero
+	// objective ⇒ the dual simplex has no monotone progress measure), and
+	// a pivot's cost itself grows with fill-in. Work units are
+	// deterministic and machine-independent; exhaustion returns
+	// StatusLimit, like MaxNodes.
+	MaxWork int64
 }
 
 // SolveILP solves the mixed-integer program p by branch and bound over the
 // simplex relaxation. For pure feasibility problems (no objective) it stops
 // at the first integral solution. Every returned solution is exactly
 // verified against p with rational arithmetic.
+//
+// The search keeps ONE tableau arena for the whole tree: a child node
+// differs from its parent by a single bound, so each relaxation warm-starts
+// from the previous node's basis with a few dual-simplex pivots (falling
+// back to a cold solve only when the basis cannot be retargeted), and node
+// bounds live in a parent-linked diff chain instead of per-node slices.
 func SolveILP(p *Problem, opts ILPOptions) (*Solution, error) {
+	if opts.Engine == EngineFloat {
+		return bbSolve[float64, floatArith](p, floatArith{eps: defaultEps}, opts)
+	}
+	var sol *Solution
+	var err error
+	if promote(func() { sol, err = bbSolve[rat64, rat64Arith](p, rat64Arith{}, opts) }) {
+		return sol, err
+	}
+	return bbSolve[*big.Rat, ratArith](p, ratArith{}, opts)
+}
+
+func bbSolve[T any, A arith[T]](p *Problem, ar A, opts ILPOptions) (*Solution, error) {
 	maxNodes := opts.MaxNodes
 	if maxNodes == 0 {
 		maxNodes = 200000
 	}
-	relax := func(lo, hi []*big.Rat) (*Solution, error) {
-		if opts.Engine == EngineFloat {
-			return solveWith[float64](p, floatArith{eps: defaultEps}, lo, hi)
-		}
-		return solveWith[*big.Rat](p, ratArith{}, lo, hi)
+	nv := len(p.Vars)
+	tb := newTableau[T, A](p, ar)
+	tb.workBudget = opts.MaxWork
+	// Reused per-node scratch: effective bounds, chain replay stack, and the
+	// relaxation values (big.Rat storage recycled across nodes).
+	loEff := make([]*big.Rat, nv)
+	hiEff := make([]*big.Rat, nv)
+	var chainScratch []*boundDiff
+	relaxVals := make([]*big.Rat, nv)
+	for i := range relaxVals {
+		relaxVals[i] = new(big.Rat)
 	}
+	objTmp := new(big.Rat)
+	mulTmp := new(big.Rat)
 
-	type node struct {
-		lo, hi []*big.Rat
-	}
-	n := len(p.Vars)
-	stack := []node{{make([]*big.Rat, n), make([]*big.Rat, n)}}
+	// DFS stack of bound-diff nodes; the nil entry is the root (declared
+	// bounds only).
+	stack := make([]*boundDiff, 1, 64)
 	var best *Solution
 	var bestObj *big.Rat
 	nodes := 0
@@ -75,37 +110,44 @@ func SolveILP(p *Problem, opts ILPOptions) (*Solution, error) {
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 
-		sol, err := relax(nd.lo, nd.hi)
-		if err != nil {
-			return nil, err
-		}
-		switch sol.Status {
+		chainScratch = nd.materialize(p, loEff, hiEff, chainScratch)
+		switch tb.solveNode(loEff, hiEff) {
 		case StatusInfeasible:
 			continue
 		case StatusUnbounded:
 			// An unbounded relaxation at the root of a minimization with no
 			// integrality cuts to help: report unbounded.
 			return &Solution{Status: StatusUnbounded}, nil
+		case StatusLimit:
+			// Pivot budget exhausted mid-relaxation: stop the search and
+			// fall through to the best incumbent, as with MaxNodes.
+			hitLimit = true
 		}
-		// Bound: prune if the relaxation cannot beat the incumbent.
-		if best != nil && sol.Objective != nil && !betterOrEqual(p, sol.Objective, bestObj) {
-			continue
+		if hitLimit {
+			break
 		}
-		// Find a fractional integer variable to branch on.
-		branch := -1
-		for i, v := range p.Vars {
-			if v.Integer && !sol.Values[i].IsInt() {
-				branch = i
-				break
+		// Bound: prune if the relaxation cannot beat the incumbent. The
+		// objective is evaluated in the tableau's own field — per-node work
+		// stays allocation-free until a candidate or branch value is needed.
+		if best != nil && len(p.Objective) > 0 {
+			ar.setRat(objTmp, tb.objectiveValue())
+			if p.Maximize {
+				objTmp.Neg(objTmp) // cost is the minimization form
+			}
+			if !betterOrEqual(p, objTmp, bestObj) {
+				continue
 			}
 		}
+		// Find a fractional integer variable to branch on.
+		branch := tb.firstFractionalInt()
 		if branch < 0 {
 			// Integral (by the relaxation's lights): round and verify exactly.
-			vals := roundIntegers(p, sol.Values)
+			tb.extractInto(relaxVals)
+			vals := roundIntegers(p, relaxVals)
 			if err := p.Check(vals); err != nil {
 				// Float noise produced a bogus candidate; branch on the
 				// variable with the largest rounding error to make progress.
-				branch = worstRounded(p, sol.Values)
+				branch = worstRounded(p, relaxVals)
 				if branch < 0 {
 					continue // nothing to branch on; abandon this node
 				}
@@ -121,17 +163,13 @@ func SolveILP(p *Problem, opts ILPOptions) (*Solution, error) {
 				return cand, nil // feasibility problem: first solution wins
 			}
 		}
-		// Branch on floor/ceil of the fractional value.
-		v := sol.Values[branch]
-		fl := ratFloor(v)
-		lo1 := cloneBounds(nd.lo)
-		hi1 := cloneBounds(nd.hi)
-		hi1[branch] = fl
-		lo2 := cloneBounds(nd.lo)
-		hi2 := cloneBounds(nd.hi)
-		lo2[branch] = new(big.Rat).Add(fl, big.NewRat(1, 1))
-		// Explore the floor side first (LIFO: push ceil first).
-		stack = append(stack, node{lo2, hi2}, node{lo1, hi1})
+		// Branch on floor/ceil of the fractional value: each child is one
+		// bound diff off this node. Explore the floor side first (LIFO:
+		// push ceil first).
+		ar.setRat(mulTmp, tb.value(branch))
+		fl := ratFloor(mulTmp)
+		ceil := new(big.Rat).Add(fl, big.NewRat(1, 1))
+		stack = append(stack, nd.push(branch, false, ceil), nd.push(branch, true, fl))
 	}
 
 	if best != nil {
@@ -208,12 +246,6 @@ func ratRound(r *big.Rat) *big.Rat {
 		return fl.Add(fl, big.NewRat(1, 1))
 	}
 	return fl
-}
-
-func cloneBounds(b []*big.Rat) []*big.Rat {
-	out := make([]*big.Rat, len(b))
-	copy(out, b)
-	return out
 }
 
 // MustInt converts a rational known to be integral into an int.

@@ -1,41 +1,66 @@
 package lp
 
-import (
-	"fmt"
-	"math/big"
-)
+import "math/big"
+
+// This file implements a bounded-variable primal simplex with a dual-simplex
+// reentry path, dense over an exact or floating field T.
+//
+// Standard form: every model constraint i gets one logical column s_i with
+//
+//	Σ_j a_ij x_j + s_i = b_i,   s_i ∈ [0,∞) for ≤, (-∞,0] for ≥, [0,0] for =,
+//
+// and every variable keeps its declared bounds implicitly: a nonbasic column
+// sits at its lower bound, at its upper bound, or (for free columns) at
+// zero, instead of contributing extra `x ≤ cap` rows. Branch-and-bound nodes
+// therefore change only bound values, never the column structure, which is
+// what makes the warm-started reentry in solveNode sound: reduced costs
+// depend on the basis alone, so the final basis of any previously solved
+// node stays dual feasible and the child is re-solved with a handful of
+// dual pivots instead of a fresh two-phase solve from artificials.
+//
+// Pricing is Dantzig's rule (most attractive reduced cost) with a
+// degenerate-stall fallback to Bland's least-index rule (pricing.go), so
+// typical pivot counts stay low while termination remains guaranteed.
 
 // SolveLP solves the continuous relaxation of p with the exact rational
-// two-phase simplex (Bland's rule, guaranteed termination). Integrality
-// markers on variables are ignored.
+// engine. Arithmetic runs over int64 numerator/denominator pairs (rat64)
+// and transparently promotes the whole solve to big.Rat on overflow, so
+// results are exact either way. Integrality markers on variables are
+// ignored.
 func SolveLP(p *Problem) (*Solution, error) {
-	return solveWith[*big.Rat](p, ratArith{}, nil, nil)
+	var sol *Solution
+	var err error
+	if promote(func() { sol, err = solveLPWith[rat64, rat64Arith](p, rat64Arith{}) }) {
+		return sol, err
+	}
+	return solveLPWith[*big.Rat, ratArith](p, ratArith{})
 }
 
 // SolveLPFloat solves the continuous relaxation of p with the float64
-// engine. It is much faster than SolveLP on large problems but subject to
-// rounding; callers that need certainty should verify with Problem.Check.
+// engine. It is much faster than SolveLP on very large problems but subject
+// to rounding; callers that need certainty should verify with Problem.Check.
 func SolveLPFloat(p *Problem) (*Solution, error) {
-	return solveWith[float64](p, floatArith{eps: defaultEps}, nil, nil)
+	return solveLPWith[float64, floatArith](p, floatArith{eps: defaultEps})
 }
 
-// solveWith runs two-phase simplex over the chosen field. loOverride and
-// hiOverride, when non-nil, replace per-variable bounds (used by branch and
-// bound); entries that are nil fall back to the declared bounds.
-func solveWith[T any](p *Problem, ar arith[T], loOverride, hiOverride []*big.Rat) (*Solution, error) {
-	std, err := standardize(p, ar, loOverride, hiOverride)
-	if err != nil {
-		return nil, err
+func solveLPWith[T any, A arith[T]](p *Problem, ar A) (*Solution, error) {
+	tb := newTableau[T, A](p, ar)
+	lo := make([]*big.Rat, len(p.Vars))
+	hi := make([]*big.Rat, len(p.Vars))
+	for i := range p.Vars {
+		lo[i] = p.Vars[i].Lower
+		hi[i] = p.Vars[i].Upper
 	}
-	if std.infeasible {
-		return &Solution{Status: StatusInfeasible}, nil
-	}
-	status := std.run()
+	status := tb.solveNode(lo, hi)
 	switch status {
 	case StatusInfeasible, StatusUnbounded:
 		return &Solution{Status: status}, nil
 	}
-	values := std.extract()
+	values := make([]*big.Rat, len(p.Vars))
+	for i := range values {
+		values[i] = new(big.Rat)
+	}
+	tb.extractInto(values)
 	sol := &Solution{Status: StatusOptimal, Values: values}
 	if len(p.Objective) > 0 {
 		obj := new(big.Rat)
@@ -48,226 +73,912 @@ func solveWith[T any](p *Problem, ar arith[T], loOverride, hiOverride []*big.Rat
 	return sol, nil
 }
 
-// colInfo records how a model variable maps into simplex columns.
-type colInfo struct {
-	pos   int      // column of the (shifted) non-negative part, -1 if none
-	neg   int      // column of the negative part for free variables, -1 if none
-	shift *big.Rat // value to add back after solving (the lower bound), may be nil
-	fixed *big.Rat // set when lower == upper: variable eliminated, may be nil
-}
+// vstat is the simplex status of one column.
+type vstat uint8
 
-// tableauState is a dense simplex tableau over field T.
-//
-// Layout: rows 0..m-1 are constraints in equality form with non-negative
-// RHS (column n holds the RHS). basis[i] is the variable occupying row i.
-// Columns 0..nStruct-1 are structural, then slacks, then artificials.
-type tableauState[T any] struct {
-	ar         arith[T]
-	m, n       int // rows, total columns excluding RHS
-	nStruct    int
-	rows       [][]T // m x (n+1)
-	basis      []int
-	cost       []T // phase-2 reduced-objective coefficients, len n
-	hasObj     bool
-	nArt       int
-	artStart   int
-	cols       []colInfo
-	p          *Problem
-	infeasible bool // detected during standardization (e.g. lo > hi)
-}
-
-// standardize converts p into equality standard form.
-func standardize[T any](p *Problem, ar arith[T], loOverride, hiOverride []*big.Rat) (*tableauState[T], error) {
-	st := &tableauState[T]{ar: ar, p: p}
-	st.cols = make([]colInfo, len(p.Vars))
-
-	effLo := func(i int) *big.Rat {
-		if loOverride != nil && loOverride[i] != nil {
-			return loOverride[i]
-		}
-		return p.Vars[i].Lower
-	}
-	effHi := func(i int) *big.Rat {
-		if hiOverride != nil && hiOverride[i] != nil {
-			return hiOverride[i]
-		}
-		return p.Vars[i].Upper
-	}
-
-	// Assign structural columns. Fixed variables (lo == hi) are eliminated.
-	ncol := 0
-	type upperRow struct {
-		col int
-		cap *big.Rat // upper - lower
-	}
-	var uppers []upperRow
-	for i := range p.Vars {
-		lo, hi := effLo(i), effHi(i)
-		if lo != nil && hi != nil {
-			switch lo.Cmp(hi) {
-			case 1:
-				st.infeasible = true
-				return st, nil
-			case 0:
-				st.cols[i] = colInfo{pos: -1, neg: -1, fixed: lo}
-				continue
-			}
-		}
-		if lo != nil {
-			st.cols[i] = colInfo{pos: ncol, neg: -1, shift: lo}
-			if hi != nil {
-				uppers = append(uppers, upperRow{ncol, new(big.Rat).Sub(hi, lo)})
-			}
-			ncol++
-			continue
-		}
-		// Free below: split x = x+ - x-. A finite upper bound on such a
-		// variable becomes a synthetic x+ - x- <= hi row, added after the
-		// model constraints below.
-		st.cols[i] = colInfo{pos: ncol, neg: ncol + 1}
-		ncol += 2
-	}
-	st.nStruct = ncol
-
-	// Build rows in sorted sparse-triplet (CSR) form: one per model
-	// constraint plus one per finite upper bound. The construction is
-	// big.Rat-valued and independent of the tableau field, so the float and
-	// rational engines share it.
-	csr := newCSRRows(len(p.Constraints)+len(uppers), 4*len(p.Constraints))
-	for ci := range p.Constraints {
-		c := &p.Constraints[ci]
-		rhs := new(big.Rat).Set(c.RHS)
-		csr.beginRow()
-		for _, t := range c.Terms {
-			info := st.cols[t.Var]
-			if info.fixed != nil {
-				rhs.Sub(rhs, new(big.Rat).Mul(t.Coef, info.fixed))
-				continue
-			}
-			if info.shift != nil {
-				rhs.Sub(rhs, new(big.Rat).Mul(t.Coef, info.shift))
-			}
-			csr.add(info.pos, t.Coef)
-			if info.neg >= 0 {
-				csr.add(info.neg, new(big.Rat).Neg(t.Coef))
-			}
-		}
-		csr.endRow(c.Sense, rhs)
-	}
-	for _, u := range uppers {
-		csr.beginRow()
-		csr.add(u.col, ratOne)
-		csr.endRow(LE, u.cap)
-	}
-	// Upper bounds on free-below variables.
-	for i := range p.Vars {
-		info := st.cols[i]
-		if info.neg < 0 || info.fixed != nil {
-			continue
-		}
-		if hi := effHi(i); hi != nil {
-			csr.beginRow()
-			csr.add(info.pos, ratOne)
-			csr.add(info.neg, ratNegOne)
-			csr.endRow(LE, new(big.Rat).Set(hi))
-		}
-	}
-
-	st.m = csr.numRows()
-	// Count slack columns.
-	nSlack := 0
-	for _, sense := range csr.senses {
-		if sense != EQ {
-			nSlack++
-		}
-	}
-	st.artStart = st.nStruct + nSlack
-	st.nArt = st.m // one artificial per row (unused ones are dropped by phase 1)
-	st.n = st.artStart + st.nArt
-
-	st.rows = make([][]T, st.m)
-	st.basis = make([]int, st.m)
-	slackCol := st.nStruct
-	one := ar.one()
-	negOne := ar.sub(ar.zero(), one)
-	// One backing array for the whole tableau keeps rows contiguous.
-	back := make([]T, st.m*(st.n+1))
-	for i := range back {
-		back[i] = ar.zero()
-	}
-	for ri := 0; ri < st.m; ri++ {
-		row := back[ri*(st.n+1) : (ri+1)*(st.n+1) : (ri+1)*(st.n+1)]
-		rcols, rvals := csr.row(ri)
-		negate := csr.rhs[ri].Sign() < 0
-		for idx, col := range rcols {
-			v := ar.fromRat(rvals[idx])
-			if negate {
-				v = ar.sub(ar.zero(), v)
-			}
-			row[col] = v
-		}
-		rhs := new(big.Rat).Set(csr.rhs[ri])
-		sense := csr.senses[ri]
-		if negate {
-			rhs.Neg(rhs)
-			switch sense {
-			case LE:
-				sense = GE
-			case GE:
-				sense = LE
-			}
-		}
-		row[st.n] = ar.fromRat(rhs)
-		switch sense {
-		case LE:
-			row[slackCol] = one
-			slackCol++
-		case GE:
-			row[slackCol] = negOne
-			slackCol++
-		}
-		// Artificial for this row.
-		art := st.artStart + ri
-		row[art] = one
-		st.basis[ri] = art
-		st.rows[ri] = row
-	}
-
-	// Phase-2 cost vector from the objective (minimization form).
-	st.cost = make([]T, st.n)
-	for j := range st.cost {
-		st.cost[j] = ar.zero()
-	}
-	if len(p.Objective) > 0 {
-		st.hasObj = true
-		for _, t := range p.Objective {
-			coef := new(big.Rat).Set(t.Coef)
-			if p.Maximize {
-				coef.Neg(coef)
-			}
-			info := st.cols[t.Var]
-			if info.fixed != nil {
-				continue
-			}
-			v := ar.fromRat(coef)
-			st.cost[info.pos] = ar.add(st.cost[info.pos], v)
-			if info.neg >= 0 {
-				st.cost[info.neg] = ar.sub(st.cost[info.neg], v)
-			}
-		}
-	}
-	return st, nil
-}
-
-var (
-	ratOne    = big.NewRat(1, 1)
-	ratNegOne = big.NewRat(-1, 1)
+const (
+	nbLower vstat = iota // nonbasic at its lower bound
+	nbUpper              // nonbasic at its upper bound
+	nbFree               // nonbasic free column resting at zero
+	inBasis
 )
 
-// csrRows accumulates the standardized constraint system as sorted sparse
-// triplets with a CSR layout: row r occupies cols/vals[ptr[r]:ptr[r+1]],
-// sorted by column with duplicates merged. Compared to one map[int]*big.Rat
-// per row this is two flat appends per term and no hashing.
+// tableau is the dense bounded-variable simplex state over field T. One
+// tableau serves an entire branch-and-bound tree: newTableau allocates the
+// arena once, and solveNode re-solves it per node, warm when possible.
+//
+// Column layout: 0..nv-1 structural (one per model variable — free columns
+// are kept free, not split), nv..nv+m-1 logicals (one per row), then m
+// artificial slots used by cold phase-1 starts. Column n of each row stores
+// B⁻¹b, maintained through pivots so warm starts can rebuild basic values
+// after bound changes without refactorizing.
+type tableau[T any, A arith[T]] struct {
+	ar       A
+	p        *Problem
+	m        int // constraint rows
+	nv       int // structural columns
+	artStart int // nv + m
+	n        int // total columns: nv + 2m
+	stride   int // n + 1; column n is B⁻¹b
+
+	rows  []T // m × stride, row-major
+	basis []int
+	rowOf []int // column → row it is basic in, -1 otherwise
+	xB    []T   // value of the basic variable of each row
+	stat  []vstat
+	lo    []T
+	hi    []T
+	loF   []bool // finite-bound flags
+	hiF   []bool
+
+	cost   []T // phase-2 minimization costs, len n
+	obj    []T // maintained phase-2 reduced-cost row, len stride
+	hasObj bool
+
+	// Pristine constraint system, converted to T once at construction.
+	csr     *csrRows
+	convVal []T // csr.vals converted
+	convRHS []T
+
+	nArt   int  // artificials activated by the last cold start
+	warmOK bool // tableau holds a dual-feasible basis from a prior solve
+	pr     pricer
+	// work counts row-update operations spent in eliminate; workBudget is
+	// the allowance from ILPOptions.MaxWork (0 = unlimited).
+	work       int64
+	workBudget int64
+}
+
+func newTableau[T any, A arith[T]](p *Problem, ar A) *tableau[T, A] {
+	nv := len(p.Vars)
+	m := len(p.Constraints)
+	tb := &tableau[T, A]{
+		ar: ar, p: p,
+		m: m, nv: nv, artStart: nv + m, n: nv + 2*m, stride: nv + 2*m + 1,
+	}
+	// Constraint matrix as sorted CSR triplets, duplicates merged; shared by
+	// every engine and every cold restart.
+	csr := newCSRRows(m, 4*m)
+	for ci := range p.Constraints {
+		c := &p.Constraints[ci]
+		for _, t := range c.Terms {
+			csr.add(int(t.Var), t.Coef)
+		}
+		csr.endRow(c.Sense, c.RHS)
+	}
+	tb.csr = csr
+	tb.convVal = make([]T, len(csr.vals))
+	for i, v := range csr.vals {
+		tb.convVal[i] = ar.fromRat(v)
+	}
+	tb.convRHS = make([]T, m)
+	for i, r := range csr.rhs {
+		tb.convRHS[i] = ar.fromRat(r)
+	}
+
+	tb.rows = make([]T, m*tb.stride)
+	tb.basis = make([]int, m)
+	tb.rowOf = make([]int, tb.n)
+	tb.xB = make([]T, m)
+	tb.stat = make([]vstat, tb.n)
+	tb.lo = make([]T, tb.n)
+	tb.hi = make([]T, tb.n)
+	tb.loF = make([]bool, tb.n)
+	tb.hiF = make([]bool, tb.n)
+	tb.obj = make([]T, tb.stride)
+	tb.cost = make([]T, tb.n)
+	zero := ar.zero()
+	for j := range tb.cost {
+		tb.cost[j] = zero
+		tb.lo[j] = zero
+		tb.hi[j] = zero
+	}
+	// Logical bounds encode the row sense; artificials stay locked at [0,0]
+	// except while a cold phase 1 owns them.
+	for i := 0; i < m; i++ {
+		lcol := nv + i
+		switch p.Constraints[i].Sense {
+		case LE:
+			tb.loF[lcol] = true // [0, ∞)
+		case GE:
+			tb.hiF[lcol] = true // (-∞, 0]
+		case EQ:
+			tb.loF[lcol], tb.hiF[lcol] = true, true // [0, 0]
+		}
+		acol := tb.artStart + i
+		tb.loF[acol], tb.hiF[acol] = true, true
+	}
+	// Phase-2 cost vector (minimization form).
+	if len(p.Objective) > 0 {
+		tb.hasObj = true
+		for _, t := range p.Objective {
+			c := ar.fromRat(t.Coef)
+			if p.Maximize {
+				c = ar.neg(c)
+			}
+			tb.cost[t.Var] = ar.add(tb.cost[t.Var], c)
+		}
+	}
+	tb.pr = newPricer(m, tb.n)
+	return tb
+}
+
+// exhausted reports whether the work budget has run out.
+func (tb *tableau[T, A]) exhausted() bool {
+	return tb.workBudget > 0 && tb.work >= tb.workBudget
+}
+
+// setBounds installs per-variable bounds for the next solve (structural
+// columns only; logical and artificial bounds are fixed by construction).
+// It reports false when some lower bound exceeds its upper bound, which
+// proves the node infeasible before any pivoting.
+func (tb *tableau[T, A]) setBounds(lo, hi []*big.Rat) bool {
+	zero := tb.ar.zero()
+	ok := true
+	for j := 0; j < tb.nv; j++ {
+		l, h := lo[j], hi[j]
+		if l != nil {
+			tb.lo[j], tb.loF[j] = tb.ar.fromRat(l), true
+		} else {
+			tb.lo[j], tb.loF[j] = zero, false
+		}
+		if h != nil {
+			tb.hi[j], tb.hiF[j] = tb.ar.fromRat(h), true
+		} else {
+			tb.hi[j], tb.hiF[j] = zero, false
+		}
+		// Compare in the tableau's field: big.Rat.Cmp allocates, and this
+		// runs per variable per branch-and-bound node.
+		if l != nil && h != nil && l != h && tb.ar.cmp(tb.lo[j], tb.hi[j]) > 0 {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// solveNode solves the problem under the given bounds, warm-starting from
+// the previous node's basis via dual simplex when the tableau still holds a
+// dual-feasible basis, and falling back to a cold two-phase solve otherwise.
+func (tb *tableau[T, A]) solveNode(lo, hi []*big.Rat) Status {
+	if !tb.setBounds(lo, hi) {
+		return StatusInfeasible
+	}
+	if tb.warmOK && tb.rewarm() {
+		switch tb.dual() {
+		case dualOptimal:
+			return StatusOptimal
+		case dualInfeasible:
+			// The basis is still dual feasible — only this node's bounds
+			// are unservable — so the NEXT node may warm-start from here.
+			return StatusInfeasible
+		case dualBudget:
+			return StatusLimit
+		}
+		// dualStuck: anti-cycling cap hit; restart cold for certainty.
+	}
+	tb.warmOK = false
+	status := tb.solveFresh()
+	tb.warmOK = status == StatusOptimal
+	return status
+}
+
+// solveFresh is the cold path: rebuild the tableau, run phase 1 from an
+// all-logical basis patched with artificials, then phase 2.
+func (tb *tableau[T, A]) solveFresh() Status {
+	tb.cold()
+	if st := tb.phase1(); st != StatusOptimal {
+		return st
+	}
+	return tb.phase2()
+}
+
+// nbValue is the current value of a nonbasic column.
+func (tb *tableau[T, A]) nbValue(j int) T {
+	switch tb.stat[j] {
+	case nbLower:
+		return tb.lo[j]
+	case nbUpper:
+		return tb.hi[j]
+	}
+	return tb.ar.zero()
+}
+
+// fixedRange reports whether a column's bounds pin it to a single value
+// (lo == hi), which removes it from every entering-candidate scan: such a
+// column can never move, so pivoting it is pure basis shuffling. Locked
+// artificials fall out of play through exactly this test.
+func (tb *tableau[T, A]) fixedRange(j int) bool {
+	return tb.loF[j] && tb.hiF[j] && tb.ar.cmp(tb.lo[j], tb.hi[j]) == 0
+}
+
+// cold rebuilds the tableau from the pristine constraint system: logical
+// basis, nonbasic structurals at their preferred bound, and one artificial
+// per row whose logical cannot absorb the residual.
+func (tb *tableau[T, A]) cold() {
+	ar := tb.ar
+	zero := ar.zero()
+	one := ar.one()
+	for i := range tb.rows {
+		tb.rows[i] = zero
+	}
+	for j := range tb.rowOf {
+		tb.rowOf[j] = -1
+	}
+	for j := 0; j < tb.nv; j++ {
+		switch {
+		case tb.loF[j]:
+			tb.stat[j] = nbLower
+		case tb.hiF[j]:
+			tb.stat[j] = nbUpper
+		default:
+			tb.stat[j] = nbFree
+		}
+	}
+	for i := 0; i < tb.m; i++ {
+		row := tb.rows[i*tb.stride : (i+1)*tb.stride]
+		cols, _ := tb.csr.row(i)
+		start := int(tb.csr.ptr[i])
+		for idx, col := range cols {
+			row[col] = tb.convVal[start+idx]
+		}
+		lcol := tb.nv + i
+		row[lcol] = one
+		row[tb.n] = tb.convRHS[i]
+		tb.basis[i] = lcol
+		tb.rowOf[lcol] = i
+		tb.stat[lcol] = inBasis
+		acol := tb.artStart + i
+		tb.stat[acol] = nbLower
+		tb.lo[acol], tb.hi[acol] = zero, zero
+		tb.loF[acol], tb.hiF[acol] = true, true
+		// x_logical = b - Σ a_ij v_j over nonbasic structurals at bounds.
+		v := row[tb.n]
+		for idx, col := range cols {
+			cv := tb.nbValue(int(col))
+			if ar.sign(cv) != 0 {
+				v = ar.sub(v, ar.mul(tb.convVal[start+idx], cv))
+			}
+		}
+		tb.xB[i] = v
+	}
+	// Patch rows whose logical start violates its own bounds with a basic
+	// artificial absorbing the residual (always non-negative by sign choice).
+	tb.nArt = 0
+	for i := 0; i < tb.m; i++ {
+		lcol := tb.nv + i
+		var target T
+		switch {
+		case tb.loF[lcol] && ar.cmp(tb.xB[i], tb.lo[lcol]) < 0:
+			target = tb.lo[lcol]
+			tb.stat[lcol] = nbLower
+		case tb.hiF[lcol] && ar.cmp(tb.xB[i], tb.hi[lcol]) > 0:
+			target = tb.hi[lcol]
+			tb.stat[lcol] = nbUpper
+		default:
+			continue
+		}
+		resid := ar.sub(tb.xB[i], target)
+		acol := tb.artStart + i
+		row := tb.rows[i*tb.stride : (i+1)*tb.stride]
+		if ar.sign(resid) < 0 {
+			// Negate the whole row so the artificial carries coefficient +1
+			// and the tableau stays in basis-normalized (unit-column) form.
+			for j := 0; j < tb.stride; j++ {
+				row[j] = ar.neg(row[j])
+			}
+			resid = ar.neg(resid)
+		}
+		row[acol] = one
+		tb.hiF[acol] = false // open to [0, ∞) for phase 1
+		tb.rowOf[lcol] = -1
+		tb.basis[i] = acol
+		tb.rowOf[acol] = i
+		tb.stat[acol] = inBasis
+		tb.xB[i] = resid
+		tb.nArt++
+	}
+}
+
+// phase1 minimizes the activated artificials to zero. On success all
+// artificials are driven nonbasic (or left basic at zero on redundant rows)
+// and re-locked to [0,0].
+func (tb *tableau[T, A]) phase1() Status {
+	ar := tb.ar
+	if tb.nArt > 0 {
+		objRow := make([]T, tb.stride)
+		zero := ar.zero()
+		for j := range objRow {
+			objRow[j] = zero
+		}
+		for j := tb.artStart; j < tb.n; j++ {
+			if tb.hiF[j] {
+				continue // not activated
+			}
+			objRow[j] = ar.one()
+		}
+		// Price out the basic artificials: objRow -= Σ cost_B · row_i.
+		for i := 0; i < tb.m; i++ {
+			if tb.basis[i] < tb.artStart {
+				continue
+			}
+			row := tb.rows[i*tb.stride : (i+1)*tb.stride]
+			for j := 0; j < tb.stride; j++ {
+				objRow[j] = ar.sub(objRow[j], row[j])
+			}
+		}
+		tb.pr.reset()
+		switch tb.primal(objRow) {
+		case StatusOptimal:
+		case StatusLimit:
+			return StatusLimit
+		default:
+			// A feasibility phase bounded below by zero cannot be unbounded;
+			// reaching this means numerical failure. Report infeasible.
+			return StatusInfeasible
+		}
+		infeas := zero
+		for i := 0; i < tb.m; i++ {
+			if tb.basis[i] >= tb.artStart {
+				infeas = ar.add(infeas, tb.xB[i])
+			}
+		}
+		if ar.sign(infeas) != 0 {
+			return StatusInfeasible
+		}
+		// Drive zero-valued basic artificials out so later phases and warm
+		// reentries never pivot around them; rows with no eligible column
+		// are redundant and keep their artificial pinned at zero.
+		for i := 0; i < tb.m; i++ {
+			if tb.basis[i] < tb.artStart {
+				continue
+			}
+			row := tb.rows[i*tb.stride : (i+1)*tb.stride]
+			for j := 0; j < tb.artStart; j++ {
+				if ar.sign(row[j]) != 0 {
+					tb.swapZero(i, j)
+					break
+				}
+			}
+		}
+		// Re-lock every artificial.
+		for j := tb.artStart; j < tb.n; j++ {
+			tb.hi[j] = zero
+			tb.hiF[j] = true
+		}
+	}
+	return StatusOptimal
+}
+
+// phase2 prices the model objective over the feasible basis and optimizes.
+// Feasibility problems keep an all-zero objective row, which is exactly the
+// dual-feasibility invariant warm starts rely on.
+func (tb *tableau[T, A]) phase2() Status {
+	ar := tb.ar
+	zero := ar.zero()
+	for j := range tb.obj {
+		tb.obj[j] = zero
+	}
+	if !tb.hasObj {
+		return StatusOptimal
+	}
+	copy(tb.obj, tb.cost)
+	for i := 0; i < tb.m; i++ {
+		cb := tb.cost[tb.basis[i]]
+		if ar.sign(cb) == 0 {
+			continue
+		}
+		row := tb.rows[i*tb.stride : (i+1)*tb.stride]
+		for j := 0; j < tb.stride; j++ {
+			tb.obj[j] = ar.sub(tb.obj[j], ar.mul(cb, row[j]))
+		}
+	}
+	tb.pr.reset()
+	return tb.primal(tb.obj)
+}
+
+// primal runs the bounded-variable primal simplex to optimality over the
+// given reduced-cost row (maintained through pivots). Artificial columns
+// never enter; fixed-range columns are skipped wholesale.
+func (tb *tableau[T, A]) primal(objRow []T) Status {
+	ar := tb.ar
+	for {
+		if tb.exhausted() {
+			return StatusLimit
+		}
+		enter, dir := tb.priceEnter(objRow)
+		if enter < 0 {
+			return StatusOptimal
+		}
+		step, flip, leaveRow, leaveAtUpper, ok := tb.ratio(enter, dir)
+		if !ok {
+			return StatusUnbounded
+		}
+		if flip {
+			tb.boundFlip(enter, dir)
+		} else {
+			tb.pivot(leaveRow, enter, dir, step, leaveAtUpper, objRow)
+		}
+		tb.pr.observe(ar.sign(step) == 0)
+	}
+}
+
+// priceEnter picks the entering column: Dantzig's most-attractive reduced
+// cost, or Bland's least index while the stall fallback is active. dir is
+// +1 when the column will increase off its lower bound (or zero), -1 when
+// it will decrease off its upper bound.
+func (tb *tableau[T, A]) priceEnter(objRow []T) (enter, dir int) {
+	ar := tb.ar
+	best := -1
+	bestDir := 0
+	var bestMag T
+	for j := 0; j < tb.artStart; j++ {
+		if tb.stat[j] == inBasis || tb.fixedRange(j) {
+			continue
+		}
+		d := objRow[j]
+		sd := ar.sign(d)
+		jdir := 0
+		switch tb.stat[j] {
+		case nbLower:
+			if sd < 0 {
+				jdir = 1
+			}
+		case nbUpper:
+			if sd > 0 {
+				jdir = -1
+			}
+		case nbFree:
+			if sd < 0 {
+				jdir = 1
+			} else if sd > 0 {
+				jdir = -1
+			}
+		}
+		if jdir == 0 {
+			continue
+		}
+		if tb.pr.bland {
+			return j, jdir
+		}
+		mag := d
+		if sd < 0 {
+			mag = ar.neg(d)
+		}
+		if best < 0 || ar.cmp(mag, bestMag) > 0 {
+			best, bestMag, bestDir = j, mag, jdir
+		}
+	}
+	return best, bestDir
+}
+
+// ratio runs the two-sided ratio test for entering column `enter` moving in
+// direction dir. It returns the step length and either a bound flip (the
+// entering column traverses to its opposite bound) or the leaving row and
+// which of its bounds blocks. ok=false means no limit exists: unbounded.
+func (tb *tableau[T, A]) ratio(enter, dir int) (step T, flip bool, leaveRow int, leaveAtUpper bool, ok bool) {
+	ar := tb.ar
+	haveLim := false
+	var limT T
+	leaveRow = -1
+	for i := 0; i < tb.m; i++ {
+		a := tb.rows[i*tb.stride+enter]
+		sa := ar.sign(a)
+		if sa == 0 {
+			continue
+		}
+		k := tb.basis[i]
+		// x_k moves by -dir·t·a: dir·a > 0 pushes it down toward its lower
+		// bound, dir·a < 0 up toward its upper bound.
+		decreasing := (dir > 0) == (sa > 0)
+		var bound T
+		if decreasing {
+			if !tb.loF[k] {
+				continue
+			}
+			bound = tb.lo[k]
+		} else {
+			if !tb.hiF[k] {
+				continue
+			}
+			bound = tb.hi[k]
+		}
+		den := a
+		if dir < 0 {
+			den = ar.neg(a)
+		}
+		t := ar.div(ar.sub(tb.xB[i], bound), den)
+		if ar.sign(t) < 0 {
+			t = ar.zero() // float drift below a bound: force a degenerate step
+		}
+		if !haveLim || ar.cmp(t, limT) < 0 ||
+			(ar.cmp(t, limT) == 0 && k < tb.basis[leaveRow]) {
+			haveLim, limT, leaveRow, leaveAtUpper = true, t, i, !decreasing
+		}
+	}
+	if tb.loF[enter] && tb.hiF[enter] {
+		rng := ar.sub(tb.hi[enter], tb.lo[enter])
+		if !haveLim || ar.cmp(rng, limT) <= 0 {
+			return rng, true, -1, false, true
+		}
+	}
+	if !haveLim {
+		var z T
+		return z, false, -1, false, false
+	}
+	return limT, false, leaveRow, leaveAtUpper, true
+}
+
+// boundFlip moves the entering column across to its opposite bound without
+// a basis change — the O(m) fast case of the bounded ratio test.
+func (tb *tableau[T, A]) boundFlip(enter, dir int) {
+	ar := tb.ar
+	rng := ar.sub(tb.hi[enter], tb.lo[enter])
+	if dir < 0 {
+		rng = ar.neg(rng)
+	}
+	if ar.sign(rng) != 0 {
+		for i := 0; i < tb.m; i++ {
+			a := tb.rows[i*tb.stride+enter]
+			if ar.sign(a) != 0 {
+				tb.xB[i] = ar.sub(tb.xB[i], ar.mul(rng, a))
+			}
+		}
+	}
+	if dir > 0 {
+		tb.stat[enter] = nbUpper
+	} else {
+		tb.stat[enter] = nbLower
+	}
+}
+
+// pivot performs the basis exchange: entering column moves dir·step off its
+// bound, the leaving row's basic variable lands exactly on the blocking
+// bound, and the tableau (plus objRow, when given) is eliminated around the
+// new unit column.
+func (tb *tableau[T, A]) pivot(r, enter, dir int, step T, leaveAtUpper bool, objRow []T) {
+	ar := tb.ar
+	delta := step
+	if dir < 0 {
+		delta = ar.neg(step)
+	}
+	if ar.sign(delta) != 0 {
+		for i := 0; i < tb.m; i++ {
+			if i == r {
+				continue
+			}
+			a := tb.rows[i*tb.stride+enter]
+			if ar.sign(a) != 0 {
+				tb.xB[i] = ar.sub(tb.xB[i], ar.mul(delta, a))
+			}
+		}
+	}
+	enterVal := ar.add(tb.nbValue(enter), delta)
+	k := tb.basis[r]
+	if leaveAtUpper {
+		tb.stat[k] = nbUpper
+	} else {
+		tb.stat[k] = nbLower
+	}
+	tb.rowOf[k] = -1
+	tb.eliminate(r, enter, objRow)
+	tb.basis[r] = enter
+	tb.rowOf[enter] = r
+	tb.stat[enter] = inBasis
+	tb.xB[r] = enterVal
+}
+
+// swapZero performs the zero-step basis swap used to drive a basic
+// artificial (at value zero) out of the basis.
+func (tb *tableau[T, A]) swapZero(r, enter int) {
+	k := tb.basis[r]
+	tb.stat[k] = nbLower
+	tb.rowOf[k] = -1
+	enterVal := tb.nbValue(enter)
+	tb.eliminate(r, enter, nil)
+	tb.basis[r] = enter
+	tb.rowOf[enter] = r
+	tb.stat[enter] = inBasis
+	tb.xB[r] = enterVal
+}
+
+// eliminate normalizes row r on column col and eliminates the column from
+// every other row (and from objRow when non-nil), including the B⁻¹b column.
+// Every basis change passes through here, so this is also where the work
+// accounting lives: each touched row charges one row length.
+func (tb *tableau[T, A]) eliminate(r, col int, objRow []T) {
+	ar := tb.ar
+	touched := int64(1) // the pivot row itself
+	prow := tb.rows[r*tb.stride : (r+1)*tb.stride]
+	pv := prow[col]
+	if ar.cmp(pv, ar.one()) != 0 {
+		inv := ar.div(ar.one(), pv)
+		for j := 0; j < tb.stride; j++ {
+			prow[j] = ar.mul(prow[j], inv)
+		}
+	}
+	for i := 0; i < tb.m; i++ {
+		if i == r {
+			continue
+		}
+		row := tb.rows[i*tb.stride : (i+1)*tb.stride]
+		f := row[col]
+		if ar.sign(f) == 0 {
+			continue
+		}
+		touched++
+		for j := 0; j < tb.stride; j++ {
+			row[j] = ar.sub(row[j], ar.mul(f, prow[j]))
+		}
+	}
+	if objRow != nil {
+		f := objRow[col]
+		if ar.sign(f) != 0 {
+			touched++
+			for j := 0; j < tb.stride; j++ {
+				objRow[j] = ar.sub(objRow[j], ar.mul(f, prow[j]))
+			}
+		}
+	}
+	tb.work += touched * int64(tb.stride)
+}
+
+// rewarm re-anchors nonbasic columns to the new node's bounds and rebuilds
+// basic values from the maintained B⁻¹b column. Every nonbasic structural
+// column is re-checked for dual feasibility, not just those whose bound
+// disappeared: columns pinned by an earlier branch (lo == hi) are excluded
+// from entering scans, so their reduced costs may drift to either sign
+// while pinned, and a later node that un-pins them must re-home them — or
+// give up and solve cold. rewarm reports false in that give-up case.
+func (tb *tableau[T, A]) rewarm() bool {
+	ar := tb.ar
+	for j := 0; j < tb.nv; j++ {
+		if tb.stat[j] == inBasis {
+			continue
+		}
+		if tb.fixedRange(j) {
+			tb.stat[j] = nbLower // lo == hi: either side, any reduced cost
+			continue
+		}
+		// Dual feasibility (minimization) demands d ≥ 0 at a lower bound,
+		// d ≤ 0 at an upper bound, d = 0 for a free column.
+		sd := ar.sign(tb.obj[j])
+		switch tb.stat[j] {
+		case nbLower:
+			if tb.loF[j] && sd >= 0 {
+				continue
+			}
+		case nbUpper:
+			if tb.hiF[j] && sd <= 0 {
+				continue
+			}
+		case nbFree:
+			if !tb.loF[j] && !tb.hiF[j] && sd == 0 {
+				continue
+			}
+		}
+		switch {
+		case sd > 0:
+			if !tb.loF[j] {
+				return false
+			}
+			tb.stat[j] = nbLower
+		case sd < 0:
+			if !tb.hiF[j] {
+				return false
+			}
+			tb.stat[j] = nbUpper
+		default:
+			switch {
+			case tb.loF[j]:
+				tb.stat[j] = nbLower
+			case tb.hiF[j]:
+				tb.stat[j] = nbUpper
+			default:
+				tb.stat[j] = nbFree
+			}
+		}
+	}
+	// xB = B⁻¹b − Σ (B⁻¹A)_j · v_j over nonbasic columns off zero.
+	for i := 0; i < tb.m; i++ {
+		tb.xB[i] = tb.rows[i*tb.stride+tb.n]
+	}
+	for j := 0; j < tb.n; j++ {
+		if tb.stat[j] == inBasis {
+			continue
+		}
+		v := tb.nbValue(j)
+		if ar.sign(v) == 0 {
+			continue
+		}
+		for i := 0; i < tb.m; i++ {
+			a := tb.rows[i*tb.stride+j]
+			if ar.sign(a) != 0 {
+				tb.xB[i] = ar.sub(tb.xB[i], ar.mul(a, v))
+			}
+		}
+	}
+	return true
+}
+
+type dualResult uint8
+
+const (
+	dualOptimal dualResult = iota
+	dualInfeasible
+	dualStuck
+	dualBudget // pivot budget exhausted mid-reentry
+)
+
+// dual runs the bounded-variable dual simplex from a dual-feasible basis
+// until primal feasibility (⇒ optimality), a primal-infeasibility
+// certificate, or the anti-cycling pivot cap. This is the warm-start
+// engine: a branch-and-bound child differs from the last solved node by one
+// bound, so a handful of dual pivots replaces a full cold solve.
+func (tb *tableau[T, A]) dual() dualResult {
+	ar := tb.ar
+	cap := 20*(tb.m+tb.n) + 1000
+	tb.pr.reset()
+	for iter := 0; ; iter++ {
+		if iter > cap {
+			return dualStuck
+		}
+		if tb.exhausted() {
+			return dualBudget
+		}
+		// Leaving row: most violated basic bound (least basis index once
+		// the degenerate-stall fallback engages).
+		r := -1
+		below := false
+		var bestViol T
+		for i := 0; i < tb.m; i++ {
+			k := tb.basis[i]
+			var viol T
+			var vBelow bool
+			switch {
+			case tb.loF[k] && ar.cmp(tb.xB[i], tb.lo[k]) < 0:
+				viol = ar.sub(tb.lo[k], tb.xB[i])
+				vBelow = true
+			case tb.hiF[k] && ar.cmp(tb.xB[i], tb.hi[k]) > 0:
+				viol = ar.sub(tb.xB[i], tb.hi[k])
+				vBelow = false
+			default:
+				continue
+			}
+			if r < 0 || (tb.pr.bland && k < tb.basis[r]) || (!tb.pr.bland && ar.cmp(viol, bestViol) > 0) {
+				r, bestViol, below = i, viol, vBelow
+			}
+		}
+		if r < 0 {
+			return dualOptimal
+		}
+		k := tb.basis[r]
+		target := tb.hi[k]
+		if below {
+			target = tb.lo[k]
+		}
+		prow := tb.rows[r*tb.stride : (r+1)*tb.stride]
+		// Entering column: min |d_j|/|a_rj| over sign-eligible columns keeps
+		// every reduced cost on its feasible side after the pivot.
+		e := -1
+		var bestRatio, bestAbsA T
+		for j := 0; j < tb.artStart; j++ {
+			if tb.stat[j] == inBasis || tb.fixedRange(j) {
+				continue
+			}
+			a := prow[j]
+			sa := ar.sign(a)
+			if sa == 0 {
+				continue
+			}
+			eligible := false
+			switch tb.stat[j] {
+			case nbLower: // moves up: needs a < 0 to raise x_k (below), a > 0 to lower it
+				eligible = (below && sa < 0) || (!below && sa > 0)
+			case nbUpper: // moves down
+				eligible = (below && sa > 0) || (!below && sa < 0)
+			case nbFree:
+				eligible = true
+			}
+			if !eligible {
+				continue
+			}
+			d := tb.obj[j]
+			if ar.sign(d) < 0 {
+				d = ar.neg(d)
+			}
+			absA := a
+			if sa < 0 {
+				absA = ar.neg(a)
+			}
+			// Compare d/|a| against bestRatio/bestAbsA without dividing:
+			// d·bestAbsA vs bestRatio·absA.
+			if e < 0 {
+				e, bestRatio, bestAbsA = j, d, absA
+				continue
+			}
+			c := ar.cmp(ar.mul(d, bestAbsA), ar.mul(bestRatio, absA))
+			if c < 0 || (c == 0 && ((tb.pr.bland && j < e) || (!tb.pr.bland && ar.cmp(absA, bestAbsA) > 0))) {
+				e, bestRatio, bestAbsA = j, d, absA
+			}
+		}
+		if e < 0 {
+			// No column can absorb the violation: primal infeasible, with
+			// dual feasibility intact for the next warm start.
+			return dualInfeasible
+		}
+		delta := ar.div(ar.sub(tb.xB[r], target), prow[e])
+		tb.pr.observe(ar.sign(delta) == 0)
+		for i := 0; i < tb.m; i++ {
+			if i == r {
+				continue
+			}
+			a := tb.rows[i*tb.stride+e]
+			if ar.sign(a) != 0 {
+				tb.xB[i] = ar.sub(tb.xB[i], ar.mul(delta, a))
+			}
+		}
+		enterVal := ar.add(tb.nbValue(e), delta)
+		if below {
+			tb.stat[k] = nbLower
+		} else {
+			tb.stat[k] = nbUpper
+		}
+		tb.rowOf[k] = -1
+		tb.eliminate(r, e, tb.obj)
+		tb.basis[r] = e
+		tb.rowOf[e] = r
+		tb.stat[e] = inBasis
+		tb.xB[r] = enterVal
+	}
+}
+
+// value is the current assignment of structural column j.
+func (tb *tableau[T, A]) value(j int) T {
+	if tb.stat[j] == inBasis {
+		return tb.xB[tb.rowOf[j]]
+	}
+	return tb.nbValue(j)
+}
+
+// extractInto writes the model-variable values of the current basis into
+// dst (len NumVars, entries preallocated), reusing the big.Rat storage so
+// branch-and-bound reads candidate values without allocating fresh slices.
+func (tb *tableau[T, A]) extractInto(dst []*big.Rat) {
+	for j := 0; j < tb.nv; j++ {
+		tb.ar.setRat(dst[j], tb.value(j))
+	}
+}
+
+// firstFractionalInt returns the first integer-marked variable with a
+// fractional relaxation value, or -1. It works in the tableau's own field,
+// so the branch-and-bound hot path never materializes big.Rat values.
+func (tb *tableau[T, A]) firstFractionalInt() int {
+	for j := 0; j < tb.nv; j++ {
+		if tb.p.Vars[j].Integer && !tb.ar.isInt(tb.value(j)) {
+			return j
+		}
+	}
+	return -1
+}
+
+// objectiveValue is Σ cost_j·x_j over the current assignment — the model
+// objective in minimization form (negated when the problem maximizes).
+func (tb *tableau[T, A]) objectiveValue() T {
+	ar := tb.ar
+	v := ar.zero()
+	for j := 0; j < tb.nv; j++ {
+		if ar.sign(tb.cost[j]) == 0 {
+			continue
+		}
+		v = ar.add(v, ar.mul(tb.cost[j], tb.value(j)))
+	}
+	return v
+}
+
+// csrRows accumulates the constraint system as sorted sparse triplets with
+// a CSR layout: row r occupies cols/vals[ptr[r]:ptr[r+1]], sorted by column
+// with duplicates merged. Compared to one map[int]*big.Rat per row this is
+// two flat appends per term and no hashing.
 type csrRows struct {
 	ptr    []int32
 	cols   []int32
@@ -291,8 +1002,6 @@ func (c *csrRows) numRows() int { return len(c.senses) }
 func (c *csrRows) row(r int) ([]int32, []*big.Rat) {
 	return c.cols[c.ptr[r]:c.ptr[r+1]], c.vals[c.ptr[r]:c.ptr[r+1]]
 }
-
-func (c *csrRows) beginRow() {}
 
 // add appends a term to the open row. coef is not retained; duplicates of
 // the same column are merged by endRow.
@@ -330,198 +1039,3 @@ func (c *csrRows) endRow(sense Sense, rhs *big.Rat) {
 	c.senses = append(c.senses, sense)
 	c.rhs = append(c.rhs, rhs)
 }
-
-// run executes phase 1 then (if there is an objective) phase 2.
-func (st *tableauState[T]) run() Status {
-	ar := st.ar
-	// Phase 1: minimize the sum of artificials. Since every initial basis
-	// variable is an artificial with cost 1, the phase-1 objective row entry
-	// for column j is Σ_i rows[i][j]; the row is pivoted with the tableau and
-	// its RHS entry is the current infeasibility, driven to zero.
-	objRow := make([]T, st.n+1)
-	for j := 0; j <= st.n; j++ {
-		s := ar.zero()
-		for i := 0; i < st.m; i++ {
-			s = ar.add(s, st.rows[i][j])
-		}
-		objRow[j] = s
-	}
-	// Artificial columns have reduced cost 0 in their own basis; exclude them
-	// from entering by zeroing their objective entries.
-	for j := st.artStart; j < st.n; j++ {
-		objRow[j] = ar.zero()
-	}
-	if !st.pivotLoop(objRow, st.artStart) {
-		// Phase 1 of a feasibility system cannot be unbounded (objective is
-		// bounded below by 0); treat as numerical failure -> infeasible.
-		return StatusInfeasible
-	}
-	if ar.sign(objRow[st.n]) != 0 {
-		return StatusInfeasible
-	}
-	// Drive any artificial still in the basis out (degenerate rows).
-	for i := 0; i < st.m; i++ {
-		if st.basis[i] < st.artStart {
-			continue
-		}
-		pivoted := false
-		for j := 0; j < st.artStart; j++ {
-			if ar.sign(st.rows[i][j]) != 0 {
-				st.pivot(i, j)
-				pivoted = true
-				break
-			}
-		}
-		if !pivoted {
-			// Row is all zeros across structural+slack columns: redundant.
-			// Leave the artificial basic at value 0; it never re-enters.
-			continue
-		}
-	}
-	if !st.hasObj {
-		return StatusOptimal
-	}
-	// Phase 2: reduced costs r_j = c_j - c_B B^-1 A_j. Build the objective
-	// row from st.cost and current basis.
-	objRow2 := make([]T, st.n+1)
-	copy(objRow2, st.cost)
-	objRow2[st.n] = ar.zero()
-	// Subtract c_B times each row to zero out basic columns.
-	for i := 0; i < st.m; i++ {
-		cb := ar.zero()
-		if st.basis[i] < st.n {
-			cb = st.cost[st.basis[i]]
-		}
-		if ar.sign(cb) == 0 {
-			continue
-		}
-		for j := 0; j <= st.n; j++ {
-			objRow2[j] = ar.sub(objRow2[j], ar.mul(cb, st.rows[i][j]))
-		}
-	}
-	// In phase 2 the entering test wants negative reduced cost; pivotLoop is
-	// written for "positive entries enter" (phase-1 style), so negate.
-	for j := 0; j <= st.n; j++ {
-		objRow2[j] = ar.sub(ar.zero(), objRow2[j])
-	}
-	if !st.pivotLoop(objRow2, st.artStart) {
-		return StatusUnbounded
-	}
-	return StatusOptimal
-}
-
-// pivotLoop repeatedly pivots while some eligible column has a positive
-// objective-row entry (Bland's rule: lowest index first). colLimit bounds the
-// eligible columns (artificials are excluded by passing artStart). Returns
-// false if an entering column has no positive pivot element (unbounded).
-func (st *tableauState[T]) pivotLoop(objRow []T, colLimit int) bool {
-	ar := st.ar
-	for {
-		enter := -1
-		for j := 0; j < colLimit; j++ {
-			if ar.sign(objRow[j]) > 0 {
-				enter = j
-				break
-			}
-		}
-		if enter < 0 {
-			return true
-		}
-		// Ratio test with Bland tie-breaking on the leaving basic variable.
-		leave := -1
-		var best T
-		for i := 0; i < st.m; i++ {
-			a := st.rows[i][enter]
-			if ar.sign(a) <= 0 {
-				continue
-			}
-			ratio := ar.div(st.rows[i][st.n], a)
-			if leave < 0 {
-				leave, best = i, ratio
-				continue
-			}
-			switch ar.sign(ar.sub(ratio, best)) {
-			case -1:
-				leave, best = i, ratio
-			case 0:
-				if st.basis[i] < st.basis[leave] {
-					leave = i
-				}
-			}
-		}
-		if leave < 0 {
-			return false
-		}
-		st.pivotWithObj(leave, enter, objRow)
-	}
-}
-
-// pivot makes (row, col) the pivot element and updates basis.
-func (st *tableauState[T]) pivot(row, col int) {
-	st.pivotWithObj(row, col, nil)
-}
-
-func (st *tableauState[T]) pivotWithObj(row, col int, objRow []T) {
-	ar := st.ar
-	pr := st.rows[row]
-	pv := pr[col]
-	inv := ar.div(ar.one(), pv)
-	for j := 0; j <= st.n; j++ {
-		pr[j] = ar.mul(pr[j], inv)
-	}
-	for i := 0; i < st.m; i++ {
-		if i == row {
-			continue
-		}
-		f := st.rows[i][col]
-		if ar.sign(f) == 0 {
-			continue
-		}
-		ri := st.rows[i]
-		for j := 0; j <= st.n; j++ {
-			ri[j] = ar.sub(ri[j], ar.mul(f, pr[j]))
-		}
-	}
-	if objRow != nil {
-		f := objRow[col]
-		if ar.sign(f) != 0 {
-			for j := 0; j <= st.n; j++ {
-				objRow[j] = ar.sub(objRow[j], ar.mul(f, pr[j]))
-			}
-		}
-	}
-	st.basis[row] = col
-}
-
-// extract reads the model-variable values out of the final tableau.
-func (st *tableauState[T]) extract() []*big.Rat {
-	ar := st.ar
-	colVal := make([]*big.Rat, st.n)
-	for j := range colVal {
-		colVal[j] = new(big.Rat)
-	}
-	for i := 0; i < st.m; i++ {
-		if st.basis[i] < st.n {
-			colVal[st.basis[i]] = ar.toRat(st.rows[i][st.n])
-		}
-	}
-	out := make([]*big.Rat, len(st.p.Vars))
-	for i := range st.p.Vars {
-		info := st.cols[i]
-		if info.fixed != nil {
-			out[i] = new(big.Rat).Set(info.fixed)
-			continue
-		}
-		v := new(big.Rat).Set(colVal[info.pos])
-		if info.neg >= 0 {
-			v.Sub(v, colVal[info.neg])
-		}
-		if info.shift != nil {
-			v.Add(v, info.shift)
-		}
-		out[i] = v
-	}
-	return out
-}
-
-var _ = fmt.Sprintf // keep fmt imported for debug helpers

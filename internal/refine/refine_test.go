@@ -109,6 +109,29 @@ func TestMinimalHorizonShrinks(t *testing.T) {
 	}
 }
 
+// TestMinimalHorizonContractILP drives the horizon search over the faithful
+// §IV-D contract→ILP synthesis path. Each probe re-solves the contract
+// conjunction by branch and bound, which the bounded-variable LP core's
+// warm-started search makes cheap enough to binary-search over.
+func TestMinimalHorizonContractILP(t *testing.T) {
+	w, s := testmaps.MustRing()
+	wl, err := warehouse.NewWorkload(w, []int{8, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const T = 1600
+	hr, err := MinimalHorizon(s, wl, T, core.Options{Strategy: core.ContractILP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.T >= T {
+		t.Errorf("no improvement: %d >= %d", hr.T, T)
+	}
+	if ok, why := warehouse.Services(w, hr.Result.Plan, wl); !ok {
+		t.Errorf("refined contract-ILP solution does not service: %v", why)
+	}
+}
+
 func TestMinimalHorizonErrors(t *testing.T) {
 	w, s := testmaps.MustRing()
 	wl, err := warehouse.NewWorkload(w, []int{300, 300})
