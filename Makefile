@@ -5,7 +5,7 @@
 GO ?= go
 BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: build test vet race bench ci fmt
+.PHONY: build test vet race bench bench-compare ci fmt
 
 build:
 	$(GO) build ./...
@@ -20,10 +20,16 @@ race:
 	$(GO) test -race ./...
 
 # Table I + solver-pool throughput + the contract→ILP path (ablation and
-# LP-core microbenchmarks), recorded with allocation stats.
+# LP-core microbenchmarks) + the repeated-solve layers (refinement,
+# lifelong, design sweep), recorded with allocation stats.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkTableI$$|BenchmarkSolveBatch|BenchmarkSynthesizerAblation|BenchmarkLP' -benchmem -benchtime 100x . | \
+	$(GO) test -run '^$$' -bench 'BenchmarkTableI$$|BenchmarkSolveBatch|BenchmarkSynthesizerAblation|BenchmarkLP|BenchmarkRefinement|BenchmarkLifelong|BenchmarkDesignSweep' -benchmem -benchtime 100x . | \
 		$(GO) run ./scripts/benchjson -o BENCH_table1.json -label "$(BENCH_LABEL)"
+
+# Diff the last two recorded snapshots per benchmark — the trajectory file
+# is long enough that regressions hide in the raw JSON.
+bench-compare:
+	$(GO) run ./scripts/benchjson -compare -o BENCH_table1.json
 
 fmt:
 	gofmt -l .

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cycles"
 	"repro/internal/grid"
+	"repro/internal/lifelong"
 	"repro/internal/lp"
 	"repro/internal/mapf"
 	"repro/internal/maps"
@@ -495,6 +496,81 @@ func BenchmarkRefinement(b *testing.B) {
 			minT = hr.T
 		}
 		b.ReportMetric(float64(minT), "minimal-T")
+	})
+	// The faithful contract→ILP path, where every probe re-solves the same
+	// contract conjunction at a different horizon — the repeated-solve
+	// workload the incremental model layer targets.
+	b.Run("MinimalHorizonContract", func(b *testing.B) {
+		w, s := testmaps.MustRing()
+		rwl, err := warehouse.NewWorkload(w, []int{8, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var minT int
+		for i := 0; i < b.N; i++ {
+			hr, err := refine.MinimalHorizon(s, rwl, 1600, core.Options{Strategy: core.ContractILP})
+			if err != nil {
+				b.Fatal(err)
+			}
+			minT = hr.T
+		}
+		b.ReportMetric(float64(minT), "minimal-T")
+	})
+}
+
+// BenchmarkLifelong (extension, §II-A lifelong WSP) measures the epoch loop:
+// staggered batches force repeated re-synthesis over the residual demand on
+// near-identical instances. The contract-ILP variant re-solves the same
+// contract conjunction every epoch, so it is the lifelong face of the
+// repeated-solve workload.
+func BenchmarkLifelong(b *testing.B) {
+	_, s := testmaps.MustRing()
+	batches := []lifelong.Batch{
+		{Release: 0, Units: []int{8, 0}},
+		{Release: 900, Units: []int{0, 8}},
+		{Release: 1800, Units: []int{4, 4}},
+	}
+	for _, strat := range []core.Strategy{core.RoutePacking, core.ContractILP} {
+		b.Run(strat.String(), func(b *testing.B) {
+			var epochs int
+			for i := 0; i < b.N; i++ {
+				rep, err := lifelong.Run(s, batches, 4800, lifelong.Options{Core: core.Options{Strategy: strat}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				epochs = rep.Epochs
+			}
+			b.ReportMetric(float64(epochs), "epochs")
+		})
+	}
+}
+
+// BenchmarkDesignSweep measures one design-sweep cell: the same topology
+// evaluated at a series of workload levels as one solver-pool batch, which
+// is the unit of work the `wsp sweep` grid walk repeats per topology. The
+// contract-ILP strategy re-solves the same contract conjunction per level.
+func BenchmarkDesignSweep(b *testing.B) {
+	w, s := testmaps.MustRing()
+	var reqs []solverpool.Request
+	for _, units := range [][]int{{4, 2}, {6, 4}, {8, 5}} {
+		wl, err := warehouse.NewWorkload(w, units)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs = append(reqs, solverpool.Request{
+			S: s, WL: wl, T: 1600,
+			Opts: core.Options{Strategy: core.ContractILP, SkipRealization: true},
+		})
+	}
+	b.Run("contract-series", func(b *testing.B) {
+		pool := solverpool.New(1)
+		for i := 0; i < b.N; i++ {
+			for _, r := range pool.SolveBatch(reqs) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
 	})
 }
 

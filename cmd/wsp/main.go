@@ -7,12 +7,16 @@
 //	wsp map   -name fulfillment1|fulfillment2|sorting
 //	wsp solve -name sorting -units 480 [-T 3600] [-strategy route|flows|contract]
 //	wsp table [-parallel N]                # reproduce Table I (N-wide solver pool)
+//	wsp sweep [-corridors 2,3,4] [-lens 6,7,9] [-units 480] [-points 3]
+//	                                       # walk the Fig. 5 co-design grid
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -37,6 +41,8 @@ func main() {
 		err = cmdSolve(os.Args[2:])
 	case "table":
 		err = cmdTable(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
 	case "export":
 		err = cmdExport(os.Args[2:])
 	case "solvefile":
@@ -52,7 +58,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wsp <map|solve|table|export|solvefile> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: wsp <map|solve|table|sweep|export|solvefile> [flags]")
 }
 
 // cmdExport writes a built-in instance to a JSON file that solvefile (or a
@@ -206,6 +212,114 @@ func cmdSolve(args []string) error {
 	fmt.Printf("  synthesis:  %v\n", res.Timing.Synthesis)
 	fmt.Printf("  realize:    %v  (validate: %v)\n", res.Timing.Realize, res.Timing.Validate)
 	return nil
+}
+
+// cmdSweep walks a co-design grid in the style of the paper's Fig. 5:
+// corridor width × component-length cap, each generated topology evaluated
+// against a series of workload levels. Every topology's series runs as one
+// solver-pool batch, so a worker's scratch — cycle buffers plus, for the
+// contract strategy, the compiled contract model — is reused across the
+// whole series instead of being rebuilt per evaluation.
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	corridors := fs.String("corridors", "2,3,4", "comma-separated corridor widths (also sets aisle rows)")
+	lens := fs.String("lens", "6,7,9", "comma-separated component-length caps")
+	units := fs.Int("units", 480, "total units at the top workload level")
+	points := fs.Int("points", 3, "workload levels per topology (units·i/points, i=1..points)")
+	T := fs.Int("T", 3600, "timestep limit")
+	strat := fs.String("strategy", "route", "synthesis strategy: route, flows, or contract")
+	parallel := fs.Int("parallel", 1, "solver pool width (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	vs, err := parseInts(*corridors)
+	if err != nil {
+		return fmt.Errorf("bad -corridors: %w", err)
+	}
+	ls, err := parseInts(*lens)
+	if err != nil {
+		return fmt.Errorf("bad -lens: %w", err)
+	}
+	strategy, err := strategyOf(*strat)
+	if err != nil {
+		return err
+	}
+	if *points < 1 {
+		return fmt.Errorf("-points %d must be at least 1", *points)
+	}
+	// units ≥ points keeps the level series units·i/points positive and
+	// strictly increasing (each step adds at least one unit).
+	if *units < *points {
+		return fmt.Errorf("-units %d must be at least -points %d", *units, *points)
+	}
+	pool := solverpool.New(*parallel)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "V\tL\tComponents\ttc\tUnits\tRuntime\tAgents\tServiced@")
+	start := time.Now()
+	cells := 0
+	for _, v := range vs {
+		for _, l := range ls {
+			m, err := maps.Generate(maps.Params{
+				Stripes: 4, Rows: v, BayWidth: 12, CorridorWidth: v,
+				MaxComponentLen: l, DoubleShelfRows: true,
+				NumProducts: 48, UnitsPerShelf: 30, StationsPerStripe: 1,
+			})
+			if err != nil {
+				return fmt.Errorf("V=%d L=%d: %w", v, l, err)
+			}
+			var reqs []solverpool.Request
+			var levels []int
+			for i := 1; i <= *points; i++ {
+				u := *units * i / *points
+				wl, err := workload.Uniform(m.W, u)
+				if err != nil {
+					return fmt.Errorf("V=%d L=%d units=%d: %w", v, l, u, err)
+				}
+				levels = append(levels, u)
+				reqs = append(reqs, solverpool.Request{S: m.S, WL: wl, T: *T, Opts: core.Options{Strategy: strategy}})
+			}
+			st := traffic.Summarize(m.S)
+			for i, r := range pool.SolveBatch(reqs) {
+				if r.Err != nil {
+					// Infeasible design points are expected sweep outcomes,
+					// not reasons to abandon the rest of the grid.
+					fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%v\t-\tunsolved\n",
+						v, l, st.Components, st.CycleTime, levels[i],
+						r.Elapsed.Round(time.Microsecond))
+					continue
+				}
+				fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%v\t%d\t%d\n",
+					v, l, st.Components, st.CycleTime, levels[i],
+					r.Elapsed.Round(time.Microsecond), r.Res.Stats.Agents, r.Res.Sim.ServicedAt)
+			}
+			cells++
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("\n%d topologies × %d levels in %v (%d workers)\n",
+		cells, *points, time.Since(start).Round(time.Microsecond), pool.Workers())
+	return nil
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
 }
 
 func cmdTable(args []string) error {

@@ -47,3 +47,28 @@ func TestCmdMapAndSolveRun(t *testing.T) {
 		t.Errorf("cmdSolve: %v", err)
 	}
 }
+
+func TestCmdSweepRuns(t *testing.T) {
+	if err := cmdSweep([]string{"-corridors", "2", "-lens", "6", "-units", "96", "-points", "2"}); err != nil {
+		t.Errorf("cmdSweep: %v", err)
+	}
+	if err := cmdSweep([]string{"-corridors", "x"}); err == nil {
+		t.Error("bad corridor list accepted")
+	}
+	if err := cmdSweep([]string{"-points", "0"}); err == nil {
+		t.Error("zero points accepted")
+	}
+	if err := cmdSweep([]string{"-units", "2", "-points", "3"}); err == nil {
+		t.Error("fewer units than points accepted (zero/duplicate levels)")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts(" 2,3 ,4")
+	if err != nil || len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts(""); err == nil {
+		t.Error("empty list accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package contracts
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/lp"
+)
+
+// editable builds a small contract with the shapes the pipeline edits:
+// a capacity assumption, a conservation guarantee, and a demand guarantee.
+func editable(t *testing.T) *Contract {
+	t.Helper()
+	c := New("editable")
+	for _, v := range []string{"a", "b", "c"} {
+		if err := c.DeclareVar(NatSpec(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Assume(CT("cap", lp.LE, 6, LT(1, "a"), LT(1, "b"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Guarantee(CT("cons", lp.EQ, 0, LT(1, "a"), LT(-1, "c"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Guarantee(CT("demand", lp.GE, 3, LT(1, "c"))); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// Compiled edits must track a from-scratch solve of the equivalently edited
+// contract: Satisfy after SetRHS / SetVarBound is bit-identical to
+// SatisfyOpts on a rebuilt contract, feasible and infeasible alike.
+func TestCompiledEditsMatchScratch(t *testing.T) {
+	cc := editable(t).Compile()
+	opts := lp.ILPOptions{Engine: lp.EngineExact}
+	for _, tc := range []struct {
+		demand int64 // RHS of "demand"
+		hiC    int64 // upper bound of variable c, -1 = unbounded
+	}{
+		{3, -1},
+		{5, -1},
+		{5, 4}, // bound conflicts with demand: unsatisfiable
+		{2, 4},
+		{9, -1}, // exceeds the capacity assumption via cons: unsatisfiable
+	} {
+		if err := cc.SetRHS("demand", big.NewRat(tc.demand, 1)); err != nil {
+			t.Fatal(err)
+		}
+		var hi *big.Rat
+		if tc.hiC >= 0 {
+			hi = big.NewRat(tc.hiC, 1)
+		}
+		if err := cc.SetVarBound("c", new(big.Rat), hi); err != nil {
+			t.Fatal(err)
+		}
+		got, err := cc.Satisfy(opts)
+		if err != nil {
+			t.Fatalf("demand=%d hiC=%d: %v", tc.demand, tc.hiC, err)
+		}
+		scratch := editable(t)
+		scratch.Guarantees[1].RHS = big.NewRat(tc.demand, 1)
+		spec := scratch.Vars["c"]
+		spec.Upper = hi
+		scratch.Vars["c"] = spec
+		want, err := scratch.SatisfyOpts(opts)
+		if err != nil {
+			t.Fatalf("demand=%d hiC=%d scratch: %v", tc.demand, tc.hiC, err)
+		}
+		if (got == nil) != (want == nil) {
+			t.Fatalf("demand=%d hiC=%d: compiled sat=%v, scratch sat=%v", tc.demand, tc.hiC, got != nil, want != nil)
+		}
+		for name, v := range want {
+			if got[name].Cmp(v) != 0 {
+				t.Errorf("demand=%d hiC=%d: %s = %s, scratch %s", tc.demand, tc.hiC, name, got[name], v)
+			}
+		}
+		// The relaxation verdict must agree with the ILP whenever the ILP
+		// is satisfiable (rational relaxation of a satisfiable system).
+		feasible, err := cc.RelaxationFeasible()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != nil && !feasible {
+			t.Errorf("demand=%d hiC=%d: satisfiable system with infeasible relaxation", tc.demand, tc.hiC)
+		}
+	}
+}
+
+// A name shared by several rows is an ambiguous edit handle: editing
+// through it must fail loudly instead of retargeting only the first row.
+func TestCompiledRejectsDuplicateNameEdits(t *testing.T) {
+	c := New("dup")
+	if err := c.DeclareVar(NatSpec("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Guarantee(CT("g", lp.LE, 5, LT(1, "a"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Guarantee(CT("g", lp.GE, 1, LT(1, "a"))); err != nil {
+		t.Fatal(err)
+	}
+	cc := c.Compile()
+	if err := cc.SetRHS("g", big.NewRat(2, 1)); err == nil {
+		t.Error("edit through a duplicated constraint name accepted")
+	}
+	if _, ok := cc.Row("g"); ok {
+		t.Error("duplicated constraint name resolved to a single row")
+	}
+	// Solving the untouched system still works.
+	if _, err := cc.Satisfy(lp.ILPOptions{Engine: lp.EngineExact}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompiledRejectsUnknownNames(t *testing.T) {
+	cc := editable(t).Compile()
+	if err := cc.SetRHS("nope", new(big.Rat)); err == nil {
+		t.Error("unknown constraint accepted")
+	}
+	if err := cc.SetVarBound("nope", nil, nil); err == nil {
+		t.Error("unknown variable accepted")
+	}
+	if _, ok := cc.Row("cap"); !ok {
+		t.Error("known constraint not found")
+	}
+	if _, ok := cc.Row("nope"); ok {
+		t.Error("unknown constraint resolved to a row")
+	}
+}

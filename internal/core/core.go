@@ -88,14 +88,19 @@ type Result struct {
 	Attempts int
 }
 
-// Scratch holds reusable synthesis buffers for repeated Solve calls. A
+// Scratch holds reusable synthesis state for repeated Solve calls. A
 // solver-pool worker (or any caller solving many instances back to back)
 // keeps one Scratch per goroutine so the synthesis hot path reuses its
-// working memory instead of reallocating it per solve. A Scratch must not
-// be shared between concurrent SolveScratch calls; the zero value is ready
-// to use.
+// working memory instead of reallocating it per solve — and, for the
+// ContractILP strategy, so the compiled contract system and its solver
+// arena persist across solves: retry attempts, horizon-refinement probes,
+// lifelong epochs, and design-sweep evaluations re-target the cached model
+// instead of recompiling (results stay bit-identical to scratchless
+// solves; see flow.ContractModel). A Scratch must not be shared between
+// concurrent SolveScratch calls; the zero value is ready to use.
 type Scratch struct {
-	cyc cycles.Scratch
+	cyc      cycles.Scratch
+	contract flow.ContractModel
 }
 
 // Solve answers Problem 3.1: find a T-timestep plan (with however many
@@ -113,13 +118,16 @@ func SolveScratch(s *traffic.System, wl warehouse.Workload, T int, opts Options,
 	if maxAttempts == 0 {
 		maxAttempts = 3
 	}
-	if opts.AdmissionCheck {
-		if err := flow.MustAdmit(s, wl, T, flow.Options{}); err != nil {
-			return nil, err
-		}
-	}
 	if sc == nil {
 		sc = &Scratch{}
+	}
+	if opts.AdmissionCheck {
+		// The admission LP runs on the same compiled contract model the
+		// ContractILP strategy would use, so a gated synthesis pays the
+		// compilation once.
+		if err := sc.contract.MustAdmit(s, wl, T, flow.Options{}); err != nil {
+			return nil, err
+		}
 	}
 	margin := 0 // 0 = automatic, per strategy
 	var lastErr error
@@ -177,7 +185,10 @@ func solveOnce(s *traffic.System, wl warehouse.Workload, T int, opts Options, ma
 		if opts.Strategy == SequentialFlows {
 			set, err = flow.SynthesizeSequential(s, wl, T, fopts)
 		} else {
-			set, err = flow.SynthesizeContract(s, wl, T, fopts)
+			// Model-reusing variant of flow.SynthesizeContract: bit-identical
+			// output, with contract compilation and the solver arena amortized
+			// across every solve this Scratch serves.
+			set, err = sc.contract.Synthesize(s, wl, T, fopts)
 		}
 		if err != nil {
 			return nil, err

@@ -265,6 +265,13 @@ func SynthesizeContract(s *traffic.System, wl warehouse.Workload, T int, opts Op
 	if asn == nil {
 		return nil, fmt.Errorf("flow: contract conjunction unsatisfiable: no agent flow set services the workload in %d timesteps", T)
 	}
+	return decodeSet(s, wl, tc, qc, qeff, asn)
+}
+
+// decodeSet turns a satisfying assignment of the contract conjunction into
+// a verified flow Set — the back half of SynthesizeContract, shared with
+// the incremental ContractModel path.
+func decodeSet(s *traffic.System, wl warehouse.Workload, tc, qc, qeff int, asn contracts.Assignment) (*Set, error) {
 	set := newSet(s, tc, qc, qeff)
 	decode := func(name string) int {
 		if r, ok := asn[name]; ok {

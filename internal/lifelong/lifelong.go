@@ -39,11 +39,24 @@ type BatchStats struct {
 	Units     int
 }
 
+// EpochInfo records one epoch's timeline. Each epoch changeover is charged
+// exactly one cycle time (agents redeploy to their new initial cells), so
+// End = Start + Changeover + ServicedAt always holds.
+type EpochInfo struct {
+	Start      int // timestep the epoch was planned at
+	Horizon    int // planning horizon handed to the solver
+	Changeover int // redeployment charge: one cycle time
+	ServicedAt int // simulated servicing timestep within the epoch
+	End        int // Start + Changeover + ServicedAt
+}
+
 // Report summarizes a lifelong run.
 type Report struct {
 	Batches []BatchStats
 	// Epochs counts re-synthesis rounds.
 	Epochs int
+	// EpochLog records each epoch's timeline, in order.
+	EpochLog []EpochInfo
 	// PeakAgents is the largest team any epoch deployed.
 	PeakAgents int
 	// Delivered is the total delivered per product.
@@ -93,6 +106,12 @@ func Run(s *traffic.System, batches []Batch, T int, opts Options) (*Report, erro
 	for i, c := range s.Components {
 		paths[i] = c.Cells
 	}
+	// One synthesis scratch for the whole run: every epoch rebuilds the same
+	// floorplan with depleted stock, so the structure signature is stable
+	// and the ContractILP strategy re-targets one compiled contract model on
+	// the residual demand instead of recompiling per epoch (bit-identical to
+	// scratchless solves).
+	sc := &core.Scratch{}
 
 	now := 0
 	next := 0 // next batch to release
@@ -140,7 +159,7 @@ func Run(s *traffic.System, batches []Batch, T int, opts Options) (*Report, erro
 		if err != nil {
 			return rep, err
 		}
-		res, err := core.Solve(se, wl, horizon, opts.Core)
+		res, err := core.SolveScratch(se, wl, horizon, opts.Core, sc)
 		if err != nil {
 			// The epoch may be too short for the whole backlog; retry with a
 			// reduced target before giving up.
@@ -149,7 +168,7 @@ func Run(s *traffic.System, batches []Batch, T int, opts Options) (*Report, erro
 			if err2 != nil {
 				return rep, err
 			}
-			res, err = core.Solve(se, wl2, horizon, opts.Core)
+			res, err = core.SolveScratch(se, wl2, horizon, opts.Core, sc)
 			if err != nil {
 				return rep, fmt.Errorf("lifelong: epoch at t=%d failed: %w", now, err)
 			}
@@ -182,6 +201,13 @@ func Run(s *traffic.System, batches []Batch, T int, opts Options) (*Report, erro
 			}
 		}
 		epochEnd := now + s.CycleTime() + res.Sim.ServicedAt
+		rep.EpochLog = append(rep.EpochLog, EpochInfo{
+			Start:      now,
+			Horizon:    horizon,
+			Changeover: s.CycleTime(),
+			ServicedAt: res.Sim.ServicedAt,
+			End:        epochEnd,
+		})
 		for bi := range remaining {
 			if rep.Batches[bi].Completed < 0 && sumPos(remaining[bi]) == 0 && sorted[bi].Release <= now {
 				rep.Batches[bi].Completed = epochEnd

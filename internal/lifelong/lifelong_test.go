@@ -3,6 +3,7 @@ package lifelong
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/maps"
 	"repro/internal/testmaps"
 )
@@ -87,6 +88,41 @@ func TestRunOnPaperMap(t *testing.T) {
 	}
 	if got != want {
 		t.Errorf("delivered %d units, want %d", got, want)
+	}
+}
+
+// Every epoch changeover is charged exactly one cycle time, and the epoch
+// log timeline is internally consistent — for the default strategy and for
+// the contract-ILP strategy that re-targets one compiled model per epoch.
+func TestRunChargesOneCycleTimePerEpoch(t *testing.T) {
+	_, s := testmaps.MustRing()
+	batches := []Batch{
+		{Release: 0, Units: []int{8, 0}},
+		{Release: 900, Units: []int{0, 8}},
+		{Release: 1800, Units: []int{4, 4}},
+	}
+	for _, strat := range []core.Strategy{core.RoutePacking, core.ContractILP} {
+		rep, err := Run(s, batches, 4800, Options{Core: core.Options{Strategy: strat}})
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if len(rep.EpochLog) != rep.Epochs {
+			t.Fatalf("%v: epoch log has %d entries for %d epochs", strat, len(rep.EpochLog), rep.Epochs)
+		}
+		prevEnd := 0
+		for i, e := range rep.EpochLog {
+			if e.Changeover != s.CycleTime() {
+				t.Errorf("%v: epoch %d charged changeover %d, want one cycle time %d", strat, i, e.Changeover, s.CycleTime())
+			}
+			if e.End != e.Start+e.Changeover+e.ServicedAt {
+				t.Errorf("%v: epoch %d timeline broken: end %d != start %d + changeover %d + serviced %d",
+					strat, i, e.End, e.Start, e.Changeover, e.ServicedAt)
+			}
+			if e.Start < prevEnd {
+				t.Errorf("%v: epoch %d starts at %d before previous end %d", strat, i, e.Start, prevEnd)
+			}
+			prevEnd = e.End
+		}
 	}
 }
 

@@ -64,13 +64,24 @@ func SolveILP(p *Problem, opts ILPOptions) (*Solution, error) {
 }
 
 func bbSolve[T any, A arith[T]](p *Problem, ar A, opts ILPOptions) (*Solution, error) {
+	return bbSolveTableau(p, newTableau[T, A](p, ar), ar, opts)
+}
+
+// bbSolveTableau is the branch-and-bound search over a caller-provided
+// tableau arena. Model.ResolveILP passes a retained arena here; resetting
+// the warm state and work counter first makes the search replay exactly the
+// pivot sequence a fresh tableau would, so incremental re-solves stay
+// bit-identical to from-scratch ones while skipping the arena (re)build.
+func bbSolveTableau[T any, A arith[T]](p *Problem, tb *tableau[T, A], ar A, opts ILPOptions) (*Solution, error) {
+	tb.warmOK = false // cold root, as from a fresh arena
+	tb.basisOK = false
+	tb.work = 0
+	tb.workBudget = opts.MaxWork
 	maxNodes := opts.MaxNodes
 	if maxNodes == 0 {
 		maxNodes = 200000
 	}
 	nv := len(p.Vars)
-	tb := newTableau[T, A](p, ar)
-	tb.workBudget = opts.MaxWork
 	// Reused per-node scratch: effective bounds, chain replay stack, and the
 	// relaxation values (big.Rat storage recycled across nodes).
 	loEff := make([]*big.Rat, nv)

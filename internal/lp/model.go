@@ -1,0 +1,240 @@
+package lp
+
+import "math/big"
+
+// Model is a persistent, editable linear (or mixed-integer) program: the
+// tableau arena is built once, bounds / right-hand sides / the objective are
+// edited between solves, and Resolve / ResolveILP re-solve the edited
+// program. Both are bit-identical to handing the current Problem to a fresh
+// SolveLP / SolveILP:
+//
+//   - Resolve re-enters through the warm-start paths when it can — the dual
+//     simplex after bound or RHS edits (reduced costs are untouched, so the
+//     last optimal basis stays dual feasible), the primal phase 2 after an
+//     objective-only edit (the basis stays primal feasible) — and accepts the
+//     warm answer only when it provably equals the from-scratch one: an
+//     infeasible/unbounded verdict (a status is an objective fact under exact
+//     arithmetic) or an optimum certified unique by strictly signed reduced
+//     costs. Anything else falls back to the deterministic cold solve, still
+//     inside the retained arena.
+//   - ResolveILP always branches cold from the root (a warm root would steer
+//     the search down a different, albeit valid, subtree and break
+//     reproducibility); the warm-started dual reentry between tree nodes and
+//     the reused arena are where the time goes.
+//
+// The Model owns its Problem: edit bounds, RHS and objective only through
+// the setters. Appending variables or constraints to the Problem after
+// NewModel discards the arenas and rebuilds on the next solve.
+//
+// A Model is not safe for concurrent use; callers that solve many related
+// instances concurrently keep one Model per worker (see solverpool).
+type Model struct {
+	p *Problem
+
+	// One tableau per engine, built lazily on first use. The exact path
+	// mirrors SolveLP/SolveILP: rat64 until an overflow promotes the model
+	// to big.Rat for good.
+	t64      *tableau[rat64, rat64Arith]
+	tbig     *tableau[*big.Rat, ratArith]
+	tflt     *tableau[float64, floatArith]
+	promoted bool
+
+	nv, m int // structure snapshot; growth forces a rebuild
+
+	lo, hi []*big.Rat // per-solve declared-bound scratch
+}
+
+// NewModel wraps p in a persistent model. No tableau is built until the
+// first solve.
+func NewModel(p *Problem) *Model {
+	return &Model{p: p, nv: len(p.Vars), m: len(p.Constraints)}
+}
+
+// Problem returns the underlying program (read-only for structure; use the
+// setters for edits).
+func (mo *Model) Problem() *Problem { return mo.p }
+
+// SetBound replaces the bounds of v (nil = unbounded). The edit takes
+// effect at the next solve; warm reentry handles it via the dual simplex.
+func (mo *Model) SetBound(v VarID, lo, hi *big.Rat) {
+	mo.p.Vars[v].Lower, mo.p.Vars[v].Upper = lo, hi
+}
+
+// SetRHS retargets constraint ci to a new right-hand side, keeping any warm
+// basis dual feasible (the textbook dual-simplex re-solve case).
+func (mo *Model) SetRHS(ci int, rhs *big.Rat) {
+	mo.p.Constraints[ci].RHS = rhs
+	if mo.t64 != nil && !promote(func() { mo.t64.updateRHS(ci, rhs) }) {
+		mo.dropRat64()
+	}
+	if mo.tbig != nil {
+		mo.tbig.updateRHS(ci, rhs)
+	}
+	if mo.tflt != nil {
+		mo.tflt.updateRHSPristine(ci, rhs)
+	}
+}
+
+// SetObjective replaces the objective. The last basis stays primal feasible,
+// so the next Resolve may re-enter through phase 2 alone.
+func (mo *Model) SetObjective(terms []Term, maximize bool) {
+	mo.p.SetObjective(terms, maximize)
+	if mo.t64 != nil && !promote(func() { mo.t64.updateCost() }) {
+		mo.dropRat64()
+	}
+	if mo.tbig != nil {
+		mo.tbig.updateCost()
+	}
+	if mo.tflt != nil {
+		mo.tflt.updateCost()
+	}
+}
+
+// Resolve solves the current program with the exact engine, warm when the
+// edits allow it. The result is bit-identical to SolveLP(m.Problem()).
+func (mo *Model) Resolve() (*Solution, error) {
+	mo.checkStructure()
+	if !mo.promoted {
+		var sol *Solution
+		var err error
+		if promote(func() { sol, err = resolveLP(mo, mo.exact64()) }) {
+			return sol, err
+		}
+		mo.dropRat64()
+	}
+	return resolveLP(mo, mo.exactBig())
+}
+
+// ResolveILP solves the current program by branch and bound in the retained
+// arena. The result is bit-identical to SolveILP(m.Problem(), opts).
+func (mo *Model) ResolveILP(opts ILPOptions) (*Solution, error) {
+	mo.checkStructure()
+	if opts.Engine == EngineFloat {
+		return bbSolveTableau(mo.p, mo.float(), floatArith{eps: defaultEps}, opts)
+	}
+	if !mo.promoted {
+		var sol *Solution
+		var err error
+		if promote(func() { sol, err = bbSolveTableau(mo.p, mo.exact64(), rat64Arith{}, opts) }) {
+			return sol, err
+		}
+		mo.dropRat64()
+	}
+	return bbSolveTableau(mo.p, mo.exactBig(), ratArith{}, opts)
+}
+
+// resolveLP drives one LP solve over the given tableau: declared bounds in,
+// warm or cold solve, Solution out.
+func resolveLP[T any, A arith[T]](mo *Model, tb *tableau[T, A]) (*Solution, error) {
+	lo, hi := mo.declaredBounds()
+	tb.workBudget = 0
+	switch status := tb.resolveModel(lo, hi); status {
+	case StatusInfeasible, StatusUnbounded:
+		return &Solution{Status: status}, nil
+	}
+	return optimalSolution(tb), nil
+}
+
+// resolveModel solves under the given bounds, preferring warm reentry but
+// returning a warm answer only when it provably matches the from-scratch
+// one; everything else re-runs the deterministic cold path in place.
+func (tb *tableau[T, A]) resolveModel(lo, hi []*big.Rat) Status {
+	ok, changed := tb.setBounds(lo, hi)
+	if changed {
+		tb.basisOK = false
+	}
+	if !ok {
+		return StatusInfeasible // conflicting bounds, as solveNode reports
+	}
+	if tb.warmOK {
+		if tb.rewarm() {
+			// Dual reentry: bound and RHS edits leave the basis dual
+			// feasible.
+			switch tb.dual() {
+			case dualOptimal:
+				tb.basisOK = true
+				if tb.uniqueOptimum() {
+					return StatusOptimal
+				}
+				// Optimal but possibly not unique: only the cold path's
+				// answer is canonical.
+			case dualInfeasible:
+				return StatusInfeasible
+			}
+			// dualStuck: anti-cycling cap hit; restart cold for certainty.
+		}
+		// A failed rewarm reshuffled the nonbasic states mid-walk.
+		tb.basisOK = false
+	} else if tb.basisOK {
+		// Primal reentry: bounds and RHS are as last solved, only the
+		// objective changed, so the basis is still primal feasible and
+		// phase 1 can be skipped outright.
+		switch tb.phase2() {
+		case StatusOptimal:
+			tb.warmOK = true
+			if tb.uniqueOptimum() {
+				return StatusOptimal
+			}
+		case StatusUnbounded:
+			tb.warmOK, tb.basisOK = false, false
+			return StatusUnbounded
+		}
+	}
+	tb.warmOK = false
+	status := tb.solveFresh()
+	tb.warmOK = status == StatusOptimal
+	tb.basisOK = status == StatusOptimal
+	return status
+}
+
+// declaredBounds snapshots the Problem's variable bounds into reusable
+// scratch slices.
+func (mo *Model) declaredBounds() ([]*big.Rat, []*big.Rat) {
+	if len(mo.lo) != len(mo.p.Vars) {
+		mo.lo = make([]*big.Rat, len(mo.p.Vars))
+		mo.hi = make([]*big.Rat, len(mo.p.Vars))
+	}
+	for i := range mo.p.Vars {
+		mo.lo[i] = mo.p.Vars[i].Lower
+		mo.hi[i] = mo.p.Vars[i].Upper
+	}
+	return mo.lo, mo.hi
+}
+
+// checkStructure rebuilds from scratch when variables or constraints were
+// appended behind the model's back.
+func (mo *Model) checkStructure() {
+	if len(mo.p.Vars) != mo.nv || len(mo.p.Constraints) != mo.m {
+		mo.t64, mo.tbig, mo.tflt = nil, nil, nil
+		mo.promoted = false
+		mo.nv, mo.m = len(mo.p.Vars), len(mo.p.Constraints)
+	}
+}
+
+// dropRat64 abandons the int64 fast path after an overflow; the model runs
+// on big.Rat from here on (mirroring SolveLP's whole-solve promotion).
+func (mo *Model) dropRat64() {
+	mo.t64 = nil
+	mo.promoted = true
+}
+
+func (mo *Model) exact64() *tableau[rat64, rat64Arith] {
+	if mo.t64 == nil {
+		mo.t64 = newTableau[rat64, rat64Arith](mo.p, rat64Arith{})
+	}
+	return mo.t64
+}
+
+func (mo *Model) exactBig() *tableau[*big.Rat, ratArith] {
+	if mo.tbig == nil {
+		mo.tbig = newTableau[*big.Rat, ratArith](mo.p, ratArith{})
+	}
+	return mo.tbig
+}
+
+func (mo *Model) float() *tableau[float64, floatArith] {
+	if mo.tflt == nil {
+		mo.tflt = newTableau[float64, floatArith](mo.p, floatArith{eps: defaultEps})
+	}
+	return mo.tflt
+}

@@ -1,0 +1,247 @@
+package lp
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sameSolution compares two solutions field by field with exact arithmetic.
+func sameSolution(a, b *Solution) error {
+	if a.Status != b.Status {
+		return fmt.Errorf("status %v vs %v", a.Status, b.Status)
+	}
+	if (a.Objective == nil) != (b.Objective == nil) {
+		return fmt.Errorf("objective presence differs")
+	}
+	if a.Objective != nil && a.Objective.Cmp(b.Objective) != 0 {
+		return fmt.Errorf("objective %s vs %s", a.Objective, b.Objective)
+	}
+	if len(a.Values) != len(b.Values) {
+		return fmt.Errorf("value count %d vs %d", len(a.Values), len(b.Values))
+	}
+	for i := range a.Values {
+		if a.Values[i].Cmp(b.Values[i]) != 0 {
+			return fmt.Errorf("value %d: %s vs %s", i, a.Values[i], b.Values[i])
+		}
+	}
+	return nil
+}
+
+// randomEditProblem builds a small random program in the shape the model
+// layer serves: bounded integer variables, mixed-sense rows, sometimes an
+// objective.
+func randomEditProblem(rng *rand.Rand) *Problem {
+	p := &Problem{}
+	nVars := 2 + rng.Intn(3)
+	for i := 0; i < nVars; i++ {
+		p.AddIntVar(fmt.Sprintf("x%d", i), rat(0, 1), rat(int64(3+rng.Intn(4)), 1))
+	}
+	nCons := 1 + rng.Intn(4)
+	for c := 0; c < nCons; c++ {
+		var terms []Term
+		for i := 0; i < nVars; i++ {
+			coef := int64(rng.Intn(7) - 3)
+			if coef != 0 {
+				terms = append(terms, T(VarID(i), coef))
+			}
+		}
+		if len(terms) == 0 {
+			terms = append(terms, T(0, 1))
+		}
+		sense := []Sense{LE, GE, EQ}[rng.Intn(3)]
+		p.AddConstraint(fmt.Sprintf("c%d", c), terms, sense, rat(int64(rng.Intn(13)-4), 1))
+	}
+	if rng.Intn(2) == 0 {
+		var obj []Term
+		for i := 0; i < nVars; i++ {
+			if coef := int64(rng.Intn(9) - 4); coef != 0 {
+				obj = append(obj, T(VarID(i), coef))
+			}
+		}
+		p.SetObjective(obj, rng.Intn(2) == 0)
+	}
+	return p
+}
+
+// mutate applies one random edit through the model's setters.
+func mutate(mo *Model, rng *rand.Rand) {
+	p := mo.Problem()
+	switch rng.Intn(4) {
+	case 0: // retarget a right-hand side
+		mo.SetRHS(rng.Intn(len(p.Constraints)), rat(int64(rng.Intn(15)-5), 1))
+	case 1: // move a variable's bounds, occasionally to a conflicting pair
+		v := VarID(rng.Intn(len(p.Vars)))
+		lo := int64(rng.Intn(5) - 1)
+		hi := lo + int64(rng.Intn(6)-1) // sometimes hi < lo
+		var loR, hiR *big.Rat
+		if rng.Intn(5) > 0 {
+			loR = rat(lo, 1)
+		}
+		if rng.Intn(5) > 0 {
+			hiR = rat(hi, 1)
+		}
+		mo.SetBound(v, loR, hiR)
+	case 2: // replace the objective
+		var obj []Term
+		for i := range p.Vars {
+			if coef := int64(rng.Intn(9) - 4); coef != 0 {
+				obj = append(obj, T(VarID(i), coef))
+			}
+		}
+		mo.SetObjective(obj, rng.Intn(2) == 0)
+	case 3: // drop the objective (pure feasibility)
+		mo.SetObjective(nil, false)
+	}
+}
+
+// Property: across randomized bound/RHS/objective edit sequences, the
+// model's incremental Resolve and ResolveILP stay bit-identical to handing
+// the edited Problem to a from-scratch SolveLP / SolveILP — statuses,
+// values, and objective all equal, under both ILP engines.
+func TestModelResolveBitIdenticalToScratch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mo := NewModel(randomEditProblem(rng))
+		for step := 0; step < 8; step++ {
+			if step > 0 {
+				mutate(mo, rng)
+			}
+			switch rng.Intn(3) {
+			case 0:
+				got, err := mo.Resolve()
+				if err != nil {
+					t.Logf("seed %d step %d: resolve: %v", seed, step, err)
+					return false
+				}
+				want, err := SolveLP(mo.Problem())
+				if err != nil {
+					t.Logf("seed %d step %d: scratch: %v", seed, step, err)
+					return false
+				}
+				if err := sameSolution(got, want); err != nil {
+					t.Logf("seed %d step %d: LP diverged: %v", seed, step, err)
+					return false
+				}
+			case 1, 2:
+				engine := EngineExact
+				if rng.Intn(2) == 0 {
+					engine = EngineFloat
+				}
+				// Budget the search like every production caller does: edits
+				// can produce unbounded integer-infeasible programs, where
+				// pure branch and bound is exponential (DESIGN.md); the
+				// deterministic work budget makes both sides stop at the
+				// same StatusLimit instead of grinding.
+				opts := ILPOptions{Engine: engine, MaxNodes: 5000, MaxWork: 2_000_000}
+				got, err := mo.ResolveILP(opts)
+				if err != nil {
+					t.Logf("seed %d step %d: resolveILP: %v", seed, step, err)
+					return false
+				}
+				want, err := SolveILP(mo.Problem(), opts)
+				if err != nil {
+					t.Logf("seed %d step %d: scratch ILP: %v", seed, step, err)
+					return false
+				}
+				if err := sameSolution(got, want); err != nil {
+					t.Logf("seed %d step %d: ILP diverged: %v", seed, step, err)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The warm paths must survive promotion: an RHS edit that overflows int64
+// mid-model drops the rat64 arena and re-solves over big.Rat, still
+// matching the from-scratch answer.
+func TestModelPromotionKeepsParity(t *testing.T) {
+	p := &Problem{}
+	x := p.AddVar("x", rat(0, 1), nil)
+	y := p.AddVar("y", rat(0, 1), nil)
+	p.AddConstraint("r0", []Term{T(x, 1), T(y, 1)}, LE, rat(10, 1))
+	p.AddConstraint("r1", []Term{T(x, 1), T(y, -1)}, GE, rat(0, 1))
+	p.SetObjective([]Term{T(x, 1), T(y, 1)}, true)
+	mo := NewModel(p)
+	if _, err := mo.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	huge := new(big.Rat).SetFrac(new(big.Int).Lsh(big.NewInt(1), 80), big.NewInt(3))
+	mo.SetRHS(0, huge)
+	got, err := mo.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SolveLP(mo.Problem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameSolution(got, want); err != nil {
+		t.Fatalf("post-promotion divergence: %v", err)
+	}
+}
+
+// An objective-only edit takes the primal reentry path (phase 2 from the
+// standing basis); the answer must still match a from-scratch solve.
+func TestModelObjectiveEditPrimalReentry(t *testing.T) {
+	p := &Problem{}
+	x := p.AddVar("x", rat(0, 1), rat(4, 1))
+	y := p.AddVar("y", rat(0, 1), rat(4, 1))
+	p.AddConstraint("cap", []Term{T(x, 2), T(y, 3)}, LE, rat(12, 1))
+	p.SetObjective([]Term{T(x, 1), T(y, 1)}, true)
+	mo := NewModel(p)
+	if _, err := mo.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range [][]Term{
+		{T(x, 5), T(y, 1)},
+		{T(x, 1), T(y, 7)},
+		{T(x, -1), T(y, -1)},
+	} {
+		mo.SetObjective(obj, true)
+		got, err := mo.Resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := SolveLP(mo.Problem())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sameSolution(got, want); err != nil {
+			t.Fatalf("objective edit diverged: %v", err)
+		}
+	}
+}
+
+// Structure growth behind the model's back (new variable + constraint) is
+// detected and handled by a rebuild rather than a wrong answer.
+func TestModelStructureGrowthRebuilds(t *testing.T) {
+	p := &Problem{}
+	x := p.AddVar("x", rat(0, 1), rat(5, 1))
+	p.AddConstraint("r", []Term{T(x, 1)}, GE, rat(1, 1))
+	p.SetObjective([]Term{T(x, 1)}, false)
+	mo := NewModel(p)
+	if _, err := mo.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	y := p.AddVar("y", rat(0, 1), rat(5, 1))
+	p.AddConstraint("r2", []Term{T(x, 1), T(y, 1)}, GE, rat(4, 1))
+	got, err := mo.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameSolution(got, want); err != nil {
+		t.Fatalf("post-growth divergence: %v", err)
+	}
+}

@@ -56,6 +56,13 @@ func solveLPWith[T any, A arith[T]](p *Problem, ar A) (*Solution, error) {
 	case StatusInfeasible, StatusUnbounded:
 		return &Solution{Status: status}, nil
 	}
+	return optimalSolution(tb), nil
+}
+
+// optimalSolution materializes the tableau's current (optimal) basis into a
+// full Solution, evaluating the objective exactly over the extracted values.
+func optimalSolution[T any, A arith[T]](tb *tableau[T, A]) *Solution {
+	p := tb.p
 	values := make([]*big.Rat, len(p.Vars))
 	for i := range values {
 		values[i] = new(big.Rat)
@@ -63,14 +70,9 @@ func solveLPWith[T any, A arith[T]](p *Problem, ar A) (*Solution, error) {
 	tb.extractInto(values)
 	sol := &Solution{Status: StatusOptimal, Values: values}
 	if len(p.Objective) > 0 {
-		obj := new(big.Rat)
-		tmp := new(big.Rat)
-		for _, t := range p.Objective {
-			obj.Add(obj, tmp.Mul(t.Coef, values[t.Var]))
-		}
-		sol.Objective = obj
+		sol.Objective = evalObjective(p, values)
 	}
-	return sol, nil
+	return sol
 }
 
 // vstat is the simplex status of one column.
@@ -122,7 +124,12 @@ type tableau[T any, A arith[T]] struct {
 
 	nArt   int  // artificials activated by the last cold start
 	warmOK bool // tableau holds a dual-feasible basis from a prior solve
-	pr     pricer
+	// basisOK marks the basis primal feasible for the CURRENT bounds and
+	// right-hand sides with xB valid — the precondition of the Model layer's
+	// primal reentry after an objective-only edit. Invalidated by RHS edits,
+	// by bound changes, and by branch-and-bound (which leaves node bounds).
+	basisOK bool
+	pr      pricer
 	// work counts row-update operations spent in eliminate; workBudget is
 	// the allowance from ILPOptions.MaxWork (0 = unlimited).
 	work       int64
@@ -188,19 +195,94 @@ func newTableau[T any, A arith[T]](p *Problem, ar A) *tableau[T, A] {
 		acol := tb.artStart + i
 		tb.loF[acol], tb.hiF[acol] = true, true
 	}
-	// Phase-2 cost vector (minimization form).
-	if len(p.Objective) > 0 {
-		tb.hasObj = true
-		for _, t := range p.Objective {
-			c := ar.fromRat(t.Coef)
-			if p.Maximize {
-				c = ar.neg(c)
-			}
-			tb.cost[t.Var] = ar.add(tb.cost[t.Var], c)
-		}
-	}
+	tb.updateCost() // phase-2 cost vector (minimization form)
 	tb.pr = newPricer(m, tb.n)
 	return tb
+}
+
+// updateCost (re)derives the phase-2 minimization cost vector from the
+// problem's current objective. The maintained reduced-cost row still prices
+// the previous objective afterwards, so any dual-feasible warm state is
+// dropped; the basis itself stays valid (basisOK is untouched), which is
+// what the Model layer's primal reentry relies on.
+func (tb *tableau[T, A]) updateCost() {
+	ar := tb.ar
+	zero := ar.zero()
+	for j := range tb.cost {
+		tb.cost[j] = zero
+	}
+	tb.hasObj = len(tb.p.Objective) > 0
+	for _, t := range tb.p.Objective {
+		c := ar.fromRat(t.Coef)
+		if tb.p.Maximize {
+			c = ar.neg(c)
+		}
+		tb.cost[t.Var] = ar.add(tb.cost[t.Var], c)
+	}
+	tb.warmOK = false
+}
+
+// updateRHS retargets constraint i to a new right-hand side. The pristine
+// system (convRHS) is always updated for future cold rebuilds; while the
+// tableau holds a valid pivoted basis, the maintained B⁻¹b column is
+// delta-updated through the logical column of row i (which is exactly B⁻¹
+// applied to the row's unit vector, up to the row negation cold() may have
+// applied — the sign cancels), so dual-feasible warm state survives the
+// edit. xB becomes stale either way; rewarm recomputes it from B⁻¹b, and
+// primal reentry is invalidated via basisOK.
+func (tb *tableau[T, A]) updateRHS(i int, rhs *big.Rat) {
+	ar := tb.ar
+	v := ar.fromRat(rhs)
+	if tb.warmOK {
+		delta := ar.sub(v, tb.convRHS[i])
+		if ar.sign(delta) != 0 {
+			lcol := tb.nv + i
+			for r := 0; r < tb.m; r++ {
+				a := tb.rows[r*tb.stride+lcol]
+				if ar.sign(a) != 0 {
+					tb.rows[r*tb.stride+tb.n] = ar.add(tb.rows[r*tb.stride+tb.n], ar.mul(delta, a))
+				}
+			}
+		}
+	}
+	tb.convRHS[i] = v
+	tb.csr.rhs[i] = rhs
+	tb.basisOK = false
+}
+
+// updateRHSPristine updates only the pristine system and discards any warm
+// state. The Model uses it for the float arena, whose warm basis is never
+// consumed (ResolveILP cold-rebuilds the root): propagating deltas there
+// would be wasted work per edit and, worse, a rounding-parity trap if a
+// future caller ever read the float rows warm.
+func (tb *tableau[T, A]) updateRHSPristine(i int, rhs *big.Rat) {
+	tb.convRHS[i] = tb.ar.fromRat(rhs)
+	tb.csr.rhs[i] = rhs
+	tb.warmOK = false
+	tb.basisOK = false
+}
+
+// uniqueOptimum reports whether the current optimal basis certifies a
+// unique optimal solution vector: every nonbasic non-fixed column carries a
+// strictly signed reduced cost, so any optimal point must keep all of them
+// on their current bounds, which pins the basic values too. This is the
+// acceptance test that lets a warm re-solve return its answer as
+// bit-identical to a from-scratch solve; pure feasibility problems (zero
+// objective row) never certify and fall back to the deterministic cold
+// path.
+func (tb *tableau[T, A]) uniqueOptimum() bool {
+	if !tb.hasObj {
+		return false
+	}
+	for j := 0; j < tb.artStart; j++ {
+		if tb.stat[j] == inBasis || tb.fixedRange(j) {
+			continue
+		}
+		if tb.ar.sign(tb.obj[j]) == 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // exhausted reports whether the work budget has run out.
@@ -210,21 +292,37 @@ func (tb *tableau[T, A]) exhausted() bool {
 
 // setBounds installs per-variable bounds for the next solve (structural
 // columns only; logical and artificial bounds are fixed by construction).
-// It reports false when some lower bound exceeds its upper bound, which
-// proves the node infeasible before any pivoting.
-func (tb *tableau[T, A]) setBounds(lo, hi []*big.Rat) bool {
+// It reports ok=false when some lower bound exceeds its upper bound, which
+// proves the node infeasible before any pivoting, and changed=true when any
+// bound differs from the previously installed one (the Model layer uses
+// this to invalidate its primal-reentry state).
+func (tb *tableau[T, A]) setBounds(lo, hi []*big.Rat) (ok, changed bool) {
 	zero := tb.ar.zero()
-	ok := true
+	ok = true
 	for j := 0; j < tb.nv; j++ {
 		l, h := lo[j], hi[j]
 		if l != nil {
-			tb.lo[j], tb.loF[j] = tb.ar.fromRat(l), true
+			v := tb.ar.fromRat(l)
+			if !tb.loF[j] || tb.ar.cmp(v, tb.lo[j]) != 0 {
+				changed = true
+			}
+			tb.lo[j], tb.loF[j] = v, true
 		} else {
+			if tb.loF[j] {
+				changed = true
+			}
 			tb.lo[j], tb.loF[j] = zero, false
 		}
 		if h != nil {
-			tb.hi[j], tb.hiF[j] = tb.ar.fromRat(h), true
+			v := tb.ar.fromRat(h)
+			if !tb.hiF[j] || tb.ar.cmp(v, tb.hi[j]) != 0 {
+				changed = true
+			}
+			tb.hi[j], tb.hiF[j] = v, true
 		} else {
+			if tb.hiF[j] {
+				changed = true
+			}
 			tb.hi[j], tb.hiF[j] = zero, false
 		}
 		// Compare in the tableau's field: big.Rat.Cmp allocates, and this
@@ -233,14 +331,14 @@ func (tb *tableau[T, A]) setBounds(lo, hi []*big.Rat) bool {
 			ok = false
 		}
 	}
-	return ok
+	return ok, changed
 }
 
 // solveNode solves the problem under the given bounds, warm-starting from
 // the previous node's basis via dual simplex when the tableau still holds a
 // dual-feasible basis, and falling back to a cold two-phase solve otherwise.
 func (tb *tableau[T, A]) solveNode(lo, hi []*big.Rat) Status {
-	if !tb.setBounds(lo, hi) {
+	if ok, _ := tb.setBounds(lo, hi); !ok {
 		return StatusInfeasible
 	}
 	if tb.warmOK && tb.rewarm() {

@@ -100,6 +100,14 @@ type HorizonResult struct {
 // MinimalHorizon binary-searches the smallest T' in [lo, T] for which the
 // instance solves, where lo defaults to one cycle period. The returned
 // solution is fully realized and validated at T'.
+//
+// Every probe solves the same instance at a different horizon, so the
+// search holds one core.Scratch across all probes: for the ContractILP
+// strategy each probe edits the horizon-dependent right-hand sides of the
+// cached contract model and re-solves in the retained arena instead of
+// recompiling the contract system per probe. Probe outcomes are
+// bit-identical to scratchless core.Solve calls, so the search trajectory
+// and result are unchanged.
 func MinimalHorizon(s *traffic.System, wl warehouse.Workload, T int, opts core.Options) (*HorizonResult, error) {
 	lo := s.CycleTime()
 	hi := T
@@ -107,9 +115,10 @@ func MinimalHorizon(s *traffic.System, wl warehouse.Workload, T int, opts core.O
 		return nil, fmt.Errorf("refine: horizon %d below one cycle period %d", T, lo)
 	}
 	probes := 0
+	sc := &core.Scratch{}
 	solve := func(t int) *core.Result {
 		probes++
-		res, err := core.Solve(s, wl, t, opts)
+		res, err := core.SolveScratch(s, wl, t, opts, sc)
 		if err != nil {
 			return nil
 		}

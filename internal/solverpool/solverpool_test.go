@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/maps"
+	"repro/internal/testmaps"
+	"repro/internal/warehouse"
 	"repro/internal/workload"
 )
 
@@ -72,6 +74,67 @@ func TestSolveBatchMatchesSequential(t *testing.T) {
 		}
 		if !reflect.DeepEqual(g.Res.Sim.Delivered, want[i].Sim.Delivered) {
 			t.Errorf("request %d: parallel deliveries %v, sequential %v", i, g.Res.Sim.Delivered, want[i].Sim.Delivered)
+		}
+	}
+}
+
+// TestContractModelReuseMatchesScratchless drives the incremental contract
+// path through the pool: every request uses the ContractILP strategy on one
+// shared ring system, so each worker re-targets its scratch's compiled
+// contract model across the requests it drains instead of recompiling. The
+// results must be bit-identical to scratchless sequential core.Solve calls;
+// under -race this also proves worker-owned models never share solver
+// state through the common System.
+func TestContractModelReuseMatchesScratchless(t *testing.T) {
+	w, s := testmaps.MustRing()
+	var reqs []Request
+	for _, tc := range []struct {
+		units []int
+		T     int
+	}{
+		{[]int{4, 2}, 1600},
+		{[]int{6, 4}, 1600},
+		{[]int{8, 5}, 1600},
+		{[]int{8, 5}, 1200}, // horizon retarget on the cached model
+		{[]int{4, 2}, 1600}, // repeat: pure model reuse
+		{[]int{6, 4}, 1200},
+	} {
+		wl, err := warehouse.NewWorkload(w, tc.units)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs = append(reqs, Request{S: s, WL: wl, T: tc.T, Opts: core.Options{Strategy: core.ContractILP}})
+	}
+
+	want := make([]*core.Result, len(reqs))
+	for i, r := range reqs {
+		res, err := core.Solve(r.S, r.WL, r.T, r.Opts)
+		if err != nil {
+			t.Fatalf("scratchless solve %d: %v", i, err)
+		}
+		want[i] = res
+	}
+	for _, workers := range []int{1, 4} {
+		got := SolveBatch(reqs, workers)
+		for i, g := range got {
+			if g.Err != nil {
+				t.Fatalf("workers=%d request %d: %v", workers, i, g.Err)
+			}
+			if !reflect.DeepEqual(g.Res.FlowSet.F, want[i].FlowSet.F) ||
+				!reflect.DeepEqual(g.Res.FlowSet.Fin, want[i].FlowSet.Fin) ||
+				!reflect.DeepEqual(g.Res.FlowSet.Fout, want[i].FlowSet.Fout) {
+				t.Errorf("workers=%d request %d: model-reuse flow set differs from scratchless", workers, i)
+			}
+			if !reflect.DeepEqual(g.Res.CycleSet.Cycles, want[i].CycleSet.Cycles) {
+				t.Errorf("workers=%d request %d: cycle set differs from scratchless", workers, i)
+			}
+			if !reflect.DeepEqual(g.Res.Plan, want[i].Plan) {
+				t.Errorf("workers=%d request %d: plan differs from scratchless", workers, i)
+			}
+			if g.Res.Sim.ServicedAt != want[i].Sim.ServicedAt {
+				t.Errorf("workers=%d request %d: ServicedAt %d, scratchless %d",
+					workers, i, g.Res.Sim.ServicedAt, want[i].Sim.ServicedAt)
+			}
 		}
 	}
 }

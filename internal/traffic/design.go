@@ -187,6 +187,28 @@ func Render(s *System) string {
 	return b.String()
 }
 
+// StructureSignature fingerprints the solver-relevant shape of a system:
+// the product count plus every component's kind, capacity, and wiring. Two
+// systems with equal signatures compile to structurally identical contract
+// systems — shelf stock and the horizon enter only through right-hand
+// sides — which is what lets an incremental solver re-target one compiled
+// model across lifelong epochs (same floorplan, depleted stock) and design
+// sweeps instead of recompiling per solve.
+func (s *System) StructureSignature() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "p%d", s.W.NumProducts)
+	for _, c := range s.Components {
+		fmt.Fprintf(&b, ";%d:%d", int(c.Kind), c.Capacity())
+		for _, j := range s.Inlets[c.ID] {
+			fmt.Fprintf(&b, "<%d", j)
+		}
+		for _, j := range s.Outlets[c.ID] {
+			fmt.Fprintf(&b, ">%d", j)
+		}
+	}
+	return b.String()
+}
+
 // Stats summarizes a system for reports and experiment logs.
 type Stats struct {
 	Components    int

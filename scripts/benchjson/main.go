@@ -1,11 +1,19 @@
 // Command benchjson converts `go test -bench` output (read from stdin) into
 // a JSON snapshot and appends it to a trajectory file, so successive PRs
-// can compare perf against every recorded predecessor.
+// can compare perf against every recorded predecessor. Labels must be
+// unique within a trajectory file — a duplicate almost always means a run
+// was accidentally recorded twice, and it would silently poison later
+// comparisons.
+//
+// With -compare, no input is read: the last two snapshots of the
+// trajectory file are diffed per benchmark instead (the trajectory is long
+// enough by now that regressions hide in raw JSON).
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'BenchmarkTableI$|BenchmarkSolveBatch' -benchmem . |
 //	    go run ./scripts/benchjson -o BENCH_table1.json -label my-change
+//	go run ./scripts/benchjson -compare -o BENCH_table1.json
 package main
 
 import (
@@ -14,8 +22,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 	"time"
 )
 
@@ -42,9 +52,17 @@ type File struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_table1.json", "trajectory file to append to")
-	label := flag.String("label", "", "snapshot label (required)")
+	out := flag.String("o", "BENCH_table1.json", "trajectory file to append to (or read, with -compare)")
+	label := flag.String("label", "", "snapshot label (required unless -compare)")
+	compare := flag.Bool("compare", false, "diff the last two snapshots of the trajectory file and exit")
 	flag.Parse()
+	if *compare {
+		if err := runCompare(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *label == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
 		os.Exit(2)
@@ -116,6 +134,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	for _, prev := range f.Snapshots {
+		if prev.Label == snap.Label {
+			fmt.Fprintf(os.Stderr, "benchjson: %s already holds a snapshot labeled %q (recorded %s); pick a fresh label\n",
+				*out, snap.Label, prev.Date)
+			os.Exit(1)
+		}
+	}
 	f.Snapshots = append(f.Snapshots, snap)
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
@@ -127,4 +152,51 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: appended snapshot %q (%d benchmarks) to %s\n", *label, len(snap.Benchmarks), *out)
+}
+
+// runCompare diffs the last two snapshots of the trajectory file, one line
+// per benchmark present in either.
+func runCompare(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("%s is not a trajectory file: %w", path, err)
+	}
+	if len(f.Snapshots) < 2 {
+		return fmt.Errorf("%s holds %d snapshot(s); need at least 2 to compare", path, len(f.Snapshots))
+	}
+	old, cur := f.Snapshots[len(f.Snapshots)-2], f.Snapshots[len(f.Snapshots)-1]
+	fmt.Printf("comparing %q (%s)\n       vs %q (%s)\n\n", old.Label, old.Date, cur.Label, cur.Date)
+	names := make([]string, 0, len(old.Benchmarks)+len(cur.Benchmarks))
+	seen := map[string]bool{}
+	for name := range old.Benchmarks {
+		names = append(names, name)
+		seen[name] = true
+	}
+	for name := range cur.Benchmarks {
+		if !seen[name] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\told ns/op\tnew ns/op\tdelta")
+	for _, name := range names {
+		o, inOld := old.Benchmarks[name]
+		c, inCur := cur.Benchmarks[name]
+		switch {
+		case !inOld:
+			fmt.Fprintf(w, "%s\t-\t%.0f\t(new)\n", name, c.NsPerOp)
+		case !inCur:
+			fmt.Fprintf(w, "%s\t%.0f\t-\t(gone)\n", name, o.NsPerOp)
+		case o.NsPerOp == 0:
+			fmt.Fprintf(w, "%s\t0\t%.0f\t?\n", name, c.NsPerOp)
+		default:
+			fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%+.1f%%\n", name, o.NsPerOp, c.NsPerOp, 100*(c.NsPerOp-o.NsPerOp)/o.NsPerOp)
+		}
+	}
+	return w.Flush()
 }
