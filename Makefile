@@ -5,7 +5,7 @@
 GO ?= go
 BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: build test vet race bench bench-compare ci fmt
+.PHONY: build test vet race bench bench-compare test-lp-long ci fmt
 
 build:
 	$(GO) build ./...
@@ -19,17 +19,27 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# Table I + solver-pool throughput + the contract→ILP path (ablation and
-# LP-core microbenchmarks) + the repeated-solve layers (refinement,
-# lifelong, design sweep), recorded with allocation stats.
+# Table I + solver-pool throughput + the contract→ILP path (ablation with
+# its exact dense/revised-simplex variants, and the LP-core microbenchmarks
+# incl. the BenchmarkLP Exact/ExactDense representation pairs) + the
+# repeated-solve layers (refinement, lifelong, design sweep), recorded with
+# allocation stats.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkTableI$$|BenchmarkSolveBatch|BenchmarkSynthesizerAblation|BenchmarkLP|BenchmarkRefinement|BenchmarkLifelong|BenchmarkDesignSweep' -benchmem -benchtime 100x . | \
 		$(GO) run ./scripts/benchjson -o BENCH_table1.json -label "$(BENCH_LABEL)"
 
 # Diff the last two recorded snapshots per benchmark — the trajectory file
-# is long enough that regressions hide in the raw JSON.
+# is long enough that regressions hide in the raw JSON. Benchmark names are
+# normalized (GOMAXPROCS suffix stripped), so snapshots recorded on machines
+# with different core counts still pair up.
 bench-compare:
 	$(GO) run ./scripts/benchjson -compare -o BENCH_table1.json
+
+# Long-running dense-vs-revised simplex parity fuzz under the race detector.
+# The short version of the same property tests runs in every `go test ./...`;
+# LP_PARITY_ROUNDS scales the fuzz rounds.
+test-lp-long:
+	LP_PARITY_ROUNDS=2000 $(GO) test -race -run 'TestRevisedParity' -timeout 40m ./internal/lp
 
 fmt:
 	gofmt -l .

@@ -227,6 +227,22 @@ func BenchmarkSynthesizerAblation(b *testing.B) {
 			}
 		})
 	}
+	// The exact-arithmetic contract path, auto (revised at this size) vs
+	// pinned dense: the representation ablation for the §IV-D pipeline.
+	// Results are bit-identical; only the simplex representation differs.
+	for _, sx := range []struct {
+		name    string
+		simplex lp.SimplexEngine
+	}{{"contract-ilp-exact", lp.SimplexAuto}, {"contract-ilp-exact-dense", lp.SimplexDense}} {
+		b.Run(sx.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := core.Options{Strategy: core.ContractILP, SkipRealization: true, ExactILP: true, Simplex: sx.simplex}
+				if _, err := core.Solve(s, wl, 800, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // contractShapedLP builds an LP/ILP with the shape the §IV-D contract
@@ -285,9 +301,11 @@ func contractShapedLP(ring, products int, integer bool) *lp.Problem {
 }
 
 // BenchmarkLP isolates the internal/lp solver on contract-shaped problems:
-// the continuous relaxation in both engines, and the full branch-and-bound
-// ILP in both engines. These are the microbenchmarks behind the
-// `flow.Certify` / `SynthesizeContract` / `refine.MinimalHorizon` costs.
+// the continuous relaxation in both engines and both exact simplex
+// representations (dense tableau vs LU-factorized revised), and the full
+// branch-and-bound ILP likewise. These are the microbenchmarks behind the
+// `flow.Certify` / `SynthesizeContract` / `refine.MinimalHorizon` costs;
+// the Dense/Revised pairs size the SimplexAuto crossover.
 func BenchmarkLP(b *testing.B) {
 	sizes := []struct {
 		name           string
@@ -295,6 +313,9 @@ func BenchmarkLP(b *testing.B) {
 	}{
 		{"ring=4_products=2", 4, 2},
 		{"ring=8_products=4", 8, 4},
+		// Demand quotas must fit the shared arc capacity (3+products), which
+		// caps products at 6; the large instance grows the ring instead.
+		{"ring=24_products=6", 24, 6},
 	}
 	for _, sz := range sizes {
 		cont := contractShapedLP(sz.ring, sz.products, false)
@@ -303,14 +324,22 @@ func BenchmarkLP(b *testing.B) {
 			obj = append(obj, lp.T(lp.VarID(i), 1))
 		}
 		cont.SetObjective(obj, false) // minimize total flow
-		b.Run("Exact/"+sz.name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				sol, err := lp.SolveLP(cont)
-				if err != nil || sol.Status != lp.StatusOptimal {
-					b.Fatalf("status %v err %v", sol.Status, err)
+		// "Exact" is the default entry point (SimplexAuto routes these
+		// sizes to the revised engine); "ExactDense" pins the reference
+		// tableau so the representation win stays measurable per snapshot.
+		for _, sx := range []struct {
+			name    string
+			simplex lp.SimplexEngine
+		}{{"Exact", lp.SimplexAuto}, {"ExactDense", lp.SimplexDense}} {
+			b.Run(sx.name+"/"+sz.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sol, err := lp.SolveLPWith(cont, lp.SolveOptions{Simplex: sx.simplex})
+					if err != nil || sol.Status != lp.StatusOptimal {
+						b.Fatalf("status %v err %v", sol.Status, err)
+					}
 				}
-			}
-		})
+			})
+		}
 		b.Run("Float/"+sz.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				sol, err := lp.SolveLPFloat(cont)
@@ -321,12 +350,16 @@ func BenchmarkLP(b *testing.B) {
 		})
 		ilp := contractShapedLP(sz.ring, sz.products, true)
 		for _, eng := range []struct {
-			name   string
-			engine lp.Engine
-		}{{"ILPExact", lp.EngineExact}, {"ILPFloat", lp.EngineFloat}} {
+			name string
+			opts lp.ILPOptions
+		}{
+			{"ILPExact", lp.ILPOptions{Engine: lp.EngineExact}},
+			{"ILPExactDense", lp.ILPOptions{Engine: lp.EngineExact, Simplex: lp.SimplexDense}},
+			{"ILPFloat", lp.ILPOptions{Engine: lp.EngineFloat}},
+		} {
 			b.Run(eng.name+"/"+sz.name, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					sol, err := lp.SolveILP(ilp, lp.ILPOptions{Engine: eng.engine})
+					sol, err := lp.SolveILP(ilp, eng.opts)
 					if err != nil || sol.Status != lp.StatusOptimal {
 						b.Fatalf("status %v err %v", sol.Status, err)
 					}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/lp"
 	"repro/internal/maps"
 	"repro/internal/solverpool"
 	"repro/internal/traffic"
@@ -179,12 +180,28 @@ func strategyOf(name string) (core.Strategy, error) {
 	return 0, fmt.Errorf("unknown strategy %q (want route, flows, or contract)", name)
 }
 
+// simplexOf parses the -simplex flag: the exact LP engines' representation
+// for the contract path. Results are bit-identical across choices; auto
+// routes by instance size.
+func simplexOf(name string) (lp.SimplexEngine, error) {
+	switch name {
+	case "auto":
+		return lp.SimplexAuto, nil
+	case "dense":
+		return lp.SimplexDense, nil
+	case "revised":
+		return lp.SimplexRevised, nil
+	}
+	return 0, fmt.Errorf("unknown simplex %q (want auto, dense, or revised)", name)
+}
+
 func cmdSolve(args []string) error {
 	fs := flag.NewFlagSet("solve", flag.ExitOnError)
 	name := fs.String("name", "sorting", "map name")
 	units := fs.Int("units", 160, "total units to move")
 	T := fs.Int("T", 3600, "timestep limit")
 	strat := fs.String("strategy", "route", "synthesis strategy: route, flows, or contract")
+	simplex := fs.String("simplex", "auto", "exact LP representation: auto, dense, or revised")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -196,12 +213,16 @@ func cmdSolve(args []string) error {
 	if err != nil {
 		return err
 	}
+	sx, err := simplexOf(*simplex)
+	if err != nil {
+		return err
+	}
 	wl, err := workload.Uniform(m.W, *units)
 	if err != nil {
 		return err
 	}
 	start := time.Now()
-	res, err := core.Solve(m.S, wl, *T, core.Options{Strategy: strategy})
+	res, err := core.Solve(m.S, wl, *T, core.Options{Strategy: strategy, Simplex: sx})
 	if err != nil {
 		return err
 	}
@@ -224,10 +245,13 @@ func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	corridors := fs.String("corridors", "2,3,4", "comma-separated corridor widths (also sets aisle rows)")
 	lens := fs.String("lens", "6,7,9", "comma-separated component-length caps")
+	stripes := fs.Int("stripes", 4, "stripes per generated topology")
+	products := fs.Int("products", 48, "distinct products per generated topology")
 	units := fs.Int("units", 480, "total units at the top workload level")
 	points := fs.Int("points", 3, "workload levels per topology (units·i/points, i=1..points)")
 	T := fs.Int("T", 3600, "timestep limit")
 	strat := fs.String("strategy", "route", "synthesis strategy: route, flows, or contract")
+	simplex := fs.String("simplex", "auto", "exact LP representation: auto, dense, or revised")
 	parallel := fs.Int("parallel", 1, "solver pool width (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -241,6 +265,10 @@ func cmdSweep(args []string) error {
 		return fmt.Errorf("bad -lens: %w", err)
 	}
 	strategy, err := strategyOf(*strat)
+	if err != nil {
+		return err
+	}
+	sx, err := simplexOf(*simplex)
 	if err != nil {
 		return err
 	}
@@ -260,9 +288,9 @@ func cmdSweep(args []string) error {
 	for _, v := range vs {
 		for _, l := range ls {
 			m, err := maps.Generate(maps.Params{
-				Stripes: 4, Rows: v, BayWidth: 12, CorridorWidth: v,
+				Stripes: *stripes, Rows: v, BayWidth: 12, CorridorWidth: v,
 				MaxComponentLen: l, DoubleShelfRows: true,
-				NumProducts: 48, UnitsPerShelf: 30, StationsPerStripe: 1,
+				NumProducts: *products, UnitsPerShelf: 30, StationsPerStripe: 1,
 			})
 			if err != nil {
 				return fmt.Errorf("V=%d L=%d: %w", v, l, err)
@@ -276,7 +304,7 @@ func cmdSweep(args []string) error {
 					return fmt.Errorf("V=%d L=%d units=%d: %w", v, l, u, err)
 				}
 				levels = append(levels, u)
-				reqs = append(reqs, solverpool.Request{S: m.S, WL: wl, T: *T, Opts: core.Options{Strategy: strategy}})
+				reqs = append(reqs, solverpool.Request{S: m.S, WL: wl, T: *T, Opts: core.Options{Strategy: strategy, Simplex: sx}})
 			}
 			st := traffic.Summarize(m.S)
 			for i, r := range pool.SolveBatch(reqs) {

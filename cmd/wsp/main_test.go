@@ -1,9 +1,13 @@
 package main
 
 import (
+	"io"
+	"os"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/lp"
 )
 
 func TestBuildMapNames(t *testing.T) {
@@ -60,6 +64,95 @@ func TestCmdSweepRuns(t *testing.T) {
 	}
 	if err := cmdSweep([]string{"-units", "2", "-points", "3"}); err == nil {
 		t.Error("fewer units than points accepted (zero/duplicate levels)")
+	}
+}
+
+func TestSimplexOf(t *testing.T) {
+	cases := map[string]lp.SimplexEngine{
+		"auto":    lp.SimplexAuto,
+		"dense":   lp.SimplexDense,
+		"revised": lp.SimplexRevised,
+	}
+	for name, want := range cases {
+		got, err := simplexOf(name)
+		if err != nil || got != want {
+			t.Errorf("simplexOf(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := simplexOf("sparse"); err == nil {
+		t.Error("unknown simplex accepted")
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected into a buffer.
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	ferr := f()
+	os.Stdout = old
+	w.Close()
+	out := <-done
+	r.Close()
+	return out, ferr
+}
+
+// TestSweepInfeasibleContractCell is the end-to-end regression test for the
+// solver's non-optimal paths: a sweep cell whose contract conjunction is
+// LP-infeasible (the solver returns &Solution{Status: Infeasible} with nil
+// Values and nil Objective) must flow through flow.ContractModel, core's
+// retry loop, and the solver pool as an "unsolved" row — not a nil-pointer
+// panic, and not an aborted grid walk.
+func TestSweepInfeasibleContractCell(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return cmdSweep([]string{
+			"-corridors", "2", "-lens", "6",
+			"-stripes", "1", "-products", "2",
+			"-units", "60", "-points", "1", "-T", "40",
+			"-strategy", "contract",
+		})
+	})
+	if err != nil {
+		t.Fatalf("sweep aborted instead of recording the infeasible cell: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "unsolved") {
+		t.Fatalf("infeasible contract cell not reported as unsolved:\n%s", out)
+	}
+	if !strings.Contains(out, "1 topologies × 1 levels") {
+		t.Fatalf("grid walk summary missing (walk aborted early?):\n%s", out)
+	}
+}
+
+// TestSweepFeasibleContractCell pins the companion happy path on the same
+// tiny topology, so the infeasible test above cannot rot into "everything
+// is unsolved for an unrelated reason".
+func TestSweepFeasibleContractCell(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return cmdSweep([]string{
+			"-corridors", "2", "-lens", "6",
+			"-stripes", "1", "-products", "2",
+			// T stays in the feasible-rate band: at T=3600 this topology
+			// falls into the integer-rate regime (fincap ≤ UNITS_AT/qc < 1
+			// forces all integer pick rates to zero) and the conjunction is
+			// genuinely unsatisfiable.
+			"-units", "12", "-points", "1", "-T", "800",
+			"-strategy", "contract",
+		})
+	})
+	if err != nil {
+		t.Fatalf("feasible sweep failed: %v\n%s", err, out)
+	}
+	if strings.Contains(out, "unsolved") {
+		t.Fatalf("feasible cell reported unsolved:\n%s", out)
 	}
 }
 

@@ -118,7 +118,15 @@ func (cc *Compiled) Satisfy(opts lp.ILPOptions) (Assignment, error) {
 // from-scratch admission test maps statuses: an unbounded relaxation (only
 // possible once a caller installs an objective) still has feasible points.
 func (cc *Compiled) RelaxationFeasible() (bool, error) {
-	sol, err := cc.model.Resolve()
+	return cc.RelaxationFeasibleWith(lp.SimplexAuto)
+}
+
+// RelaxationFeasibleWith is RelaxationFeasible with a per-call simplex
+// representation override — preferred over SetSimplex for callers that
+// share the compiled model, since it leaves no sticky model-level state
+// behind.
+func (cc *Compiled) RelaxationFeasibleWith(sx lp.SimplexEngine) (bool, error) {
+	sol, err := cc.model.ResolveWith(lp.SolveOptions{Simplex: sx})
 	if err != nil {
 		return false, err
 	}

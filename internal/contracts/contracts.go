@@ -355,6 +355,24 @@ func entails(vars map[string]VarSpec, premise []Constraint, goal Constraint) (bo
 	for i, t := range goal.Terms {
 		terms[i] = lp.Term{Var: index[t.Var], Coef: t.Coef}
 	}
+	if len(terms) == 0 {
+		// A term-free goal is the constant predicate 0 (Sense) RHS. Deciding
+		// it through the optimizer would build a pure feasibility problem
+		// whose Solution carries a nil Objective — and dereferencing that
+		// was a crash on this path. Decide the constant directly; a false
+		// constant is still entailed by an infeasible premise (vacuously).
+		zero := new(big.Rat)
+		cmp := zero.Cmp(goal.RHS)
+		holds := (goal.Sense == lp.LE && cmp <= 0) || (goal.Sense == lp.GE && cmp >= 0) || (goal.Sense == lp.EQ && cmp == 0)
+		if holds {
+			return true, nil
+		}
+		sol, err := lp.SolveILP(p, lp.ILPOptions{Engine: lp.EngineExact})
+		if err != nil {
+			return false, err
+		}
+		return sol.Status == lp.StatusInfeasible, nil
+	}
 	dir := func(maximize bool) (bool, error) {
 		p.SetObjective(terms, maximize)
 		sol, err := lp.SolveILP(p, lp.ILPOptions{Engine: lp.EngineExact})

@@ -1,0 +1,93 @@
+package contracts
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/lp"
+)
+
+// Term-free constraints are constant predicates (0 Sense RHS). They reach
+// entails through Compose's assumption discharge; before the guard in
+// entails they compiled into a pure feasibility objective whose Solution
+// carries a nil Objective, and comparing it crashed. These tests pin the
+// non-optimal path end to end.
+func TestEntailsTermFreeGoal(t *testing.T) {
+	c1 := New("producer")
+	if err := c1.DeclareVar(NatSpec("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Guarantee(CT("xcap", lp.LE, 5, LT(1, "x"))); err != nil {
+		t.Fatal(err)
+	}
+
+	// A trivially true term-free assumption (0 ≤ 1) must be discharged.
+	c2 := New("consumer")
+	if err := c2.DeclareVar(NatSpec("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Assume(Constraint{Name: "trivial", Sense: lp.LE, RHS: big.NewRat(1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Compose(c1, c2)
+	if err != nil {
+		t.Fatalf("compose with term-free assumption: %v", err)
+	}
+	for _, a := range comp.Assumptions {
+		if a.Name == "trivial" {
+			t.Errorf("trivially true term-free assumption survived discharge")
+		}
+	}
+
+	// A false term-free assumption (0 ≥ 1) is only vacuously entailed, so
+	// it must be kept (the peer's guarantees are satisfiable).
+	c3 := New("impossible")
+	if err := c3.DeclareVar(NatSpec("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c3.Assume(Constraint{Name: "never", Sense: lp.GE, RHS: big.NewRat(1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	comp2, err := Compose(c1, c3)
+	if err != nil {
+		t.Fatalf("compose with false term-free assumption: %v", err)
+	}
+	kept := false
+	for _, a := range comp2.Assumptions {
+		if a.Name == "never" {
+			kept = true
+		}
+	}
+	if !kept {
+		t.Errorf("false term-free assumption was discharged against a satisfiable peer")
+	}
+}
+
+// A false term-free goal against an infeasible premise is vacuously
+// entailed — the branch that still consults the solver.
+func TestEntailsTermFreeGoalVacuous(t *testing.T) {
+	c1 := New("contradictory")
+	if err := c1.DeclareVar(NatSpec("x")); err != nil {
+		t.Fatal(err)
+	}
+	// x ≤ -1 over x ∈ N: infeasible guarantees.
+	if err := c1.Guarantee(CT("neg", lp.LE, -1, LT(1, "x"))); err != nil {
+		t.Fatal(err)
+	}
+	c2 := New("asker")
+	if err := c2.DeclareVar(NatSpec("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Assume(Constraint{Name: "never", Sense: lp.GE, RHS: big.NewRat(1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Compose(c1, c2)
+	if err != nil {
+		t.Fatalf("compose: %v", err)
+	}
+	for _, a := range comp.Assumptions {
+		if a.Name == "never" {
+			t.Errorf("assumption not discharged despite infeasible peer guarantees")
+		}
+	}
+}

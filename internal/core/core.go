@@ -11,6 +11,7 @@ import (
 	"repro/internal/agentplan"
 	"repro/internal/cycles"
 	"repro/internal/flow"
+	"repro/internal/lp"
 	"repro/internal/sim"
 	"repro/internal/traffic"
 	"repro/internal/warehouse"
@@ -61,6 +62,11 @@ type Options struct {
 	// ExactILP switches the ContractILP strategy to exact rational
 	// arithmetic.
 	ExactILP bool
+	// Simplex overrides the exact LP engines' simplex representation for
+	// the contract path (dense tableau vs LU-factorized revised simplex;
+	// lp.SimplexAuto selects by instance size). Answers are bit-identical
+	// either way — this is a speed knob for benchmarking and tuning.
+	Simplex lp.SimplexEngine
 	// AdmissionCheck runs the LP-relaxation infeasibility certificate
 	// (flow.Admit) before synthesis, failing fast with a sound proof when
 	// no agent flow set can exist. The relaxation has |Es|·(|ρ|+1)
@@ -125,7 +131,7 @@ func SolveScratch(s *traffic.System, wl warehouse.Workload, T int, opts Options,
 		// The admission LP runs on the same compiled contract model the
 		// ContractILP strategy would use, so a gated synthesis pays the
 		// compilation once.
-		if err := sc.contract.MustAdmit(s, wl, T, flow.Options{}); err != nil {
+		if err := sc.contract.MustAdmit(s, wl, T, flow.Options{Simplex: opts.Simplex}); err != nil {
 			return nil, err
 		}
 	}
@@ -179,7 +185,7 @@ func solveOnce(s *traffic.System, wl warehouse.Workload, T int, opts Options, ma
 		res.Timing.Synthesis = time.Since(start)
 		cs = c
 	case SequentialFlows, ContractILP:
-		fopts := flow.Options{WarmupMargin: margin, ExactILP: opts.ExactILP}
+		fopts := flow.Options{WarmupMargin: margin, ExactILP: opts.ExactILP, Simplex: opts.Simplex}
 		var set *flow.Set
 		var err error
 		if opts.Strategy == SequentialFlows {

@@ -258,6 +258,7 @@ func SynthesizeContract(s *traffic.System, wl warehouse.Workload, T int, opts Op
 		Engine:   engine,
 		MaxNodes: contractNodeBudget,
 		MaxWork:  contractWorkBudget(goal),
+		Simplex:  opts.Simplex,
 	})
 	if err != nil {
 		return nil, err
@@ -388,6 +389,10 @@ type Options struct {
 	WarmupMargin int
 	// ExactILP switches the contract path to the exact rational ILP engine.
 	ExactILP bool
+	// Simplex overrides the exact engines' simplex representation (dense
+	// tableau vs LU-factorized revised; lp.SimplexAuto selects by instance
+	// size). Answers are bit-identical either way.
+	Simplex lp.SimplexEngine
 }
 
 // autoMargin picks a warm-up margin when the caller did not: enough periods

@@ -185,6 +185,7 @@ func (cm *ContractModel) Synthesize(s *traffic.System, wl warehouse.Workload, T 
 		Engine:   engine,
 		MaxNodes: contractNodeBudget,
 		MaxWork:  contractWorkBudget(goal),
+		Simplex:  opts.Simplex,
 	})
 	if err != nil {
 		return nil, err
@@ -213,7 +214,9 @@ func (cm *ContractModel) Admit(s *traffic.System, wl warehouse.Workload, T int, 
 	if _, err := cm.target(s, wl, qc, qeff); err != nil {
 		return CertMaybeFeasible, err
 	}
-	feasible, err := cm.cc.RelaxationFeasible()
+	// Per-call override only: a SetSimplex here would stick to the retained
+	// model and silently shadow SimplexAuto on later solves.
+	feasible, err := cm.cc.RelaxationFeasibleWith(opts.Simplex)
 	if err != nil {
 		return CertMaybeFeasible, err
 	}

@@ -37,8 +37,31 @@ type ILPOptions struct {
 	// objective ⇒ the dual simplex has no monotone progress measure), and
 	// a pivot's cost itself grows with fill-in. Work units are
 	// deterministic and machine-independent; exhaustion returns
-	// StatusLimit, like MaxNodes.
+	// StatusLimit, like MaxNodes. The revised engine charges the same
+	// units per pivot as the dense elimination would, so budgeted searches
+	// stay bit-identical across representations.
 	MaxWork int64
+	// Simplex overrides the exact engines' representation: dense tableau
+	// or LU-factorized revised simplex (SimplexAuto selects by instance
+	// size). Answers are bit-identical either way. The float engine
+	// ignores it and always runs dense.
+	Simplex SimplexEngine
+}
+
+// arena is the engine surface branch-and-bound and the Model layer drive,
+// implemented by the dense tableau and the revised engine. Every method
+// pair is decision-identical between the two, which is what keeps an
+// arena swap invisible in the returned Solutions.
+type arena[T any] interface {
+	prob() *Problem
+	startSearch(workBudget int64)
+	setWorkBudget(int64)
+	solveNode(lo, hi []*big.Rat) Status
+	resolveModel(lo, hi []*big.Rat) Status
+	value(j int) T
+	extractInto(dst []*big.Rat)
+	firstFractionalInt() int
+	objectiveValue() T
 }
 
 // SolveILP solves the mixed-integer program p by branch and bound over the
@@ -53,30 +76,37 @@ type ILPOptions struct {
 // bounds live in a parent-linked diff chain instead of per-node slices.
 func SolveILP(p *Problem, opts ILPOptions) (*Solution, error) {
 	if opts.Engine == EngineFloat {
-		return bbSolve[float64, floatArith](p, floatArith{eps: defaultEps}, opts)
+		// The float engine always runs the dense tableau; a revised float
+		// engine would reorder roundings away from the reference.
+		return bbSolve[float64, floatArith](p, floatArith{eps: defaultEps}, opts, false)
 	}
+	rev := pickSimplex(p, opts.Simplex) == SimplexRevised
 	var sol *Solution
 	var err error
-	if promote(func() { sol, err = bbSolve[rat64, rat64Arith](p, rat64Arith{}, opts) }) {
+	if promote(func() { sol, err = bbSolve[rat64, rat64Arith](p, rat64Arith{}, opts, rev) }) {
 		return sol, err
 	}
-	return bbSolve[*big.Rat, ratArith](p, ratArith{}, opts)
+	return bbSolve[*big.Rat, ratArith](p, ratArith{}, opts, rev)
 }
 
-func bbSolve[T any, A arith[T]](p *Problem, ar A, opts ILPOptions) (*Solution, error) {
-	return bbSolveTableau(p, newTableau[T, A](p, ar), ar, opts)
+func bbSolve[T any, A arith[T]](p *Problem, ar A, opts ILPOptions, revisedEngine bool) (*Solution, error) {
+	var tb arena[T]
+	if revisedEngine {
+		tb = newRevised[T, A](p, ar)
+	} else {
+		tb = newTableau[T, A](p, ar)
+	}
+	return bbSolveTableau(p, tb, ar, opts)
 }
 
 // bbSolveTableau is the branch-and-bound search over a caller-provided
-// tableau arena. Model.ResolveILP passes a retained arena here; resetting
-// the warm state and work counter first makes the search replay exactly the
-// pivot sequence a fresh tableau would, so incremental re-solves stay
-// bit-identical to from-scratch ones while skipping the arena (re)build.
-func bbSolveTableau[T any, A arith[T]](p *Problem, tb *tableau[T, A], ar A, opts ILPOptions) (*Solution, error) {
-	tb.warmOK = false // cold root, as from a fresh arena
-	tb.basisOK = false
-	tb.work = 0
-	tb.workBudget = opts.MaxWork
+// arena (dense or revised). Model.ResolveILP passes a retained arena here;
+// resetting the warm state and work counter first makes the search replay
+// exactly the pivot sequence a fresh arena would, so incremental re-solves
+// stay bit-identical to from-scratch ones while skipping the arena
+// (re)build.
+func bbSolveTableau[T any, A arith[T]](p *Problem, tb arena[T], ar A, opts ILPOptions) (*Solution, error) {
+	tb.startSearch(opts.MaxWork) // cold root, as from a fresh arena
 	maxNodes := opts.MaxNodes
 	if maxNodes == 0 {
 		maxNodes = 200000

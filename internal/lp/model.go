@@ -31,13 +31,23 @@ import "math/big"
 type Model struct {
 	p *Problem
 
-	// One tableau per engine, built lazily on first use. The exact path
-	// mirrors SolveLP/SolveILP: rat64 until an overflow promotes the model
-	// to big.Rat for good.
+	// One arena per engine and representation, built lazily on first use.
+	// The exact path mirrors SolveLP/SolveILP: rat64 until an overflow
+	// promotes the model to big.Rat for good. The dense and revised
+	// representations return bit-identical answers, so a model may serve
+	// solves through either (or both, under per-call overrides) without
+	// observable effect.
 	t64      *tableau[rat64, rat64Arith]
 	tbig     *tableau[*big.Rat, ratArith]
 	tflt     *tableau[float64, floatArith]
+	r64      *revised[rat64, rat64Arith]
+	rbig     *revised[*big.Rat, ratArith]
 	promoted bool
+
+	// simplex is the model-level representation override; SimplexAuto
+	// (the default) selects by instance size, per-call ILPOptions.Simplex
+	// wins over both.
+	simplex SimplexEngine
 
 	nv, m int // structure snapshot; growth forces a rebuild
 
@@ -54,6 +64,12 @@ func NewModel(p *Problem) *Model {
 // setters for edits).
 func (mo *Model) Problem() *Problem { return mo.p }
 
+// SetSimplex overrides the simplex representation for this model's exact
+// solves (SimplexAuto restores size-based selection). Existing arenas are
+// retained: answers are bit-identical across representations, so a
+// mid-stream switch only changes which arena the next solve warms.
+func (mo *Model) SetSimplex(e SimplexEngine) { mo.simplex = e }
+
 // SetBound replaces the bounds of v (nil = unbounded). The edit takes
 // effect at the next solve; warm reentry handles it via the dual simplex.
 func (mo *Model) SetBound(v VarID, lo, hi *big.Rat) {
@@ -67,8 +83,14 @@ func (mo *Model) SetRHS(ci int, rhs *big.Rat) {
 	if mo.t64 != nil && !promote(func() { mo.t64.updateRHS(ci, rhs) }) {
 		mo.dropRat64()
 	}
+	if mo.r64 != nil && !promote(func() { mo.r64.updateRHS(ci, rhs) }) {
+		mo.dropRat64()
+	}
 	if mo.tbig != nil {
 		mo.tbig.updateRHS(ci, rhs)
+	}
+	if mo.rbig != nil {
+		mo.rbig.updateRHS(ci, rhs)
 	}
 	if mo.tflt != nil {
 		mo.tflt.updateRHSPristine(ci, rhs)
@@ -82,27 +104,49 @@ func (mo *Model) SetObjective(terms []Term, maximize bool) {
 	if mo.t64 != nil && !promote(func() { mo.t64.updateCost() }) {
 		mo.dropRat64()
 	}
+	if mo.r64 != nil && !promote(func() { mo.r64.updateCost() }) {
+		mo.dropRat64()
+	}
 	if mo.tbig != nil {
 		mo.tbig.updateCost()
+	}
+	if mo.rbig != nil {
+		mo.rbig.updateCost()
 	}
 	if mo.tflt != nil {
 		mo.tflt.updateCost()
 	}
 }
 
+// pick resolves the simplex representation for an exact solve: a per-call
+// override wins, then the model-level override, then instance size.
+func (mo *Model) pick(call SimplexEngine) SimplexEngine {
+	if call == SimplexAuto {
+		call = mo.simplex
+	}
+	return pickSimplex(mo.p, call)
+}
+
 // Resolve solves the current program with the exact engine, warm when the
 // edits allow it. The result is bit-identical to SolveLP(m.Problem()).
 func (mo *Model) Resolve() (*Solution, error) {
+	return mo.ResolveWith(SolveOptions{})
+}
+
+// ResolveWith is Resolve with per-call solve options; opts.Simplex wins
+// over the model-level override for this call only.
+func (mo *Model) ResolveWith(opts SolveOptions) (*Solution, error) {
 	mo.checkStructure()
+	rev := mo.pick(opts.Simplex) == SimplexRevised
 	if !mo.promoted {
 		var sol *Solution
 		var err error
-		if promote(func() { sol, err = resolveLP(mo, mo.exact64()) }) {
+		if promote(func() { sol, err = resolveLP(mo, mo.arena64(rev)) }) {
 			return sol, err
 		}
 		mo.dropRat64()
 	}
-	return resolveLP(mo, mo.exactBig())
+	return resolveLP(mo, mo.arenaBig(rev))
 }
 
 // ResolveILP solves the current program by branch and bound in the retained
@@ -112,22 +156,23 @@ func (mo *Model) ResolveILP(opts ILPOptions) (*Solution, error) {
 	if opts.Engine == EngineFloat {
 		return bbSolveTableau(mo.p, mo.float(), floatArith{eps: defaultEps}, opts)
 	}
+	rev := mo.pick(opts.Simplex) == SimplexRevised
 	if !mo.promoted {
 		var sol *Solution
 		var err error
-		if promote(func() { sol, err = bbSolveTableau(mo.p, mo.exact64(), rat64Arith{}, opts) }) {
+		if promote(func() { sol, err = bbSolveTableau(mo.p, mo.arena64(rev), rat64Arith{}, opts) }) {
 			return sol, err
 		}
 		mo.dropRat64()
 	}
-	return bbSolveTableau(mo.p, mo.exactBig(), ratArith{}, opts)
+	return bbSolveTableau(mo.p, mo.arenaBig(rev), ratArith{}, opts)
 }
 
-// resolveLP drives one LP solve over the given tableau: declared bounds in,
+// resolveLP drives one LP solve over the given arena: declared bounds in,
 // warm or cold solve, Solution out.
-func resolveLP[T any, A arith[T]](mo *Model, tb *tableau[T, A]) (*Solution, error) {
+func resolveLP[T any](mo *Model, tb arena[T]) (*Solution, error) {
 	lo, hi := mo.declaredBounds()
-	tb.workBudget = 0
+	tb.setWorkBudget(0)
 	switch status := tb.resolveModel(lo, hi); status {
 	case StatusInfeasible, StatusUnbounded:
 		return &Solution{Status: status}, nil
@@ -206,6 +251,7 @@ func (mo *Model) declaredBounds() ([]*big.Rat, []*big.Rat) {
 func (mo *Model) checkStructure() {
 	if len(mo.p.Vars) != mo.nv || len(mo.p.Constraints) != mo.m {
 		mo.t64, mo.tbig, mo.tflt = nil, nil, nil
+		mo.r64, mo.rbig = nil, nil
 		mo.promoted = false
 		mo.nv, mo.m = len(mo.p.Vars), len(mo.p.Constraints)
 	}
@@ -215,17 +261,34 @@ func (mo *Model) checkStructure() {
 // on big.Rat from here on (mirroring SolveLP's whole-solve promotion).
 func (mo *Model) dropRat64() {
 	mo.t64 = nil
+	mo.r64 = nil
 	mo.promoted = true
 }
 
-func (mo *Model) exact64() *tableau[rat64, rat64Arith] {
+// arena64 returns the rat64 arena of the requested representation,
+// building it on first use.
+func (mo *Model) arena64(revisedEngine bool) arena[rat64] {
+	if revisedEngine {
+		if mo.r64 == nil {
+			mo.r64 = newRevised[rat64, rat64Arith](mo.p, rat64Arith{})
+		}
+		return mo.r64
+	}
 	if mo.t64 == nil {
 		mo.t64 = newTableau[rat64, rat64Arith](mo.p, rat64Arith{})
 	}
 	return mo.t64
 }
 
-func (mo *Model) exactBig() *tableau[*big.Rat, ratArith] {
+// arenaBig returns the big.Rat arena of the requested representation,
+// building it on first use.
+func (mo *Model) arenaBig(revisedEngine bool) arena[*big.Rat] {
+	if revisedEngine {
+		if mo.rbig == nil {
+			mo.rbig = newRevised[*big.Rat, ratArith](mo.p, ratArith{})
+		}
+		return mo.rbig
+	}
 	if mo.tbig == nil {
 		mo.tbig = newTableau[*big.Rat, ratArith](mo.p, ratArith{})
 	}

@@ -26,25 +26,48 @@ import "math/big"
 // engine. Arithmetic runs over int64 numerator/denominator pairs (rat64)
 // and transparently promotes the whole solve to big.Rat on overflow, so
 // results are exact either way. Integrality markers on variables are
-// ignored.
+// ignored. The simplex representation is chosen by instance size (see
+// SolveLPWith for an explicit override); both representations return
+// bit-identical Solutions.
 func SolveLP(p *Problem) (*Solution, error) {
+	return SolveLPWith(p, SolveOptions{})
+}
+
+// SolveOptions tunes SolveLP's engine selection.
+type SolveOptions struct {
+	// Simplex overrides the representation choice: dense tableau or
+	// LU-factorized revised simplex. SimplexAuto selects by instance size.
+	// Answers are bit-identical either way.
+	Simplex SimplexEngine
+}
+
+// SolveLPWith is SolveLP with explicit solve options.
+func SolveLPWith(p *Problem, opts SolveOptions) (*Solution, error) {
+	rev := pickSimplex(p, opts.Simplex) == SimplexRevised
 	var sol *Solution
 	var err error
-	if promote(func() { sol, err = solveLPWith[rat64, rat64Arith](p, rat64Arith{}) }) {
+	if promote(func() { sol, err = solveLPWith[rat64, rat64Arith](p, rat64Arith{}, rev) }) {
 		return sol, err
 	}
-	return solveLPWith[*big.Rat, ratArith](p, ratArith{})
+	return solveLPWith[*big.Rat, ratArith](p, ratArith{}, rev)
 }
 
 // SolveLPFloat solves the continuous relaxation of p with the float64
 // engine. It is much faster than SolveLP on very large problems but subject
 // to rounding; callers that need certainty should verify with Problem.Check.
+// The float engine always runs the dense tableau (the revised engine would
+// reorder float operations and lose parity with the reference).
 func SolveLPFloat(p *Problem) (*Solution, error) {
-	return solveLPWith[float64, floatArith](p, floatArith{eps: defaultEps})
+	return solveLPWith[float64, floatArith](p, floatArith{eps: defaultEps}, false)
 }
 
-func solveLPWith[T any, A arith[T]](p *Problem, ar A) (*Solution, error) {
-	tb := newTableau[T, A](p, ar)
+func solveLPWith[T any, A arith[T]](p *Problem, ar A, revisedEngine bool) (*Solution, error) {
+	var tb arena[T]
+	if revisedEngine {
+		tb = newRevised[T, A](p, ar)
+	} else {
+		tb = newTableau[T, A](p, ar)
+	}
 	lo := make([]*big.Rat, len(p.Vars))
 	hi := make([]*big.Rat, len(p.Vars))
 	for i := range p.Vars {
@@ -59,10 +82,10 @@ func solveLPWith[T any, A arith[T]](p *Problem, ar A) (*Solution, error) {
 	return optimalSolution(tb), nil
 }
 
-// optimalSolution materializes the tableau's current (optimal) basis into a
+// optimalSolution materializes the arena's current (optimal) basis into a
 // full Solution, evaluating the objective exactly over the extracted values.
-func optimalSolution[T any, A arith[T]](tb *tableau[T, A]) *Solution {
-	p := tb.p
+func optimalSolution[T any](tb arena[T]) *Solution {
+	p := tb.prob()
 	values := make([]*big.Rat, len(p.Vars))
 	for i := range values {
 		values[i] = new(big.Rat)
@@ -143,25 +166,7 @@ func newTableau[T any, A arith[T]](p *Problem, ar A) *tableau[T, A] {
 		ar: ar, p: p,
 		m: m, nv: nv, artStart: nv + m, n: nv + 2*m, stride: nv + 2*m + 1,
 	}
-	// Constraint matrix as sorted CSR triplets, duplicates merged; shared by
-	// every engine and every cold restart.
-	csr := newCSRRows(m, 4*m)
-	for ci := range p.Constraints {
-		c := &p.Constraints[ci]
-		for _, t := range c.Terms {
-			csr.add(int(t.Var), t.Coef)
-		}
-		csr.endRow(c.Sense, c.RHS)
-	}
-	tb.csr = csr
-	tb.convVal = make([]T, len(csr.vals))
-	for i, v := range csr.vals {
-		tb.convVal[i] = ar.fromRat(v)
-	}
-	tb.convRHS = make([]T, m)
-	for i, r := range csr.rhs {
-		tb.convRHS[i] = ar.fromRat(r)
-	}
+	tb.csr, tb.convVal, tb.convRHS = problemCSR(p, ar)
 
 	tb.rows = make([]T, m*tb.stride)
 	tb.basis = make([]int, m)
@@ -199,6 +204,44 @@ func newTableau[T any, A arith[T]](p *Problem, ar A) *tableau[T, A] {
 	tb.pr = newPricer(m, tb.n)
 	return tb
 }
+
+// problemCSR builds the constraint matrix as sorted CSR triplets with
+// duplicates merged, plus the values and right-hand sides converted to the
+// engine's field — shared by the dense tableau, the revised engine, and
+// every cold restart.
+func problemCSR[T any, A arith[T]](p *Problem, ar A) (*csrRows, []T, []T) {
+	m := len(p.Constraints)
+	csr := newCSRRows(m, 4*m)
+	for ci := range p.Constraints {
+		c := &p.Constraints[ci]
+		for _, t := range c.Terms {
+			csr.add(int(t.Var), t.Coef)
+		}
+		csr.endRow(c.Sense, c.RHS)
+	}
+	convVal := make([]T, len(csr.vals))
+	for i, v := range csr.vals {
+		convVal[i] = ar.fromRat(v)
+	}
+	convRHS := make([]T, m)
+	for i, r := range csr.rhs {
+		convRHS[i] = ar.fromRat(r)
+	}
+	return csr, convVal, convRHS
+}
+
+// Arena surface shared with the revised engine (see arena in ilp.go).
+
+func (tb *tableau[T, A]) prob() *Problem { return tb.p }
+
+func (tb *tableau[T, A]) startSearch(workBudget int64) {
+	tb.warmOK = false
+	tb.basisOK = false
+	tb.work = 0
+	tb.workBudget = workBudget
+}
+
+func (tb *tableau[T, A]) setWorkBudget(b int64) { tb.workBudget = b }
 
 // updateCost (re)derives the phase-2 minimization cost vector from the
 // problem's current objective. The maintained reduced-cost row still prices
@@ -297,37 +340,50 @@ func (tb *tableau[T, A]) exhausted() bool {
 // bound differs from the previously installed one (the Model layer uses
 // this to invalidate its primal-reentry state).
 func (tb *tableau[T, A]) setBounds(lo, hi []*big.Rat) (ok, changed bool) {
-	zero := tb.ar.zero()
+	return installBounds(tb.ar, tb.nv, lo, hi, tb.lo, tb.hi, tb.loF, tb.hiF)
+}
+
+// installBounds writes per-variable declared bounds into an engine's bound
+// arrays (structural columns only), reporting ok=false on a lo>hi conflict
+// and changed=true when any bound differs from the installed one. It is
+// shared by the dense and revised engines.
+func installBounds[T any, A arith[T]](ar A, nv int, lo, hi []*big.Rat, tlo, thi []T, loF, hiF []bool) (ok, changed bool) {
+	zero := ar.zero()
 	ok = true
-	for j := 0; j < tb.nv; j++ {
+	for j := 0; j < nv; j++ {
 		l, h := lo[j], hi[j]
 		if l != nil {
-			v := tb.ar.fromRat(l)
-			if !tb.loF[j] || tb.ar.cmp(v, tb.lo[j]) != 0 {
+			v := ar.fromRat(l)
+			if !loF[j] || ar.cmp(v, tlo[j]) != 0 {
 				changed = true
 			}
-			tb.lo[j], tb.loF[j] = v, true
+			tlo[j], loF[j] = v, true
 		} else {
-			if tb.loF[j] {
+			if loF[j] {
 				changed = true
 			}
-			tb.lo[j], tb.loF[j] = zero, false
+			tlo[j], loF[j] = zero, false
 		}
 		if h != nil {
-			v := tb.ar.fromRat(h)
-			if !tb.hiF[j] || tb.ar.cmp(v, tb.hi[j]) != 0 {
+			v := ar.fromRat(h)
+			if !hiF[j] || ar.cmp(v, thi[j]) != 0 {
 				changed = true
 			}
-			tb.hi[j], tb.hiF[j] = v, true
+			thi[j], hiF[j] = v, true
 		} else {
-			if tb.hiF[j] {
+			if hiF[j] {
 				changed = true
 			}
-			tb.hi[j], tb.hiF[j] = zero, false
+			thi[j], hiF[j] = zero, false
 		}
-		// Compare in the tableau's field: big.Rat.Cmp allocates, and this
-		// runs per variable per branch-and-bound node.
-		if l != nil && h != nil && l != h && tb.ar.cmp(tb.lo[j], tb.hi[j]) > 0 {
+		// Compare by VALUE, in the engine's field (big.Rat.Cmp allocates,
+		// and this runs per variable per branch-and-bound node). An earlier
+		// revision short-circuited on pointer equality of the two *big.Rat
+		// bounds, which silently assumed callers never alias distinct
+		// values through one pointer; values are the contract now, and
+		// aliased fixed bounds (lo == hi through the same pointer) compare
+		// equal rather than skipping the conflict check.
+		if l != nil && h != nil && ar.cmp(tlo[j], thi[j]) > 0 {
 			ok = false
 		}
 	}

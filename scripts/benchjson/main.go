@@ -5,6 +5,14 @@
 // was accidentally recorded twice, and it would silently poison later
 // comparisons.
 //
+// Benchmark names are normalized on ingest AND on load: `go test` appends
+// the GOMAXPROCS suffix (`BenchmarkTableI/...-4`) to every name, so
+// snapshots recorded on machines with different core counts would
+// otherwise never pair up in -compare. The trailing `-N` is stripped
+// everywhere (this repo's sub-benchmarks encode parameters with `=`, never
+// a bare trailing `-N`), and previously recorded suffixed entries are
+// migrated the next time the file is rewritten.
+//
 // With -compare, no input is read: the last two snapshots of the
 // trajectory file are diffed per benchmark instead (the trajectory is long
 // enough by now that regressions hide in raw JSON).
@@ -21,7 +29,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -51,35 +61,58 @@ type File struct {
 	Snapshots []Snapshot        `json:"snapshots"`
 }
 
-func main() {
-	out := flag.String("o", "BENCH_table1.json", "trajectory file to append to (or read, with -compare)")
-	label := flag.String("label", "", "snapshot label (required unless -compare)")
-	compare := flag.Bool("compare", false, "diff the last two snapshots of the trajectory file and exit")
-	flag.Parse()
-	if *compare {
-		if err := runCompare(*out); err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if *label == "" {
-		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
-		os.Exit(2)
-	}
+// gomaxprocsSuffix matches the `-N` parallelism suffix go test appends to
+// every benchmark name.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
-	snap := Snapshot{
-		Label:      *label,
-		Date:       time.Now().UTC().Format("2006-01-02"),
-		Benchmarks: map[string]Bench{},
+// normalizeBenchName strips the GOMAXPROCS suffix so snapshots recorded on
+// machines with different core counts pair up.
+func normalizeBenchName(name string) string {
+	return gomaxprocsSuffix.ReplaceAllString(name, "")
+}
+
+// normalizeSnapshot rewrites a snapshot's benchmark names through
+// normalizeBenchName — the migration path for entries recorded before the
+// suffix fix. On a collision (the same benchmark recorded under several
+// suffixes, e.g. a `-cpu 1,4` run) the alphabetically first original name
+// wins — the same first-wins rule parseBench applies on ingest, and for
+// go test's ascending `-cpu` output order the two agree on which variant
+// survives. Every dropped original name is returned so the caller can
+// surface the data loss instead of hiding it.
+func normalizeSnapshot(s *Snapshot) (dropped []string) {
+	names := make([]string, 0, len(s.Benchmarks))
+	for name := range s.Benchmarks {
+		names = append(names, name)
 	}
-	sc := bufio.NewScanner(os.Stdin)
+	sort.Strings(names)
+	out := make(map[string]Bench, len(names))
+	for _, name := range names {
+		norm := normalizeBenchName(name)
+		if _, dup := out[norm]; dup {
+			dropped = append(dropped, name)
+			continue
+		}
+		out[norm] = s.Benchmarks[name]
+	}
+	s.Benchmarks = out
+	return dropped
+}
+
+// parseBench reads `go test -bench` output, echoing every line to echo (so
+// the run stays visible when piped), and returns the parsed snapshot
+// fields: normalized benchmark results plus the cpu line, if any.
+func parseBench(r io.Reader, echo io.Writer) (map[string]Bench, string, error) {
+	benchmarks := map[string]Bench{}
+	cpu := ""
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Println(line) // pass through so the run stays visible
-		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
-			snap.CPU = strings.TrimSpace(cpu)
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
+		if c, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = strings.TrimSpace(c)
 			continue
 		}
 		if !strings.HasPrefix(line, "Benchmark") {
@@ -90,7 +123,15 @@ func main() {
 			continue
 		}
 		b := Bench{}
-		name := fields[0]
+		name := normalizeBenchName(fields[0])
+		if _, dup := benchmarks[name]; dup {
+			// Several variants normalized onto one name (typically a
+			// `-cpu 1,4` run): the first occurrence wins, loudly — the same
+			// rule normalizeSnapshot applies when migrating old files, so
+			// recorded and migrated snapshots stay comparable.
+			fmt.Fprintf(os.Stderr, "benchjson: %s recorded more than once after suffix normalization (multi -cpu run?); keeping the first occurrence\n", name)
+			continue
+		}
 		for i := 2; i+1 < len(fields); i += 2 {
 			val, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
@@ -112,64 +153,58 @@ func main() {
 				b.Metrics[unit] = val
 			}
 		}
-		snap.Benchmarks[name] = b
+		benchmarks[name] = b
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	if len(snap.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
-	}
+	return benchmarks, cpu, sc.Err()
+}
 
+// loadFile reads a trajectory file, migrating any pre-fix suffixed
+// benchmark names in every snapshot. A missing file yields an empty
+// trajectory.
+func loadFile(path string) (File, error) {
 	f := File{Unit: map[string]string{
 		"ns_per_op":     "nanoseconds per operation",
 		"bytes_per_op":  "heap bytes per operation",
 		"allocs_per_op": "heap allocations per operation",
 	}}
-	if data, err := os.ReadFile(*out); err == nil {
-		if err := json.Unmarshal(data, &f); err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not a trajectory file: %v\n", *out, err)
-			os.Exit(1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return f, nil
+		}
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s exists but is not a trajectory file: %w", path, err)
+	}
+	for i := range f.Snapshots {
+		for _, name := range normalizeSnapshot(&f.Snapshots[i]) {
+			fmt.Fprintf(os.Stderr, "benchjson: snapshot %q: dropping %s (collides after suffix normalization)\n",
+				f.Snapshots[i].Label, name)
 		}
 	}
+	return f, nil
+}
+
+// appendSnapshot adds snap to the trajectory, rejecting duplicate labels.
+func appendSnapshot(f *File, snap Snapshot) error {
 	for _, prev := range f.Snapshots {
 		if prev.Label == snap.Label {
-			fmt.Fprintf(os.Stderr, "benchjson: %s already holds a snapshot labeled %q (recorded %s); pick a fresh label\n",
-				*out, snap.Label, prev.Date)
-			os.Exit(1)
+			return fmt.Errorf("already holds a snapshot labeled %q (recorded %s); pick a fresh label", snap.Label, prev.Date)
 		}
 	}
 	f.Snapshots = append(f.Snapshots, snap)
-	data, err := json.MarshalIndent(f, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "benchjson: appended snapshot %q (%d benchmarks) to %s\n", *label, len(snap.Benchmarks), *out)
+	return nil
 }
 
-// runCompare diffs the last two snapshots of the trajectory file, one line
-// per benchmark present in either.
-func runCompare(path string) error {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	var f File
-	if err := json.Unmarshal(data, &f); err != nil {
-		return fmt.Errorf("%s is not a trajectory file: %w", path, err)
-	}
+// compareTable diffs the last two snapshots of the trajectory, one line per
+// benchmark present in either.
+func compareTable(f File, w io.Writer) error {
 	if len(f.Snapshots) < 2 {
-		return fmt.Errorf("%s holds %d snapshot(s); need at least 2 to compare", path, len(f.Snapshots))
+		return fmt.Errorf("trajectory holds %d snapshot(s); need at least 2 to compare", len(f.Snapshots))
 	}
 	old, cur := f.Snapshots[len(f.Snapshots)-2], f.Snapshots[len(f.Snapshots)-1]
-	fmt.Printf("comparing %q (%s)\n       vs %q (%s)\n\n", old.Label, old.Date, cur.Label, cur.Date)
+	fmt.Fprintf(w, "comparing %q (%s)\n       vs %q (%s)\n\n", old.Label, old.Date, cur.Label, cur.Date)
 	names := make([]string, 0, len(old.Benchmarks)+len(cur.Benchmarks))
 	seen := map[string]bool{}
 	for name := range old.Benchmarks {
@@ -182,21 +217,78 @@ func runCompare(path string) error {
 		}
 	}
 	sort.Strings(names)
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "benchmark\told ns/op\tnew ns/op\tdelta")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta")
 	for _, name := range names {
 		o, inOld := old.Benchmarks[name]
 		c, inCur := cur.Benchmarks[name]
 		switch {
 		case !inOld:
-			fmt.Fprintf(w, "%s\t-\t%.0f\t(new)\n", name, c.NsPerOp)
+			fmt.Fprintf(tw, "%s\t-\t%.0f\t(new)\n", name, c.NsPerOp)
 		case !inCur:
-			fmt.Fprintf(w, "%s\t%.0f\t-\t(gone)\n", name, o.NsPerOp)
+			fmt.Fprintf(tw, "%s\t%.0f\t-\t(gone)\n", name, o.NsPerOp)
 		case o.NsPerOp == 0:
-			fmt.Fprintf(w, "%s\t0\t%.0f\t?\n", name, c.NsPerOp)
+			fmt.Fprintf(tw, "%s\t0\t%.0f\t?\n", name, c.NsPerOp)
 		default:
-			fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%+.1f%%\n", name, o.NsPerOp, c.NsPerOp, 100*(c.NsPerOp-o.NsPerOp)/o.NsPerOp)
+			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\n", name, o.NsPerOp, c.NsPerOp, 100*(c.NsPerOp-o.NsPerOp)/o.NsPerOp)
 		}
 	}
-	return w.Flush()
+	return tw.Flush()
+}
+
+func main() {
+	out := flag.String("o", "BENCH_table1.json", "trajectory file to append to (or read, with -compare)")
+	label := flag.String("label", "", "snapshot label (required unless -compare)")
+	compare := flag.Bool("compare", false, "diff the last two snapshots of the trajectory file and exit")
+	flag.Parse()
+	if *compare {
+		f, err := loadFile(*out)
+		if err == nil {
+			err = compareTable(f, os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
+		os.Exit(2)
+	}
+
+	benchmarks, cpu, err := parseBench(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	snap := Snapshot{
+		Label:      *label,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		CPU:        cpu,
+		Benchmarks: benchmarks,
+	}
+	f, err := loadFile(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := appendSnapshot(&f, snap); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s %v\n", *out, err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: appended snapshot %q (%d benchmarks) to %s\n", *label, len(snap.Benchmarks), *out)
 }

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestNormalizeBenchName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		// The GOMAXPROCS suffix is stripped, whatever the core count.
+		{"BenchmarkTableI/SortingCenter_units=160-4", "BenchmarkTableI/SortingCenter_units=160"},
+		{"BenchmarkLP/Exact/ring=4_products=2-128", "BenchmarkLP/Exact/ring=4_products=2"},
+		// Single-core runs carry no suffix and pass through unchanged.
+		{"BenchmarkTableI/SortingCenter_units=160", "BenchmarkTableI/SortingCenter_units=160"},
+		// Hyphenated sub-benchmark names are not parallelism suffixes.
+		{"BenchmarkLifelong/contract-ilp", "BenchmarkLifelong/contract-ilp"},
+		{"BenchmarkSynthesizerAblation/contract-ilp-exact-dense", "BenchmarkSynthesizerAblation/contract-ilp-exact-dense"},
+		{"BenchmarkLifelong/contract-ilp-8", "BenchmarkLifelong/contract-ilp"},
+	}
+	for _, c := range cases {
+		if got := normalizeBenchName(c.in); got != c.want {
+			t.Errorf("normalizeBenchName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseBench(t *testing.T) {
+	input := strings.Join([]string{
+		"goos: linux",
+		"goarch: amd64",
+		"pkg: repro",
+		"cpu: Intel(R) Xeon(R) CPU @ 2.20GHz",
+		"BenchmarkTableI/SortingCenter_units=160-4         \t     100\t    123456 ns/op\t   2048 B/op\t      12 allocs/op",
+		"BenchmarkSolveBatch/parallel=1-4                  \t     100\t   9876543 ns/op\t        42.5 solves/s",
+		"BenchmarkLifelong/contract-ilp                    \t     100\t    555555 ns/op",
+		"PASS",
+		"ok  \trepro\t1.234s",
+	}, "\n")
+	benchmarks, cpu, err := parseBench(strings.NewReader(input), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu != "Intel(R) Xeon(R) CPU @ 2.20GHz" {
+		t.Errorf("cpu = %q", cpu)
+	}
+	if len(benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(benchmarks), benchmarks)
+	}
+	// The -4 suffix must be gone from stored names.
+	b, ok := benchmarks["BenchmarkTableI/SortingCenter_units=160"]
+	if !ok {
+		t.Fatalf("suffixed name not normalized; have %v", benchmarks)
+	}
+	if b.NsPerOp != 123456 {
+		t.Errorf("ns/op = %v", b.NsPerOp)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 2048 {
+		t.Errorf("B/op = %v", b.BytesPerOp)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 12 {
+		t.Errorf("allocs/op = %v", b.AllocsPerOp)
+	}
+	if m := benchmarks["BenchmarkSolveBatch/parallel=1"].Metrics["solves/s"]; m != 42.5 {
+		t.Errorf("solves/s metric = %v", m)
+	}
+	// An unsuffixed, hyphenated name survives untouched.
+	if _, ok := benchmarks["BenchmarkLifelong/contract-ilp"]; !ok {
+		t.Errorf("hyphenated name mangled; have %v", benchmarks)
+	}
+}
+
+// A multi-`-cpu` run collapses onto one normalized name; the first parsed
+// occurrence wins — the same rule normalizeSnapshot applies on migration.
+func TestParseBenchCPUCollision(t *testing.T) {
+	input := "BenchmarkY-1 \t 10 \t 111 ns/op\nBenchmarkY-4 \t 10 \t 444 ns/op\n"
+	benchmarks, _, err := parseBench(strings.NewReader(input), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benchmarks) != 1 {
+		t.Fatalf("have %v", benchmarks)
+	}
+	if benchmarks["BenchmarkY"].NsPerOp != 111 {
+		t.Errorf("first occurrence did not win: %v", benchmarks)
+	}
+}
+
+func TestAppendSnapshotRejectsDuplicateLabel(t *testing.T) {
+	f := File{}
+	if err := appendSnapshot(&f, Snapshot{Label: "pr-x", Date: "2026-07-01"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendSnapshot(&f, Snapshot{Label: "pr-y", Date: "2026-07-02"}); err != nil {
+		t.Fatal(err)
+	}
+	err := appendSnapshot(&f, Snapshot{Label: "pr-x", Date: "2026-07-26"})
+	if err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+	if !strings.Contains(err.Error(), "pr-x") || !strings.Contains(err.Error(), "2026-07-01") {
+		t.Errorf("error should name the clashing label and its date: %v", err)
+	}
+	if len(f.Snapshots) != 2 {
+		t.Errorf("rejected append still grew the trajectory to %d", len(f.Snapshots))
+	}
+}
+
+func TestNormalizeSnapshotMigratesSuffixes(t *testing.T) {
+	s := Snapshot{Benchmarks: map[string]Bench{
+		"BenchmarkTableI/SortingCenter_units=160-8": {NsPerOp: 100},
+		"BenchmarkLifelong/contract-ilp":            {NsPerOp: 200},
+		// Collision after stripping: the alphabetically first original
+		// name wins, deterministically.
+		"BenchmarkX/sub-2": {NsPerOp: 1},
+		"BenchmarkX/sub-4": {NsPerOp: 2},
+	}}
+	dropped := normalizeSnapshot(&s)
+	if len(s.Benchmarks) != 3 {
+		t.Fatalf("migrated to %d entries, want 3: %v", len(s.Benchmarks), s.Benchmarks)
+	}
+	if len(dropped) != 1 || dropped[0] != "BenchmarkX/sub-4" {
+		t.Errorf("collision not reported for surfacing: dropped=%v", dropped)
+	}
+	if s.Benchmarks["BenchmarkTableI/SortingCenter_units=160"].NsPerOp != 100 {
+		t.Errorf("suffix not migrated: %v", s.Benchmarks)
+	}
+	if s.Benchmarks["BenchmarkLifelong/contract-ilp"].NsPerOp != 200 {
+		t.Errorf("unsuffixed entry disturbed: %v", s.Benchmarks)
+	}
+	if s.Benchmarks["BenchmarkX/sub"].NsPerOp != 1 {
+		t.Errorf("collision not resolved deterministically: %v", s.Benchmarks)
+	}
+}
+
+// TestComparePairsAcrossCoreCounts is the regression test for the suffix
+// bug: a snapshot recorded on a 4-core machine (suffixed names) must pair
+// with one recorded on a single-core machine (bare names) instead of
+// reporting every benchmark as (gone)/(new).
+func TestComparePairsAcrossCoreCounts(t *testing.T) {
+	f := File{Snapshots: []Snapshot{
+		{Label: "old", Date: "2026-07-01", Benchmarks: map[string]Bench{
+			"BenchmarkTableI/SortingCenter_units=160-4": {NsPerOp: 200},
+			"BenchmarkLP/Exact/ring=4_products=2-4":     {NsPerOp: 50},
+		}},
+		{Label: "new", Date: "2026-07-26", Benchmarks: map[string]Bench{
+			"BenchmarkTableI/SortingCenter_units=160": {NsPerOp: 100},
+			"BenchmarkLP/Exact/ring=4_products=2":     {NsPerOp: 25},
+		}},
+	}}
+	// Loading a file normalizes every snapshot; compare runs on the
+	// normalized view. Mimic the load step here.
+	for i := range f.Snapshots {
+		normalizeSnapshot(&f.Snapshots[i])
+	}
+	var buf strings.Builder
+	if err := compareTable(f, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "(gone)") || strings.Contains(out, "(new)") {
+		t.Fatalf("suffixed and bare names did not pair up:\n%s", out)
+	}
+	if !strings.Contains(out, "-50.0%") {
+		t.Errorf("expected a -50%% delta line:\n%s", out)
+	}
+}
+
+func TestCompareNeedsTwoSnapshots(t *testing.T) {
+	f := File{Snapshots: []Snapshot{{Label: "only", Benchmarks: map[string]Bench{}}}}
+	if err := compareTable(f, io.Discard); err == nil {
+		t.Fatal("compare with one snapshot should error")
+	}
+}
