@@ -5,10 +5,17 @@
 GO ?= go
 BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: build test vet race bench bench-compare test-lp-long ci fmt
+.PHONY: build test vet race bench bench-compare test-lp-long examples ci fmt
 
 build:
 	$(GO) build ./...
+
+# Build every example program and run the quickstart end to end: the
+# examples consume only the public `wsp` facade, so this is the gate that
+# keeps the facade and its documented usage from drifting apart.
+examples:
+	$(GO) build -o /dev/null ./examples/quickstart ./examples/sorting ./examples/fulfillment ./examples/lifelong ./examples/codesign
+	$(GO) run ./examples/quickstart
 
 test:
 	$(GO) test ./...
@@ -44,4 +51,4 @@ test-lp-long:
 fmt:
 	gofmt -l .
 
-ci: build vet test race
+ci: build vet test race examples

@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"testing"
@@ -59,7 +60,7 @@ func BenchmarkTableI(b *testing.B) {
 			}
 			b.Run(fmt.Sprintf("%s_units=%d", row.name, units), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := core.Solve(m.S, wl, horizonT, core.Options{SkipRealization: true}); err != nil {
+					if _, err := core.Solve(context.Background(), m.S, wl, horizonT, core.Options{SkipRealization: true}); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -91,7 +92,7 @@ func BenchmarkSolveBatch(b *testing.B) {
 		b.Run(fmt.Sprintf("parallel=%d", workers), func(b *testing.B) {
 			pool := solverpool.New(workers)
 			for i := 0; i < b.N; i++ {
-				for _, r := range pool.SolveBatch(reqs) {
+				for _, r := range pool.SolveBatch(context.Background(), reqs) {
 					if r.Err != nil {
 						b.Fatal(r.Err)
 					}
@@ -117,7 +118,7 @@ func BenchmarkTableIEndToEnd(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("%s_units=%d", row.name, units), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := core.Solve(m.S, wl, horizonT, core.Options{})
+				res, err := core.Solve(context.Background(), m.S, wl, horizonT, core.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -148,7 +149,7 @@ func BenchmarkWorkloadScaling(b *testing.B) {
 			}
 			b.Run(fmt.Sprintf("%s_x%d", row.name, mult), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := core.Solve(m.S, wl, horizonT, core.Options{SkipRealization: true}); err != nil {
+					if _, err := core.Solve(context.Background(), m.S, wl, horizonT, core.Options{SkipRealization: true}); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -176,7 +177,7 @@ func BenchmarkComponentScaling(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("components=%d", m.S.NumComponents()), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Solve(m.S, wl, horizonT, core.Options{SkipRealization: true}); err != nil {
+				if _, err := core.Solve(context.Background(), m.S, wl, horizonT, core.Options{SkipRealization: true}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -202,7 +203,7 @@ func BenchmarkProductScaling(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("products=%d", products), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Solve(m.S, wl, horizonT, core.Options{SkipRealization: true}); err != nil {
+				if _, err := core.Solve(context.Background(), m.S, wl, horizonT, core.Options{SkipRealization: true}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -221,7 +222,7 @@ func BenchmarkSynthesizerAblation(b *testing.B) {
 	for _, strat := range []core.Strategy{core.RoutePacking, core.SequentialFlows, core.ContractILP} {
 		b.Run(strat.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Solve(s, wl, 800, core.Options{Strategy: strat, SkipRealization: true}); err != nil {
+				if _, err := core.Solve(context.Background(), s, wl, 800, core.Options{Strategy: strat, SkipRealization: true}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -237,7 +238,7 @@ func BenchmarkSynthesizerAblation(b *testing.B) {
 		b.Run(sx.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				opts := core.Options{Strategy: core.ContractILP, SkipRealization: true, ExactILP: true, Simplex: sx.simplex}
-				if _, err := core.Solve(s, wl, 800, opts); err != nil {
+				if _, err := core.Solve(context.Background(), s, wl, 800, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -451,7 +452,7 @@ func BenchmarkTopologyDesignSpace(b *testing.B) {
 		b.Run(tc.name, func(b *testing.B) {
 			var serviced int
 			for i := 0; i < b.N; i++ {
-				res, err := core.Solve(m.S, wl, horizonT, core.Options{})
+				res, err := core.Solve(context.Background(), m.S, wl, horizonT, core.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -474,7 +475,7 @@ func BenchmarkFailureRobustness(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := core.Solve(m.S, wl, horizonT, core.Options{})
+	res, err := core.Solve(context.Background(), m.S, wl, horizonT, core.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -522,7 +523,7 @@ func BenchmarkRefinement(b *testing.B) {
 	b.Run("MinimalHorizon", func(b *testing.B) {
 		var minT int
 		for i := 0; i < b.N; i++ {
-			hr, err := refine.MinimalHorizon(m.S, wl, horizonT, core.Options{})
+			hr, err := refine.MinimalHorizon(context.Background(), m.S, wl, horizonT, core.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -541,7 +542,7 @@ func BenchmarkRefinement(b *testing.B) {
 		}
 		var minT int
 		for i := 0; i < b.N; i++ {
-			hr, err := refine.MinimalHorizon(s, rwl, 1600, core.Options{Strategy: core.ContractILP})
+			hr, err := refine.MinimalHorizon(context.Background(), s, rwl, 1600, core.Options{Strategy: core.ContractILP})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -567,7 +568,7 @@ func BenchmarkLifelong(b *testing.B) {
 		b.Run(strat.String(), func(b *testing.B) {
 			var epochs int
 			for i := 0; i < b.N; i++ {
-				rep, err := lifelong.Run(s, batches, 4800, lifelong.Options{Core: core.Options{Strategy: strat}})
+				rep, err := lifelong.Run(context.Background(), s, batches, 4800, lifelong.Options{Core: core.Options{Strategy: strat}})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -598,7 +599,7 @@ func BenchmarkDesignSweep(b *testing.B) {
 	b.Run("contract-series", func(b *testing.B) {
 		pool := solverpool.New(1)
 		for i := 0; i < b.N; i++ {
-			for _, r := range pool.SolveBatch(reqs) {
+			for _, r := range pool.SolveBatch(context.Background(), reqs) {
 				if r.Err != nil {
 					b.Fatal(r.Err)
 				}
@@ -618,14 +619,14 @@ func BenchmarkRealization(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	pre, err := core.Solve(m.S, wl, horizonT, core.Options{})
+	pre, err := core.Solve(context.Background(), m.S, wl, horizonT, core.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
 	agents := pre.Stats.Agents
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := core.Solve(m.S, wl, horizonT, core.Options{})
+		res, err := core.Solve(context.Background(), m.S, wl, horizonT, core.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 // Command wsp is the toolchain driver: it solves WSP instances on the
 // paper's evaluation maps, renders traffic-system maps (Figs. 4 and 5), and
-// prints per-instance statistics.
+// prints per-instance statistics. It is built entirely on the public wsp
+// facade — the same API an embedding program uses.
 //
 // Usage:
 //
@@ -9,51 +10,71 @@
 //	wsp table [-parallel N]                # reproduce Table I (N-wide solver pool)
 //	wsp sweep [-corridors 2,3,4] [-lens 6,7,9] [-units 480] [-points 3]
 //	                                       # walk the Fig. 5 co-design grid
+//
+// SIGINT/SIGTERM cancel the in-flight context: solves abort within one LP
+// work-budget tick, commands flush whatever completed (a sweep prints its
+// finished rows), and the process exits with code 130 instead of dying
+// mid-write.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/lp"
-	"repro/internal/maps"
-	"repro/internal/solverpool"
-	"repro/internal/traffic"
-	"repro/internal/workload"
-	"repro/internal/wspio"
+	"repro/wsp"
 )
+
+// exitCanceled distinguishes an operator interrupt (128+SIGINT) from an
+// ordinary failure (1) and a usage error (2).
+const exitCanceled = 130
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
 	}
+	// One context for the whole command: the first SIGINT/SIGTERM cancels
+	// it (solves unwind and partial output flushes), a second signal kills
+	// the process via the restored default handler.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "map":
 		err = cmdMap(os.Args[2:])
 	case "solve":
-		err = cmdSolve(os.Args[2:])
+		err = cmdSolve(ctx, os.Args[2:])
 	case "table":
-		err = cmdTable(os.Args[2:])
+		err = cmdTable(ctx, os.Args[2:])
 	case "sweep":
-		err = cmdSweep(os.Args[2:])
+		err = cmdSweep(ctx, os.Args[2:])
 	case "export":
 		err = cmdExport(os.Args[2:])
 	case "solvefile":
-		err = cmdSolveFile(os.Args[2:])
+		err = cmdSolveFile(ctx, os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "wsp:", err)
+		msg := err.Error()
+		if !strings.HasPrefix(msg, "wsp: ") {
+			msg = "wsp: " + msg
+		}
+		fmt.Fprintln(os.Stderr, msg)
+		if errors.Is(err, wsp.ErrCanceled) {
+			os.Exit(exitCanceled)
+		}
 		os.Exit(1)
 	}
 }
@@ -73,19 +94,19 @@ func cmdExport(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	m, err := buildMap(*name)
+	m, err := wsp.BuiltinMap(*name)
 	if err != nil {
 		return err
 	}
-	wl, err := workload.Uniform(m.W, *units)
+	wl, err := wsp.UniformWorkload(m.W, *units)
 	if err != nil {
 		return err
 	}
-	inst, err := wspio.Encode(m.S, &wl, *T, *name)
+	inst, err := wsp.EncodeInstance(m.S, &wl, *T, *name)
 	if err != nil {
 		return err
 	}
-	data, err := wspio.Marshal(inst)
+	data, err := wsp.MarshalInstance(inst)
 	if err != nil {
 		return err
 	}
@@ -97,7 +118,7 @@ func cmdExport(args []string) error {
 }
 
 // cmdSolveFile solves an instance previously exported (or hand-written).
-func cmdSolveFile(args []string) error {
+func cmdSolveFile(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("solvefile", flag.ExitOnError)
 	in := fs.String("f", "instance.json", "instance file")
 	strat := fs.String("strategy", "route", "synthesis strategy: route, flows, or contract")
@@ -108,18 +129,18 @@ func cmdSolveFile(args []string) error {
 	if err != nil {
 		return err
 	}
-	inst, err := wspio.Unmarshal(data)
+	inst, err := wsp.UnmarshalInstance(data)
 	if err != nil {
 		return err
 	}
-	s, wl, err := wspio.Decode(inst)
+	s, wl, err := wsp.DecodeInstance(inst)
 	if err != nil {
 		return err
 	}
 	if wl == nil {
 		return fmt.Errorf("instance %s has no workload", *in)
 	}
-	strategy, err := strategyOf(*strat)
+	strategy, err := wsp.ParseStrategy(*strat)
 	if err != nil {
 		return err
 	}
@@ -127,8 +148,9 @@ func cmdSolveFile(args []string) error {
 	if T == 0 {
 		T = 3600
 	}
+	solver := wsp.New(wsp.WithStrategy(strategy))
 	start := time.Now()
-	res, err := core.Solve(s, *wl, T, core.Options{Strategy: strategy})
+	res, err := solver.Solve(ctx, wsp.Instance{System: s, Workload: *wl, Horizon: T})
 	if err != nil {
 		return err
 	}
@@ -137,30 +159,18 @@ func cmdSolveFile(args []string) error {
 	return nil
 }
 
-func buildMap(name string) (*maps.Map, error) {
-	switch name {
-	case "fulfillment1":
-		return maps.Fulfillment1()
-	case "fulfillment2":
-		return maps.Fulfillment2()
-	case "sorting":
-		return maps.SortingCenter()
-	}
-	return nil, fmt.Errorf("unknown map %q (want fulfillment1, fulfillment2, or sorting)", name)
-}
-
 func cmdMap(args []string) error {
 	fs := flag.NewFlagSet("map", flag.ExitOnError)
 	name := fs.String("name", "sorting", "map name")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	m, err := buildMap(*name)
+	m, err := wsp.BuiltinMap(*name)
 	if err != nil {
 		return err
 	}
-	fmt.Print(traffic.Render(m.S))
-	st := traffic.Summarize(m.S)
+	fmt.Print(wsp.RenderTraffic(m.S))
+	st := wsp.SummarizeTraffic(m.S)
 	fmt.Printf("\n%s: %d cells, %d shelves, %d stations, %d products\n",
 		*name, m.W.Graph.NumVertices(), len(m.Shelves), len(m.W.Stations), m.W.NumProducts)
 	fmt.Printf("components: %d (%d shelving rows, %d station queues, %d transports), %d arcs, tc=%d\n",
@@ -168,34 +178,7 @@ func cmdMap(args []string) error {
 	return nil
 }
 
-func strategyOf(name string) (core.Strategy, error) {
-	switch name {
-	case "route":
-		return core.RoutePacking, nil
-	case "flows":
-		return core.SequentialFlows, nil
-	case "contract":
-		return core.ContractILP, nil
-	}
-	return 0, fmt.Errorf("unknown strategy %q (want route, flows, or contract)", name)
-}
-
-// simplexOf parses the -simplex flag: the exact LP engines' representation
-// for the contract path. Results are bit-identical across choices; auto
-// routes by instance size.
-func simplexOf(name string) (lp.SimplexEngine, error) {
-	switch name {
-	case "auto":
-		return lp.SimplexAuto, nil
-	case "dense":
-		return lp.SimplexDense, nil
-	case "revised":
-		return lp.SimplexRevised, nil
-	}
-	return 0, fmt.Errorf("unknown simplex %q (want auto, dense, or revised)", name)
-}
-
-func cmdSolve(args []string) error {
+func cmdSolve(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("solve", flag.ExitOnError)
 	name := fs.String("name", "sorting", "map name")
 	units := fs.Int("units", 160, "total units to move")
@@ -205,24 +188,25 @@ func cmdSolve(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	m, err := buildMap(*name)
+	m, err := wsp.BuiltinMap(*name)
 	if err != nil {
 		return err
 	}
-	strategy, err := strategyOf(*strat)
+	strategy, err := wsp.ParseStrategy(*strat)
 	if err != nil {
 		return err
 	}
-	sx, err := simplexOf(*simplex)
+	sx, err := wsp.ParseSimplex(*simplex)
 	if err != nil {
 		return err
 	}
-	wl, err := workload.Uniform(m.W, *units)
+	wl, err := wsp.UniformWorkload(m.W, *units)
 	if err != nil {
 		return err
 	}
+	solver := wsp.New(wsp.WithStrategy(strategy), wsp.WithSimplex(sx))
 	start := time.Now()
-	res, err := core.Solve(m.S, wl, *T, core.Options{Strategy: strategy, Simplex: sx})
+	res, err := solver.Solve(ctx, wsp.Instance{System: m.S, Workload: wl, Horizon: *T})
 	if err != nil {
 		return err
 	}
@@ -235,13 +219,10 @@ func cmdSolve(args []string) error {
 	return nil
 }
 
-// cmdSweep walks a co-design grid in the style of the paper's Fig. 5:
-// corridor width × component-length cap, each generated topology evaluated
-// against a series of workload levels. Every topology's series runs as one
-// solver-pool batch, so a worker's scratch — cycle buffers plus, for the
-// contract strategy, the compiled contract model — is reused across the
-// whole series instead of being rebuilt per evaluation.
-func cmdSweep(args []string) error {
+// cmdSweep walks a co-design grid in the style of the paper's Fig. 5 via
+// Solver.Sweep. On interrupt the completed rows are flushed before the
+// distinct cancellation exit code — a half-walked grid is still data.
+func cmdSweep(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	corridors := fs.String("corridors", "2,3,4", "comma-separated corridor widths (also sets aisle rows)")
 	lens := fs.String("lens", "6,7,9", "comma-separated component-length caps")
@@ -264,70 +245,48 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return fmt.Errorf("bad -lens: %w", err)
 	}
-	strategy, err := strategyOf(*strat)
+	strategy, err := wsp.ParseStrategy(*strat)
 	if err != nil {
 		return err
 	}
-	sx, err := simplexOf(*simplex)
+	sx, err := wsp.ParseSimplex(*simplex)
 	if err != nil {
 		return err
 	}
-	if *points < 1 {
-		return fmt.Errorf("-points %d must be at least 1", *points)
-	}
-	// units ≥ points keeps the level series units·i/points positive and
-	// strictly increasing (each step adds at least one unit).
-	if *units < *points {
-		return fmt.Errorf("-units %d must be at least -points %d", *units, *points)
-	}
-	pool := solverpool.New(*parallel)
+	solver := wsp.New(wsp.WithStrategy(strategy), wsp.WithSimplex(sx), wsp.WithParallel(*parallel))
+	start := time.Now()
+	cells, sweepErr := solver.Sweep(ctx, wsp.SweepSpec{
+		Corridors: vs, Lens: ls,
+		Stripes: *stripes, Products: *products,
+		Units: *units, Points: *points, Horizon: *T,
+	})
+	// Flush whatever completed BEFORE reporting any error: an interrupted
+	// sweep still prints its finished rows instead of dying mid-grid.
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "V\tL\tComponents\ttc\tUnits\tRuntime\tAgents\tServiced@")
-	start := time.Now()
-	cells := 0
-	for _, v := range vs {
-		for _, l := range ls {
-			m, err := maps.Generate(maps.Params{
-				Stripes: *stripes, Rows: v, BayWidth: 12, CorridorWidth: v,
-				MaxComponentLen: l, DoubleShelfRows: true,
-				NumProducts: *products, UnitsPerShelf: 30, StationsPerStripe: 1,
-			})
-			if err != nil {
-				return fmt.Errorf("V=%d L=%d: %w", v, l, err)
+	for _, cell := range cells {
+		for _, pt := range cell.Points {
+			if pt.Err != nil {
+				// Infeasible design points are expected sweep outcomes,
+				// not reasons to abandon the rest of the grid.
+				fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%v\t-\tunsolved\n",
+					cell.Corridor, cell.MaxLen, cell.Stats.Components, cell.Stats.CycleTime,
+					pt.Units, pt.Elapsed.Round(time.Microsecond))
+				continue
 			}
-			var reqs []solverpool.Request
-			var levels []int
-			for i := 1; i <= *points; i++ {
-				u := *units * i / *points
-				wl, err := workload.Uniform(m.W, u)
-				if err != nil {
-					return fmt.Errorf("V=%d L=%d units=%d: %w", v, l, u, err)
-				}
-				levels = append(levels, u)
-				reqs = append(reqs, solverpool.Request{S: m.S, WL: wl, T: *T, Opts: core.Options{Strategy: strategy, Simplex: sx}})
-			}
-			st := traffic.Summarize(m.S)
-			for i, r := range pool.SolveBatch(reqs) {
-				if r.Err != nil {
-					// Infeasible design points are expected sweep outcomes,
-					// not reasons to abandon the rest of the grid.
-					fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%v\t-\tunsolved\n",
-						v, l, st.Components, st.CycleTime, levels[i],
-						r.Elapsed.Round(time.Microsecond))
-					continue
-				}
-				fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%v\t%d\t%d\n",
-					v, l, st.Components, st.CycleTime, levels[i],
-					r.Elapsed.Round(time.Microsecond), r.Res.Stats.Agents, r.Res.Sim.ServicedAt)
-			}
-			cells++
+			fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%v\t%d\t%d\n",
+				cell.Corridor, cell.MaxLen, cell.Stats.Components, cell.Stats.CycleTime,
+				pt.Units, pt.Elapsed.Round(time.Microsecond), pt.Result.Stats.Agents, pt.Result.Sim.ServicedAt)
 		}
 	}
 	if err := tw.Flush(); err != nil {
 		return err
 	}
-	fmt.Printf("\n%d topologies × %d levels in %v (%d workers)\n",
-		cells, *points, time.Since(start).Round(time.Microsecond), pool.Workers())
+	if sweepErr != nil {
+		return sweepErr
+	}
+	fmt.Printf("\n%d topologies × %d levels in %v\n",
+		len(cells), *points, time.Since(start).Round(time.Microsecond))
 	return nil
 }
 
@@ -350,7 +309,7 @@ func parseInts(csv string) ([]int, error) {
 	return out, nil
 }
 
-func cmdTable(args []string) error {
+func cmdTable(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("table", flag.ExitOnError)
 	T := fs.Int("T", 3600, "timestep limit")
 	parallel := fs.Int("parallel", 1, "solver pool width (0 = GOMAXPROCS); results are bit-identical to -parallel 1")
@@ -371,25 +330,25 @@ func cmdTable(args []string) error {
 		units    int
 	}
 	var insts []inst
-	var reqs []solverpool.Request
+	var batch []wsp.Instance
 	for _, row := range rows {
-		m, err := buildMap(row.name)
+		m, err := wsp.BuiltinMap(row.name)
 		if err != nil {
 			return err
 		}
 		for _, u := range row.units {
-			wl, err := workload.Uniform(m.W, u)
+			wl, err := wsp.UniformWorkload(m.W, u)
 			if err != nil {
 				return err
 			}
 			insts = append(insts, inst{row.name, m.W.NumProducts, u})
-			reqs = append(reqs, solverpool.Request{S: m.S, WL: wl, T: *T})
+			batch = append(batch, wsp.Instance{System: m.S, Workload: wl, Horizon: *T})
 		}
 	}
-	pool := solverpool.New(*parallel)
+	solver := wsp.New(wsp.WithParallel(*parallel))
 	start := time.Now()
-	results := pool.SolveBatch(reqs)
-	batch := time.Since(start)
+	results := solver.SolveBatch(ctx, batch)
+	elapsed := time.Since(start)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Map\tUnique Products\tUnits Moved\tRuntime\tAgents\tServiced@")
 	for i, r := range results {
@@ -403,10 +362,15 @@ func cmdTable(args []string) error {
 	if err := tw.Flush(); err != nil {
 		return err
 	}
-	workers := pool.Workers()
-	if workers > len(reqs) {
-		workers = len(reqs)
+	// Mirror the pool's width resolution: 0 selects GOMAXPROCS, and no
+	// more workers run than there are instances.
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	fmt.Printf("\n%d instances in %v (%d workers)\n", len(results), batch.Round(time.Microsecond), workers)
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	fmt.Printf("\n%d instances in %v (%d workers)\n", len(results), elapsed.Round(time.Microsecond), workers)
 	return nil
 }

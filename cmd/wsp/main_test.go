@@ -1,18 +1,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"io"
 	"os"
 	"strings"
 	"testing"
 
-	"repro/internal/core"
-	"repro/internal/lp"
+	"repro/wsp"
 )
 
-func TestBuildMapNames(t *testing.T) {
+func TestBuiltinMapNames(t *testing.T) {
 	for _, name := range []string{"fulfillment1", "fulfillment2", "sorting"} {
-		m, err := buildMap(name)
+		m, err := wsp.BuiltinMap(name)
 		if err != nil {
 			t.Errorf("%s: %v", name, err)
 			continue
@@ -21,65 +22,91 @@ func TestBuildMapNames(t *testing.T) {
 			t.Errorf("%s: incomplete map", name)
 		}
 	}
-	if _, err := buildMap("nope"); err == nil {
+	if _, err := wsp.BuiltinMap("nope"); err == nil {
 		t.Error("unknown map accepted")
 	}
 }
 
-func TestStrategyOf(t *testing.T) {
-	cases := map[string]core.Strategy{
-		"route":    core.RoutePacking,
-		"flows":    core.SequentialFlows,
-		"contract": core.ContractILP,
+func TestParseStrategy(t *testing.T) {
+	cases := map[string]wsp.Strategy{
+		"route":    wsp.RoutePacking,
+		"flows":    wsp.SequentialFlows,
+		"contract": wsp.ContractILP,
 	}
 	for name, want := range cases {
-		got, err := strategyOf(name)
+		got, err := wsp.ParseStrategy(name)
 		if err != nil || got != want {
-			t.Errorf("strategyOf(%q) = %v, %v", name, got, err)
+			t.Errorf("ParseStrategy(%q) = %v, %v", name, got, err)
 		}
 	}
-	if _, err := strategyOf("quantum"); err == nil {
+	if _, err := wsp.ParseStrategy("quantum"); err == nil {
 		t.Error("unknown strategy accepted")
 	}
 }
 
 func TestCmdMapAndSolveRun(t *testing.T) {
+	ctx := context.Background()
 	if err := cmdMap([]string{"-name", "sorting"}); err != nil {
 		t.Errorf("cmdMap: %v", err)
 	}
-	if err := cmdSolve([]string{"-name", "sorting", "-units", "80", "-T", "3600"}); err != nil {
+	if err := cmdSolve(ctx, []string{"-name", "sorting", "-units", "80", "-T", "3600"}); err != nil {
 		t.Errorf("cmdSolve: %v", err)
 	}
 }
 
 func TestCmdSweepRuns(t *testing.T) {
-	if err := cmdSweep([]string{"-corridors", "2", "-lens", "6", "-units", "96", "-points", "2"}); err != nil {
+	ctx := context.Background()
+	if err := cmdSweep(ctx, []string{"-corridors", "2", "-lens", "6", "-units", "96", "-points", "2"}); err != nil {
 		t.Errorf("cmdSweep: %v", err)
 	}
-	if err := cmdSweep([]string{"-corridors", "x"}); err == nil {
+	if err := cmdSweep(ctx, []string{"-corridors", "x"}); err == nil {
 		t.Error("bad corridor list accepted")
 	}
-	if err := cmdSweep([]string{"-points", "0"}); err == nil {
+	if err := cmdSweep(ctx, []string{"-points", "0"}); err == nil {
 		t.Error("zero points accepted")
 	}
-	if err := cmdSweep([]string{"-units", "2", "-points", "3"}); err == nil {
+	if err := cmdSweep(ctx, []string{"-units", "2", "-points", "3"}); err == nil {
 		t.Error("fewer units than points accepted (zero/duplicate levels)")
 	}
 }
 
-func TestSimplexOf(t *testing.T) {
-	cases := map[string]lp.SimplexEngine{
-		"auto":    lp.SimplexAuto,
-		"dense":   lp.SimplexDense,
-		"revised": lp.SimplexRevised,
+// TestCmdSweepCanceled pins the interrupt path: a sweep driven by an
+// already-cancelled context must flush its (empty) table, report an error
+// that classifies as wsp.ErrCanceled — the distinct-exit-code path of
+// main — and must not print a completion summary line.
+func TestCmdSweepCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := captureStdout(t, func() error {
+		return cmdSweep(ctx, []string{"-corridors", "2", "-lens", "6", "-units", "96", "-points", "2"})
+	})
+	if err == nil {
+		t.Fatal("cancelled sweep returned nil error")
+	}
+	if !errors.Is(err, wsp.ErrCanceled) {
+		t.Fatalf("cancelled sweep error %v does not classify as wsp.ErrCanceled", err)
+	}
+	if !strings.Contains(out, "Components") {
+		t.Fatalf("cancelled sweep did not flush the table header:\n%q", out)
+	}
+	if strings.Contains(out, "topologies ×") {
+		t.Fatalf("cancelled sweep printed a completion summary:\n%s", out)
+	}
+}
+
+func TestParseSimplex(t *testing.T) {
+	cases := map[string]wsp.Simplex{
+		"auto":    wsp.SimplexAuto,
+		"dense":   wsp.SimplexDense,
+		"revised": wsp.SimplexRevised,
 	}
 	for name, want := range cases {
-		got, err := simplexOf(name)
+		got, err := wsp.ParseSimplex(name)
 		if err != nil || got != want {
-			t.Errorf("simplexOf(%q) = %v, %v", name, got, err)
+			t.Errorf("ParseSimplex(%q) = %v, %v", name, got, err)
 		}
 	}
-	if _, err := simplexOf("sparse"); err == nil {
+	if _, err := wsp.ParseSimplex("sparse"); err == nil {
 		t.Error("unknown simplex accepted")
 	}
 }
@@ -114,7 +141,7 @@ func captureStdout(t *testing.T, f func() error) (string, error) {
 // panic, and not an aborted grid walk.
 func TestSweepInfeasibleContractCell(t *testing.T) {
 	out, err := captureStdout(t, func() error {
-		return cmdSweep([]string{
+		return cmdSweep(context.Background(), []string{
 			"-corridors", "2", "-lens", "6",
 			"-stripes", "1", "-products", "2",
 			"-units", "60", "-points", "1", "-T", "40",
@@ -137,7 +164,7 @@ func TestSweepInfeasibleContractCell(t *testing.T) {
 // is unsolved for an unrelated reason".
 func TestSweepFeasibleContractCell(t *testing.T) {
 	out, err := captureStdout(t, func() error {
-		return cmdSweep([]string{
+		return cmdSweep(context.Background(), []string{
 			"-corridors", "2", "-lens", "6",
 			"-stripes", "1", "-products", "2",
 			// T stays in the feasible-rate band: at T=3600 this topology

@@ -5,52 +5,52 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"text/tabwriter"
 
-	"repro/internal/core"
-	"repro/internal/maps"
-	"repro/internal/traffic"
-	"repro/internal/workload"
+	"repro/wsp"
 )
 
 func main() {
 	const T = 3600
 	const units = 480
+	ctx := context.Background()
 
 	type design struct {
 		name string
-		p    maps.Params
+		p    wsp.MapParams
 	}
-	base := maps.Params{
+	base := wsp.MapParams{
 		Stripes: 4, Rows: 3, BayWidth: 12, CorridorWidth: 3,
 		MaxComponentLen: 7, DoubleShelfRows: true,
 		NumProducts: 48, UnitsPerShelf: 30, StationsPerStripe: 1,
 	}
 	designs := []design{
 		{"baseline V=3 L=7", base},
-		{"narrow corridors V=2", with(base, func(p *maps.Params) { p.CorridorWidth = 2; p.MaxComponentLen = 6 })},
-		{"long components L=12", with(base, func(p *maps.Params) { p.MaxComponentLen = 12 })},
-		{"two wide stripes", with(base, func(p *maps.Params) { p.Stripes = 2; p.BayWidth = 24 })},
-		{"eight thin stripes", with(base, func(p *maps.Params) { p.Stripes = 8; p.BayWidth = 6 })},
+		{"narrow corridors V=2", with(base, func(p *wsp.MapParams) { p.CorridorWidth = 2; p.MaxComponentLen = 6 })},
+		{"long components L=12", with(base, func(p *wsp.MapParams) { p.MaxComponentLen = 12 })},
+		{"two wide stripes", with(base, func(p *wsp.MapParams) { p.Stripes = 2; p.BayWidth = 24 })},
+		{"eight thin stripes", with(base, func(p *wsp.MapParams) { p.Stripes = 8; p.BayWidth = 6 })},
 	}
 
+	solver := wsp.New()
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Design\tComponents\ttc\tAgents\tCycles\tServiced@\tSynthesis")
 	for _, d := range designs {
-		m, err := maps.Generate(d.p)
+		m, err := wsp.GenerateMap(d.p)
 		if err != nil {
 			fmt.Fprintf(tw, "%s\t-\t-\t-\t-\t-\tgenerate: %v\n", d.name, err)
 			continue
 		}
-		wl, err := workload.Uniform(m.W, units)
+		wl, err := wsp.UniformWorkload(m.W, units)
 		if err != nil {
 			log.Fatal(err)
 		}
-		st := traffic.Summarize(m.S)
-		res, err := core.Solve(m.S, wl, T, core.Options{})
+		st := wsp.SummarizeTraffic(m.S)
+		res, err := solver.Solve(ctx, wsp.Instance{System: m.S, Workload: wl, Horizon: T})
 		if err != nil {
 			fmt.Fprintf(tw, "%s\t%d\t%d\t-\t-\t-\tsolve: %v\n", d.name, st.Components, st.CycleTime, err)
 			continue
@@ -64,7 +64,7 @@ func main() {
 	fmt.Println("buy concurrent cycles. The best design balances both against agent count.")
 }
 
-func with(p maps.Params, f func(*maps.Params)) maps.Params {
+func with(p wsp.MapParams, f func(*wsp.MapParams)) wsp.MapParams {
 	f(&p)
 	return p
 }

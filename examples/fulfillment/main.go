@@ -1,39 +1,39 @@
 // Fulfillment-center walkthrough: solve the paper's Fulfillment 1 instance
-// (550 units over 55 products, T = 3600) with all three synthesis
-// strategies where feasible, and print a delivery-throughput timeline.
+// (550 units over 55 products, T = 3600), print a delivery-throughput
+// timeline, and re-solve under a skewed e-commerce workload — all through
+// the public wsp facade.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/maps"
-	"repro/internal/sim"
-	"repro/internal/traffic"
-	"repro/internal/workload"
+	"repro/wsp"
 )
 
 func rng() *rand.Rand { return rand.New(rand.NewSource(1)) }
 
 func main() {
-	m, err := maps.Fulfillment1()
+	ctx := context.Background()
+	m, err := wsp.Fulfillment1()
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := traffic.Summarize(m.S)
+	st := wsp.SummarizeTraffic(m.S)
 	fmt.Printf("Fulfillment 1: %d cells, %d shelves, %d stations, %d products\n",
 		m.W.Graph.NumVertices(), len(m.Shelves), len(m.W.Stations), m.W.NumProducts)
 	fmt.Printf("traffic system: %d components, %d arcs, cycle time %d\n\n",
 		st.Components, st.Edges, st.CycleTime)
 
 	const T = 3600
-	wl, err := workload.Uniform(m.W, 550)
+	wl, err := wsp.UniformWorkload(m.W, 550)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := core.Solve(m.S, wl, T, core.Options{Strategy: core.RoutePacking})
+	solver := wsp.New(wsp.WithStrategy(wsp.RoutePacking))
+	res, err := solver.Solve(ctx, wsp.Instance{System: m.S, Workload: wl, Horizon: T})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,17 +43,17 @@ func main() {
 	// Delivery throughput per 300-step window (the data behind a
 	// throughput-over-time figure).
 	fmt.Println("\nthroughput (units per 300 steps):")
-	for i, n := range sim.Throughput(res.Sim, T, 300) {
+	for i, n := range wsp.Throughput(res.Sim, T, 300) {
 		fmt.Printf("  t=%4d-%4d: %s (%d)\n", i*300, (i+1)*300-1, bar(n), n)
 	}
 
 	// A skewed (Zipf-like) workload: the head products dominate, as in
 	// e-commerce demand.
-	skew, err := workload.Skewed(m.W, 550, rng())
+	skew, err := wsp.SkewedWorkload(m.W, 550, rng())
 	if err != nil {
 		log.Fatal(err)
 	}
-	res2, err := core.Solve(m.S, skew, T, core.Options{})
+	res2, err := solver.Solve(ctx, wsp.Instance{System: m.S, Workload: skew, Horizon: T})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,21 +5,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/lifelong"
-	"repro/internal/maps"
-	"repro/internal/sim"
-	"repro/internal/workload"
+	"repro/wsp"
 )
 
 func main() {
-	m, err := maps.SortingCenter()
+	ctx := context.Background()
+	m, err := wsp.SortingCenter()
 	if err != nil {
 		log.Fatal(err)
 	}
+	solver := wsp.New()
 
 	// Three waves of packages, released over a 10,800-step shift.
 	unit := func(per int) []int {
@@ -29,12 +28,12 @@ func main() {
 		}
 		return u
 	}
-	batches := []lifelong.Batch{
+	batches := []wsp.Batch{
 		{Release: 0, Units: unit(4)},
 		{Release: 3000, Units: unit(5)},
 		{Release: 6000, Units: unit(3)},
 	}
-	rep, err := lifelong.Run(m.S, batches, 10800, lifelong.Options{})
+	rep, err := solver.Lifelong(ctx, m.S, batches, 10800)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,24 +45,24 @@ func main() {
 
 	// Failure injection: solve one instance, then replay its plan under the
 	// minimal-communication policy with an agent frozen mid-run.
-	wl, err := workload.Uniform(m.W, 320)
+	wl, err := wsp.UniformWorkload(m.W, 320)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := core.Solve(m.S, wl, 3600, core.Options{})
+	res, err := solver.Solve(ctx, wsp.Instance{System: m.S, Workload: wl, Horizon: 3600})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nfailure injection on a %d-agent plan (nominal makespan %d):\n",
 		res.Stats.Agents, res.Sim.ServicedAt)
 	for _, dur := range []int{0, 60, 240, 960} {
-		var failures []sim.Failure
+		var failures []wsp.Failure
 		label := "none"
 		if dur > 0 {
-			failures = []sim.Failure{{Agent: 0, At: 100, Duration: dur}}
+			failures = []wsp.Failure{{Agent: 0, At: 100, Duration: dur}}
 			label = fmt.Sprintf("agent 0 frozen %d steps", dur)
 		}
-		ex, err := sim.ExecuteMCP(m.W, res.Plan, wl, failures, 6*3600)
+		ex, err := wsp.ExecuteMCP(m.W, res.Plan, wl, failures, 6*3600)
 		if err != nil {
 			log.Fatal(err)
 		}

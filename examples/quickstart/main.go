@@ -1,21 +1,20 @@
 // Quickstart: build a small warehouse, design its traffic system, and solve
-// a WSP instance end to end — the five-minute tour of the library.
+// a WSP instance end to end through the public wsp facade — the five-minute
+// tour of the library.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/grid"
-	"repro/internal/traffic"
-	"repro/internal/warehouse"
+	"repro/wsp"
 )
 
 func main() {
 	// A 10x6 floorplan: a one-way ring around an interior block. '@' cells
 	// are shelves (obstacles holding stock), 'T' is a packing station.
-	g, _, stationCoords, err := grid.Parse(
+	g, _, stationCoords, err := wsp.ParseGrid(
 		"..........\n" +
 			".@@######.\n" +
 			".########.\n" +
@@ -27,23 +26,23 @@ func main() {
 	}
 
 	// Shelf-access vertices: the aisle cells north of the two shelves.
-	shelfAccess := []grid.VertexID{
-		g.At(grid.Coord{X: 1, Y: 5}),
-		g.At(grid.Coord{X: 2, Y: 5}),
+	shelfAccess := []wsp.VertexID{
+		g.At(wsp.Coord{X: 1, Y: 5}),
+		g.At(wsp.Coord{X: 2, Y: 5}),
 	}
-	var stations []grid.VertexID
+	var stations []wsp.VertexID
 	for _, c := range stationCoords {
 		stations = append(stations, g.At(c))
 	}
 	// Two products, 300 units each: Λ = [[300 0] [0 300]].
-	w, err := warehouse.New(g, shelfAccess, stations, 2, [][]int{{300, 0}, {0, 300}})
+	w, err := wsp.NewWarehouse(g, shelfAccess, stations, 2, [][]int{{300, 0}, {0, 300}})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Design the traffic system: four directed lanes forming the ring.
-	at := func(x, y int) grid.VertexID { return g.At(grid.Coord{X: x, Y: y}) }
-	var south, east, north, west []grid.VertexID
+	at := func(x, y int) wsp.VertexID { return g.At(wsp.Coord{X: x, Y: y}) }
+	var south, east, north, west []wsp.VertexID
 	for x := 0; x <= 9; x++ {
 		south = append(south, at(x, 0))
 	}
@@ -56,20 +55,21 @@ func main() {
 	for y := 4; y >= 1; y-- {
 		west = append(west, at(0, y))
 	}
-	sys, err := traffic.Build(w, [][]grid.VertexID{south, east, north, west})
+	sys, err := wsp.BuildTraffic(w, [][]wsp.VertexID{south, east, north, west})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("traffic system:")
-	fmt.Print(traffic.Render(sys))
+	fmt.Print(wsp.RenderTraffic(sys))
 
 	// The WSP instance: bring 12 units of product 0 and 7 of product 1 to
 	// the station within 800 timesteps.
-	wl, err := warehouse.NewWorkload(w, []int{12, 7})
+	wl, err := wsp.NewWorkload(w, []int{12, 7})
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := core.Solve(sys, wl, 800, core.Options{})
+	solver := wsp.New() // defaults: route-packing strategy
+	res, err := solver.Solve(context.Background(), wsp.Instance{System: sys, Workload: wl, Horizon: 800})
 	if err != nil {
 		log.Fatal(err)
 	}

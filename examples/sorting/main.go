@@ -6,33 +6,31 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/grid"
-	"repro/internal/mapf"
-	"repro/internal/maps"
-	"repro/internal/traffic"
-	"repro/internal/workload"
+	"repro/wsp"
 )
 
 func main() {
-	m, err := maps.SortingCenter()
+	ctx := context.Background()
+	m, err := wsp.SortingCenter()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("sorting center traffic system ('!' = component exit):")
-	fmt.Print(traffic.Render(m.S))
+	fmt.Print(wsp.RenderTraffic(m.S))
 
 	const T = 3600
-	wl, err := workload.Uniform(m.W, 480)
+	wl, err := wsp.UniformWorkload(m.W, 480)
 	if err != nil {
 		log.Fatal(err)
 	}
+	solver := wsp.New()
 	start := time.Now()
-	res, err := core.Solve(m.S, wl, T, core.Options{})
+	res, err := solver.Solve(ctx, wsp.Instance{System: m.S, Workload: wl, Horizon: T})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,9 +44,9 @@ func main() {
 	for _, agents := range []int{2, 4, 8, 12} {
 		starts, goals := baselineTasks(m, res, agents, 3)
 		bStart := time.Now()
-		sol, err := mapf.IteratedECBS(m.W.Graph, starts, goals, mapf.IteratedOptions{
+		sol, err := wsp.IteratedECBS(m.W.Graph, starts, goals, wsp.IteratedOptions{
 			Window: 20,
-			Limits: mapf.Limits{MaxExpansions: 500_000, Horizon: T},
+			Limits: wsp.MAPFLimits{MaxExpansions: 500_000, Horizon: T},
 		})
 		status := "ok"
 		if err != nil {
@@ -62,10 +60,10 @@ func main() {
 // baselineTasks derives start positions and shelf/station visit sequences
 // for the first n agents of the solved plan, repeated `tours` times. Start
 // cells are deduplicated (MAPF starts must be distinct).
-func baselineTasks(m *maps.Map, res *core.Result, n, tours int) ([]grid.VertexID, [][]grid.VertexID) {
-	var starts []grid.VertexID
-	var goals [][]grid.VertexID
-	used := make(map[grid.VertexID]bool)
+func baselineTasks(m *wsp.Map, res *wsp.Result, n, tours int) ([]wsp.VertexID, [][]wsp.VertexID) {
+	var starts []wsp.VertexID
+	var goals [][]wsp.VertexID
+	used := make(map[wsp.VertexID]bool)
 	count := 0
 	for _, cyc := range res.CycleSet.Cycles {
 		for _, leg := range cyc.Legs {
@@ -79,24 +77,24 @@ func baselineTasks(m *maps.Map, res *core.Result, n, tours int) ([]grid.VertexID
 			// unsolvable (both must end on the same cell).
 			shelf := row.Cells[(1+2*count)%row.Len()]
 			station := m.W.Stations[count%len(m.W.Stations)]
-			start := grid.None
-			for _, cells := range [][]grid.VertexID{queue.Cells, row.Cells} {
+			start := wsp.NoVertex
+			for _, cells := range [][]wsp.VertexID{queue.Cells, row.Cells} {
 				for _, v := range cells {
 					if !used[v] {
 						start = v
 						break
 					}
 				}
-				if start != grid.None {
+				if start != wsp.NoVertex {
 					break
 				}
 			}
-			if start == grid.None {
+			if start == wsp.NoVertex {
 				continue
 			}
 			used[start] = true
 			starts = append(starts, start)
-			var seq []grid.VertexID
+			var seq []wsp.VertexID
 			for t := 0; t < tours; t++ {
 				seq = append(seq, shelf, station)
 			}

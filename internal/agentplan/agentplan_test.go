@@ -1,6 +1,7 @@
 package agentplan
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cycles"
@@ -97,7 +98,7 @@ func TestRealizeServicesWorkloadViaRoutes(t *testing.T) {
 func TestRealizeServicesWorkloadViaFlowSet(t *testing.T) {
 	w, s := ringSystem(t)
 	wl := mustWorkload(t, w, 8, 4)
-	set, err := flow.SynthesizeSequential(s, wl, 800, flow.Options{})
+	set, err := flow.SynthesizeSequential(context.Background(), s, wl, 800, flow.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestRealizeServicesWorkloadViaFlowSet(t *testing.T) {
 func TestRealizeContractPathEndToEnd(t *testing.T) {
 	w, s := ringSystem(t)
 	wl := mustWorkload(t, w, 5, 2)
-	set, err := flow.SynthesizeContract(s, wl, 800, flow.Options{})
+	set, err := flow.SynthesizeContract(context.Background(), s, wl, 800, flow.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

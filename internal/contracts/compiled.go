@@ -104,6 +104,10 @@ func (cc *Compiled) Satisfy(opts lp.ILPOptions) (Assignment, error) {
 		return out, nil
 	case lp.StatusInfeasible:
 		return nil, nil
+	case lp.StatusCanceled:
+		return nil, fmt.Errorf("contracts: %s solve abandoned: %w", cc.Contract.Name, lp.ErrCanceled)
+	case lp.StatusLimit:
+		return nil, fmt.Errorf("contracts: %s undecided: %w", cc.Contract.Name, lp.ErrBudgetExhausted)
 	default:
 		return nil, fmt.Errorf("contracts: solver returned %v for %s", sol.Status, cc.Contract.Name)
 	}
@@ -118,7 +122,7 @@ func (cc *Compiled) Satisfy(opts lp.ILPOptions) (Assignment, error) {
 // from-scratch admission test maps statuses: an unbounded relaxation (only
 // possible once a caller installs an objective) still has feasible points.
 func (cc *Compiled) RelaxationFeasible() (bool, error) {
-	return cc.RelaxationFeasibleWith(lp.SimplexAuto)
+	return cc.RelaxationFeasibleOpts(lp.SolveOptions{})
 }
 
 // RelaxationFeasibleWith is RelaxationFeasible with a per-call simplex
@@ -126,9 +130,18 @@ func (cc *Compiled) RelaxationFeasible() (bool, error) {
 // share the compiled model, since it leaves no sticky model-level state
 // behind.
 func (cc *Compiled) RelaxationFeasibleWith(sx lp.SimplexEngine) (bool, error) {
-	sol, err := cc.model.ResolveWith(lp.SolveOptions{Simplex: sx})
+	return cc.RelaxationFeasibleOpts(lp.SolveOptions{Simplex: sx})
+}
+
+// RelaxationFeasibleOpts is RelaxationFeasible with full per-call solve
+// options (simplex representation and cancellation channel).
+func (cc *Compiled) RelaxationFeasibleOpts(opts lp.SolveOptions) (bool, error) {
+	sol, err := cc.model.ResolveWith(opts)
 	if err != nil {
 		return false, err
+	}
+	if sol.Status == lp.StatusCanceled {
+		return false, fmt.Errorf("contracts: %s relaxation solve abandoned: %w", cc.Contract.Name, lp.ErrCanceled)
 	}
 	return sol.Status != lp.StatusInfeasible, nil
 }

@@ -286,6 +286,10 @@ func (c *Contract) SatisfyOpts(opts lp.ILPOptions) (Assignment, error) {
 		return out, nil
 	case lp.StatusInfeasible:
 		return nil, nil
+	case lp.StatusCanceled:
+		return nil, fmt.Errorf("contracts: %s solve abandoned: %w", c.Name, lp.ErrCanceled)
+	case lp.StatusLimit:
+		return nil, fmt.Errorf("contracts: %s undecided: %w", c.Name, lp.ErrBudgetExhausted)
 	default:
 		return nil, fmt.Errorf("contracts: solver returned %v for %s", sol.Status, c.Name)
 	}

@@ -5,6 +5,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -73,6 +75,14 @@ type Options struct {
 	// variables, so enable it only for instances where one LP solve is
 	// cheaper than the retry loop.
 	AdmissionCheck bool
+	// MaxWork overrides the contract path's per-attempt deterministic
+	// simplex work budget (lp.ILPOptions.MaxWork units); 0 keeps the
+	// tableau-footprint-scaled default. Exhaustion surfaces as an error
+	// wrapping lp.ErrBudgetExhausted.
+	MaxWork int64
+	// MaxNodes overrides the contract path's per-attempt branch-and-bound
+	// node budget; 0 keeps the default.
+	MaxNodes int
 }
 
 // Timing breaks down where Solve spent its time.
@@ -114,12 +124,17 @@ type Scratch struct {
 // under traffic system s. The plan is synthesized, realized, and verified;
 // if the realization falls short of the workload (warm-up underestimate),
 // synthesis is retried with a doubled warm-up margin.
-func Solve(s *traffic.System, wl warehouse.Workload, T int, opts Options) (*Result, error) {
-	return SolveScratch(s, wl, T, opts, nil)
+//
+// Cancelling ctx aborts the solve — inside the LP branch and bound within
+// one work-budget accounting tick — and the returned error wraps
+// lp.ErrCanceled. A solve that is never cancelled is bit-identical to one
+// run under context.Background().
+func Solve(ctx context.Context, s *traffic.System, wl warehouse.Workload, T int, opts Options) (*Result, error) {
+	return SolveScratch(ctx, s, wl, T, opts, nil)
 }
 
 // SolveScratch is Solve with caller-owned scratch buffers; sc may be nil.
-func SolveScratch(s *traffic.System, wl warehouse.Workload, T int, opts Options, sc *Scratch) (*Result, error) {
+func SolveScratch(ctx context.Context, s *traffic.System, wl warehouse.Workload, T int, opts Options, sc *Scratch) (*Result, error) {
 	maxAttempts := opts.MaxAttempts
 	if maxAttempts == 0 {
 		maxAttempts = 3
@@ -131,17 +146,25 @@ func SolveScratch(s *traffic.System, wl warehouse.Workload, T int, opts Options,
 		// The admission LP runs on the same compiled contract model the
 		// ContractILP strategy would use, so a gated synthesis pays the
 		// compilation once.
-		if err := sc.contract.MustAdmit(s, wl, T, flow.Options{Simplex: opts.Simplex}); err != nil {
+		if err := sc.contract.MustAdmit(ctx, s, wl, T, flow.Options{Simplex: opts.Simplex}); err != nil {
 			return nil, err
 		}
 	}
 	margin := 0 // 0 = automatic, per strategy
 	var lastErr error
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
-		res, err := solveOnce(s, wl, T, opts, margin, sc)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: solve canceled before attempt %d: %w", attempt, lp.ErrCanceled)
+		}
+		res, err := solveOnce(ctx, s, wl, T, opts, margin, sc)
 		if err == nil {
 			res.Attempts = attempt
 			return res, nil
+		}
+		if errors.Is(err, lp.ErrCanceled) {
+			// Retrying a cancelled attempt would grind on work the caller
+			// already walked away from.
+			return nil, err
 		}
 		lastErr = err
 		// Double the margin (starting from the automatic default).
@@ -171,7 +194,7 @@ func defaultMargin(s *traffic.System, T int) int {
 	return m
 }
 
-func solveOnce(s *traffic.System, wl warehouse.Workload, T int, opts Options, margin int, sc *Scratch) (*Result, error) {
+func solveOnce(ctx context.Context, s *traffic.System, wl warehouse.Workload, T int, opts Options, margin int, sc *Scratch) (*Result, error) {
 	res := &Result{}
 	start := time.Now()
 
@@ -185,16 +208,17 @@ func solveOnce(s *traffic.System, wl warehouse.Workload, T int, opts Options, ma
 		res.Timing.Synthesis = time.Since(start)
 		cs = c
 	case SequentialFlows, ContractILP:
-		fopts := flow.Options{WarmupMargin: margin, ExactILP: opts.ExactILP, Simplex: opts.Simplex}
+		fopts := flow.Options{WarmupMargin: margin, ExactILP: opts.ExactILP, Simplex: opts.Simplex,
+			MaxWork: opts.MaxWork, MaxNodes: opts.MaxNodes}
 		var set *flow.Set
 		var err error
 		if opts.Strategy == SequentialFlows {
-			set, err = flow.SynthesizeSequential(s, wl, T, fopts)
+			set, err = flow.SynthesizeSequential(ctx, s, wl, T, fopts)
 		} else {
 			// Model-reusing variant of flow.SynthesizeContract: bit-identical
 			// output, with contract compilation and the solver arena amortized
 			// across every solve this Scratch serves.
-			set, err = sc.contract.Synthesize(s, wl, T, fopts)
+			set, err = sc.contract.Synthesize(ctx, s, wl, T, fopts)
 		}
 		if err != nil {
 			return nil, err
@@ -228,7 +252,7 @@ func solveOnce(s *traffic.System, wl warehouse.Workload, T int, opts Options, ma
 	res.Sim = sim.Run(s.W, plan, wl)
 	res.Timing.Validate = time.Since(valStart)
 	if len(res.Sim.Violations) > 0 {
-		return nil, fmt.Errorf("core: realized plan violates feasibility: %v", res.Sim.Violations[0])
+		return nil, fmt.Errorf("core: realized plan violates feasibility: %w", res.Sim.Violations[0])
 	}
 	if res.Sim.ServicedAt < 0 {
 		return nil, fmt.Errorf("core: plan delivers %v of %v within %d steps (warm-up shortfall)",

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/testmaps"
@@ -15,7 +16,7 @@ func TestSolveAllStrategiesOnRing(t *testing.T) {
 	}
 	for _, strat := range []Strategy{RoutePacking, SequentialFlows, ContractILP} {
 		t.Run(strat.String(), func(t *testing.T) {
-			res, err := Solve(s, wl, 800, Options{Strategy: strat})
+			res, err := Solve(context.Background(), s, wl, 800, Options{Strategy: strat})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -47,7 +48,7 @@ func TestSolveSkipRealization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Solve(s, wl, 800, Options{SkipRealization: true})
+	res, err := Solve(context.Background(), s, wl, 800, Options{SkipRealization: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestSolveInfeasibleReportsError(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Horizon far too short for 600 units through a capacity-2 bottleneck.
-	if _, err := Solve(s, wl, 120, Options{}); err == nil {
+	if _, err := Solve(context.Background(), s, wl, 120, Options{}); err == nil {
 		t.Error("Solve accepted an infeasible instance")
 	}
 }
@@ -78,13 +79,13 @@ func TestSolveAdmissionCheck(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Overloaded: with the check on, the failure carries the certificate.
-	_, err = Solve(s, wl, 120, Options{AdmissionCheck: true})
+	_, err = Solve(context.Background(), s, wl, 120, Options{AdmissionCheck: true})
 	if err == nil {
 		t.Fatal("overloaded instance accepted")
 	}
 	// A feasible instance passes through the check unchanged.
 	wl2, _ := warehouse.NewWorkload(w, []int{5, 3})
-	res, err := Solve(s, wl2, 800, Options{AdmissionCheck: true})
+	res, err := Solve(context.Background(), s, wl2, 800, Options{AdmissionCheck: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestSolveAdmissionCheck(t *testing.T) {
 func TestSolveUnknownStrategy(t *testing.T) {
 	w, s := testmaps.MustRing()
 	wl, _ := warehouse.NewWorkload(w, []int{1, 0})
-	if _, err := Solve(s, wl, 800, Options{Strategy: Strategy(99)}); err == nil {
+	if _, err := Solve(context.Background(), s, wl, 800, Options{Strategy: Strategy(99)}); err == nil {
 		t.Error("unknown strategy accepted")
 	}
 	if Strategy(99).String() != "unknown" {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/grid"
@@ -67,7 +68,7 @@ func TestPaperFig1Scenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Solve(s, wl, 600, Options{})
+	res, err := Solve(context.Background(), s, wl, 600, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/maps"
@@ -29,7 +30,7 @@ func TestFlowStrategiesOnGeneratedMap(t *testing.T) {
 	const T = 2400
 	for _, strat := range []Strategy{SequentialFlows, ContractILP} {
 		t.Run(strat.String(), func(t *testing.T) {
-			res, err := Solve(m.S, wl, T, Options{Strategy: strat})
+			res, err := Solve(context.Background(), m.S, wl, T, Options{Strategy: strat})
 			if err != nil {
 				t.Fatal(err)
 			}

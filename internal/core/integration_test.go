@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/maps"
@@ -35,7 +36,7 @@ func TestTableIInstancesSolve(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/%d: workload: %v", tc.name, total, err)
 			}
-			res, err := Solve(m.S, wl, T, Options{Strategy: RoutePacking})
+			res, err := Solve(context.Background(), m.S, wl, T, Options{Strategy: RoutePacking})
 			if err != nil {
 				t.Errorf("%s/%d: %v", tc.name, total, err)
 				continue

@@ -1,6 +1,7 @@
 package cycles
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/flow"
@@ -68,7 +69,7 @@ func wl(t *testing.T, w *warehouse.Warehouse, units ...int) warehouse.Workload {
 func TestFromFlowSetRing(t *testing.T) {
 	w, s := ringSystem(t)
 	workload := wl(t, w, 10, 5)
-	set, err := flow.SynthesizeSequential(s, workload, 600, flow.Options{})
+	set, err := flow.SynthesizeSequential(context.Background(), s, workload, 600, flow.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestFromFlowSetRing(t *testing.T) {
 func TestFromFlowSetContractPath(t *testing.T) {
 	w, s := ringSystem(t)
 	workload := wl(t, w, 6, 3)
-	set, err := flow.SynthesizeContract(s, workload, 600, flow.Options{})
+	set, err := flow.SynthesizeContract(context.Background(), s, workload, 600, flow.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/testmaps"
@@ -17,7 +18,7 @@ func TestEdgeIndexZeroAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	set, err := SynthesizeSequential(s, wl, 800, Options{})
+	set, err := SynthesizeSequential(context.Background(), s, wl, 800, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestEnteringTotalZeroAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	set, err := SynthesizeSequential(s, wl, 800, Options{})
+	set, err := SynthesizeSequential(context.Background(), s, wl, 800, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/contracts"
@@ -41,7 +42,7 @@ func (c Certificate) String() string {
 // problems, and an exact verdict needs no confirmation pass (the seed
 // implementation solved in float first and re-solved exactly to confirm
 // infeasibility).
-func Admit(s *traffic.System, wl warehouse.Workload, T int, opts Options) (Certificate, error) {
+func Admit(ctx context.Context, s *traffic.System, wl warehouse.Workload, T int, opts Options) (Certificate, error) {
 	margin := opts.WarmupMargin
 	if margin == 0 {
 		margin = autoMargin(s, T)
@@ -68,24 +69,28 @@ func Admit(s *traffic.System, wl warehouse.Workload, T int, opts Options) (Certi
 		return CertMaybeFeasible, err
 	}
 	p, _ := goal.ToProblem()
-	sol, err := lp.SolveLP(p)
+	sol, err := lp.SolveLPWith(p, lp.SolveOptions{Simplex: opts.Simplex, Cancel: cancelOf(ctx)})
 	if err != nil {
 		return CertMaybeFeasible, err
 	}
-	if sol.Status == lp.StatusInfeasible {
+	switch sol.Status {
+	case lp.StatusInfeasible:
 		return CertInfeasible, nil
+	case lp.StatusCanceled:
+		return CertMaybeFeasible, fmt.Errorf("flow: admission check abandoned: %w", lp.ErrCanceled)
 	}
 	return CertMaybeFeasible, nil
 }
 
-// MustAdmit wraps Admit into an error for pipeline use.
-func MustAdmit(s *traffic.System, wl warehouse.Workload, T int, opts Options) error {
-	cert, err := Admit(s, wl, T, opts)
+// MustAdmit wraps Admit into an error for pipeline use: a CertInfeasible
+// verdict becomes an *InfeasibleError carrying the certificate.
+func MustAdmit(ctx context.Context, s *traffic.System, wl warehouse.Workload, T int, opts Options) error {
+	cert, err := Admit(ctx, s, wl, T, opts)
 	if err != nil {
 		return err
 	}
 	if cert == CertInfeasible {
-		return fmt.Errorf("flow: LP certificate: no agent flow set can service this workload in %d timesteps", T)
+		return &InfeasibleError{Cert: CertInfeasible, Horizon: T, Reason: "LP certificate"}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/warehouse"
@@ -9,7 +10,7 @@ import (
 func TestAdmitFeasibleInstance(t *testing.T) {
 	w, s := ringSystem(t)
 	wl := ringWorkload(t, w, 6, 3)
-	cert, err := Admit(s, wl, 800, Options{})
+	cert, err := Admit(context.Background(), s, wl, 800, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,14 +24,14 @@ func TestAdmitRejectsOverloadedInstance(t *testing.T) {
 	// Rate 300 units with qeff ~ a handful of periods through capacity-2
 	// bottlenecks: the relaxation itself is infeasible.
 	wl := ringWorkload(t, w, 300, 0)
-	cert, err := Admit(s, wl, 120, Options{})
+	cert, err := Admit(context.Background(), s, wl, 120, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cert != CertInfeasible {
 		t.Errorf("cert = %v, want infeasible", cert)
 	}
-	if err := MustAdmit(s, wl, 120, Options{}); err == nil {
+	if err := MustAdmit(context.Background(), s, wl, 120, Options{}); err == nil {
 		t.Error("MustAdmit accepted an infeasible instance")
 	}
 }
@@ -38,7 +39,7 @@ func TestAdmitRejectsOverloadedInstance(t *testing.T) {
 func TestAdmitShortHorizon(t *testing.T) {
 	w, s := ringSystem(t)
 	wl := ringWorkload(t, w, 1, 0)
-	cert, err := Admit(s, wl, 3, Options{}) // below one cycle period
+	cert, err := Admit(context.Background(), s, wl, 3, Options{}) // below one cycle period
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestAdmitShortHorizon(t *testing.T) {
 		t.Errorf("cert = %v, want infeasible for sub-period horizon", cert)
 	}
 	wl0 := ringWorkload(t, w, 0, 0)
-	cert, err = Admit(s, wl0, 3, Options{})
+	cert, err = Admit(context.Background(), s, wl0, 3, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,17 +66,17 @@ func TestAdmitSoundAgainstSynthesizers(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, T := range []int{120, 400, 800} {
-			cert, err := Admit(s, wl, T, Options{})
+			cert, err := Admit(context.Background(), s, wl, T, Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
 			if cert != CertInfeasible {
 				continue
 			}
-			if _, err := SynthesizeSequential(s, wl, T, Options{}); err == nil {
+			if _, err := SynthesizeSequential(context.Background(), s, wl, T, Options{}); err == nil {
 				t.Errorf("units %v T %d: certified infeasible but sequential synthesis succeeded", units, T)
 			}
-			if _, err := SynthesizeContract(s, wl, T, Options{}); err == nil {
+			if _, err := SynthesizeContract(context.Background(), s, wl, T, Options{}); err == nil {
 				t.Errorf("units %v T %d: certified infeasible but contract synthesis succeeded", units, T)
 			}
 		}

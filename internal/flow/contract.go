@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -222,14 +223,49 @@ func contractWorkBudget(goal *contracts.Contract) int64 {
 	return 10_000_000 + 500*rows*cols
 }
 
+// synthesisILPOptions resolves the branch-and-bound budgets for one
+// contract synthesis attempt: caller overrides from Options when set, the
+// package defaults otherwise, plus the context's cancellation channel.
+func synthesisILPOptions(ctx context.Context, goal *contracts.Contract, opts Options) lp.ILPOptions {
+	engine := lp.EngineFloat
+	if opts.ExactILP {
+		engine = lp.EngineExact
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = contractNodeBudget
+	}
+	maxWork := opts.MaxWork
+	if maxWork == 0 {
+		maxWork = contractWorkBudget(goal)
+	}
+	return lp.ILPOptions{
+		Engine:   engine,
+		MaxNodes: maxNodes,
+		MaxWork:  maxWork,
+		Simplex:  opts.Simplex,
+		Cancel:   cancelOf(ctx),
+	}
+}
+
+// cancelOf extracts a context's cancellation channel, tolerating nil.
+func cancelOf(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
 // SynthesizeContract is the faithful §IV-D pipeline: compile C̃TS ⊗-composed
 // from component contracts, conjoin with C̃w, and search for a satisfying
 // integer assignment with the ILP solver (the Z3 substitute). The assignment
-// is decoded into a Set and exactly re-checked.
+// is decoded into a Set and exactly re-checked. Cancelling ctx aborts the
+// ILP search within one work-budget tick (the error wraps lp.ErrCanceled);
+// an uncancelled solve is bit-identical to one with a background context.
 //
 // Complexity grows with |Es| × |ρ|; use SynthesizeSequential for the
 // paper-scale instances (the ablation bench compares both).
-func SynthesizeContract(s *traffic.System, wl warehouse.Workload, T int, opts Options) (*Set, error) {
+func SynthesizeContract(ctx context.Context, s *traffic.System, wl warehouse.Workload, T int, opts Options) (*Set, error) {
 	margin := opts.WarmupMargin
 	if margin == 0 {
 		margin = autoMargin(s, T)
@@ -250,21 +286,12 @@ func SynthesizeContract(s *traffic.System, wl warehouse.Workload, T int, opts Op
 	if err != nil {
 		return nil, err
 	}
-	engine := lp.EngineFloat
-	if opts.ExactILP {
-		engine = lp.EngineExact
-	}
-	asn, err := goal.SatisfyOpts(lp.ILPOptions{
-		Engine:   engine,
-		MaxNodes: contractNodeBudget,
-		MaxWork:  contractWorkBudget(goal),
-		Simplex:  opts.Simplex,
-	})
+	asn, err := goal.SatisfyOpts(synthesisILPOptions(ctx, goal, opts))
 	if err != nil {
 		return nil, err
 	}
 	if asn == nil {
-		return nil, fmt.Errorf("flow: contract conjunction unsatisfiable: no agent flow set services the workload in %d timesteps", T)
+		return nil, &InfeasibleError{Cert: CertMaybeFeasible, Horizon: T, Reason: "contract conjunction unsatisfiable"}
 	}
 	return decodeSet(s, wl, tc, qc, qeff, asn)
 }
@@ -294,7 +321,7 @@ func decodeSet(s *traffic.System, wl warehouse.Workload, tc, qc, qeff int, asn c
 	}
 	assignQuotas(set, wl)
 	if errs := set.Check(wl); len(errs) > 0 {
-		return nil, fmt.Errorf("flow: contract synthesis produced an invalid set: %v", errs[0])
+		return nil, fmt.Errorf("flow: contract synthesis produced an invalid set: %w", errs[0])
 	}
 	return set, nil
 }
@@ -393,6 +420,14 @@ type Options struct {
 	// tableau vs LU-factorized revised; lp.SimplexAuto selects by instance
 	// size). Answers are bit-identical either way.
 	Simplex lp.SimplexEngine
+	// MaxNodes overrides the per-attempt branch-and-bound node budget of
+	// the contract path; 0 selects the package default
+	// (contractNodeBudget). Exhaustion wraps lp.ErrBudgetExhausted.
+	MaxNodes int
+	// MaxWork overrides the per-attempt deterministic simplex work budget
+	// (row-update units); 0 selects the tableau-footprint-scaled default
+	// (contractWorkBudget).
+	MaxWork int64
 }
 
 // autoMargin picks a warm-up margin when the caller did not: enough periods

@@ -1,0 +1,44 @@
+package flow
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors of the synthesis layer. The wsp facade re-exports them
+// (wsp.ErrInfeasible, wsp.ErrHorizonTooShort); every layer in between
+// wraps with %w so errors.Is/As work at any altitude.
+var (
+	// ErrInfeasible reports that no agent flow set can service the
+	// workload within the instance's horizon. Match the concrete
+	// *InfeasibleError with errors.As to read the admission certificate.
+	ErrInfeasible = errors.New("flow: no agent flow set services the workload")
+
+	// ErrHorizonTooShort reports a horizon below one traffic-system
+	// cycle period — too short to host even a single cycle.
+	ErrHorizonTooShort = errors.New("flow: horizon shorter than one cycle period")
+)
+
+// InfeasibleError is the concrete infeasibility verdict: it satisfies
+// errors.Is(err, ErrInfeasible) and carries the flow.Admit certificate so
+// callers can distinguish a sound LP-relaxation proof (CertInfeasible —
+// no flow set exists, integral or not) from an exhausted integral search
+// over a rationally feasible relaxation (CertMaybeFeasible).
+type InfeasibleError struct {
+	// Cert is CertInfeasible when the LP relaxation soundly proves
+	// infeasibility, CertMaybeFeasible when only the integral search
+	// failed.
+	Cert Certificate
+	// Horizon is the timestep budget of the failed instance.
+	Horizon int
+	// Reason names the stage that produced the verdict.
+	Reason string
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("flow: %s: no agent flow set services the workload in %d timesteps (certificate: %v)",
+		e.Reason, e.Horizon, e.Cert)
+}
+
+// Is makes errors.Is(err, ErrInfeasible) match any InfeasibleError.
+func (e *InfeasibleError) Is(target error) bool { return target == ErrInfeasible }

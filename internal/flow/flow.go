@@ -203,7 +203,7 @@ func periods(s *traffic.System, T, margin int) (tc, qc, qeff int, err error) {
 	}
 	qc = T / tc
 	if qc < 1 {
-		return 0, 0, 0, fmt.Errorf("flow: horizon %d shorter than one cycle period %d", T, tc)
+		return 0, 0, 0, fmt.Errorf("flow: horizon %d below cycle period %d: %w", T, tc, ErrHorizonTooShort)
 	}
 	qeff = qc - margin
 	if qeff < 1 {

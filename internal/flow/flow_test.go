@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/grid"
@@ -88,7 +89,7 @@ func TestPeriods(t *testing.T) {
 func TestSynthesizeSequentialRing(t *testing.T) {
 	w, s := ringSystem(t)
 	wl := ringWorkload(t, w, 10, 5)
-	set, err := SynthesizeSequential(s, wl, 600, Options{})
+	set, err := SynthesizeSequential(context.Background(), s, wl, 600, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestSynthesizeSequentialRing(t *testing.T) {
 func TestSynthesizeSequentialSatisfiesContracts(t *testing.T) {
 	w, s := ringSystem(t)
 	wl := ringWorkload(t, w, 8, 8)
-	set, err := SynthesizeSequential(s, wl, 600, Options{})
+	set, err := SynthesizeSequential(context.Background(), s, wl, 600, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestSynthesizeSequentialSatisfiesContracts(t *testing.T) {
 func TestSynthesizeContractRing(t *testing.T) {
 	w, s := ringSystem(t)
 	wl := ringWorkload(t, w, 6, 3)
-	set, err := SynthesizeContract(s, wl, 600, Options{})
+	set, err := SynthesizeContract(context.Background(), s, wl, 600, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestSynthesizeContractRing(t *testing.T) {
 func TestSynthesizeContractExactEngine(t *testing.T) {
 	w, s := ringSystem(t)
 	wl := ringWorkload(t, w, 2, 2)
-	set, err := SynthesizeContract(s, wl, 600, Options{ExactILP: true})
+	set, err := SynthesizeContract(context.Background(), s, wl, 600, Options{ExactILP: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,10 +155,10 @@ func TestSynthesizeInfeasibleDemandRate(t *testing.T) {
 	// Demand so large the per-period rate exceeds the ring capacity: with
 	// T=120 (qc=10, qeff small) demand 300 needs rate ~100/period >> cap 1.
 	wl := ringWorkload(t, w, 300, 0)
-	if _, err := SynthesizeSequential(s, wl, 120, Options{}); err == nil {
+	if _, err := SynthesizeSequential(context.Background(), s, wl, 120, Options{}); err == nil {
 		t.Error("sequential synthesis accepted an infeasible rate")
 	}
-	if _, err := SynthesizeContract(s, wl, 120, Options{}); err == nil {
+	if _, err := SynthesizeContract(context.Background(), s, wl, 120, Options{}); err == nil {
 		t.Error("contract synthesis accepted an infeasible rate")
 	}
 }
@@ -165,7 +166,7 @@ func TestSynthesizeInfeasibleDemandRate(t *testing.T) {
 func TestSynthesizeZeroWorkload(t *testing.T) {
 	w, s := ringSystem(t)
 	wl := ringWorkload(t, w, 0, 0)
-	set, err := SynthesizeSequential(s, wl, 600, Options{})
+	set, err := SynthesizeSequential(context.Background(), s, wl, 600, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestSynthesizeZeroWorkload(t *testing.T) {
 func TestCheckCatchesCorruption(t *testing.T) {
 	w, s := ringSystem(t)
 	wl := ringWorkload(t, w, 4, 0)
-	set, err := SynthesizeSequential(s, wl, 600, Options{})
+	set, err := SynthesizeSequential(context.Background(), s, wl, 600, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestCompileWorkloadContract(t *testing.T) {
 func TestEdgeIndex(t *testing.T) {
 	_, s := ringSystem(t)
 	wl := warehouse.Workload{Units: []int{0, 0}}
-	set, err := SynthesizeSequential(s, wl, 600, Options{})
+	set, err := SynthesizeSequential(context.Background(), s, wl, 600, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

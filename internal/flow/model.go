@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"slices"
@@ -163,8 +164,10 @@ func resolveRows(s *traffic.System, cc *contracts.Compiled, support []bool) (fin
 
 // Synthesize is the model-reusing variant of SynthesizeContract: identical
 // inputs produce a bit-identical Set, with compilation amortized across
-// calls that share the traffic-system shape.
-func (cm *ContractModel) Synthesize(s *traffic.System, wl warehouse.Workload, T int, opts Options) (*Set, error) {
+// calls that share the traffic-system shape. Cancelling ctx aborts the ILP
+// search within one work-budget tick; the retained model stays valid and
+// serves the next solve cold.
+func (cm *ContractModel) Synthesize(ctx context.Context, s *traffic.System, wl warehouse.Workload, T int, opts Options) (*Set, error) {
 	margin := opts.WarmupMargin
 	if margin == 0 {
 		margin = autoMargin(s, T)
@@ -177,21 +180,12 @@ func (cm *ContractModel) Synthesize(s *traffic.System, wl warehouse.Workload, T 
 	if err != nil {
 		return nil, err
 	}
-	engine := lp.EngineFloat
-	if opts.ExactILP {
-		engine = lp.EngineExact
-	}
-	asn, err := cm.cc.Satisfy(lp.ILPOptions{
-		Engine:   engine,
-		MaxNodes: contractNodeBudget,
-		MaxWork:  contractWorkBudget(goal),
-		Simplex:  opts.Simplex,
-	})
+	asn, err := cm.cc.Satisfy(synthesisILPOptions(ctx, goal, opts))
 	if err != nil {
 		return nil, err
 	}
 	if asn == nil {
-		return nil, fmt.Errorf("flow: contract conjunction unsatisfiable: no agent flow set services the workload in %d timesteps", T)
+		return nil, &InfeasibleError{Cert: CertMaybeFeasible, Horizon: T, Reason: "contract conjunction unsatisfiable"}
 	}
 	return decodeSet(s, wl, tc, qc, qeff, asn)
 }
@@ -199,7 +193,7 @@ func (cm *ContractModel) Synthesize(s *traffic.System, wl warehouse.Workload, T 
 // Admit is the model-reusing variant of the package-level Admit: the same
 // certificate, decided on the retained model. Infeasible probes — the
 // common case when shrinking a horizon — ride the warm dual reentry.
-func (cm *ContractModel) Admit(s *traffic.System, wl warehouse.Workload, T int, opts Options) (Certificate, error) {
+func (cm *ContractModel) Admit(ctx context.Context, s *traffic.System, wl warehouse.Workload, T int, opts Options) (Certificate, error) {
 	margin := opts.WarmupMargin
 	if margin == 0 {
 		margin = autoMargin(s, T)
@@ -216,7 +210,7 @@ func (cm *ContractModel) Admit(s *traffic.System, wl warehouse.Workload, T int, 
 	}
 	// Per-call override only: a SetSimplex here would stick to the retained
 	// model and silently shadow SimplexAuto on later solves.
-	feasible, err := cm.cc.RelaxationFeasibleWith(opts.Simplex)
+	feasible, err := cm.cc.RelaxationFeasibleOpts(lp.SolveOptions{Simplex: opts.Simplex, Cancel: cancelOf(ctx)})
 	if err != nil {
 		return CertMaybeFeasible, err
 	}
@@ -228,13 +222,13 @@ func (cm *ContractModel) Admit(s *traffic.System, wl warehouse.Workload, T int, 
 
 // MustAdmit wraps Admit into an error for pipeline use, mirroring the
 // package-level MustAdmit.
-func (cm *ContractModel) MustAdmit(s *traffic.System, wl warehouse.Workload, T int, opts Options) error {
-	cert, err := cm.Admit(s, wl, T, opts)
+func (cm *ContractModel) MustAdmit(ctx context.Context, s *traffic.System, wl warehouse.Workload, T int, opts Options) error {
+	cert, err := cm.Admit(ctx, s, wl, T, opts)
 	if err != nil {
 		return err
 	}
 	if cert == CertInfeasible {
-		return fmt.Errorf("flow: LP certificate: no agent flow set can service this workload in %d timesteps", T)
+		return &InfeasibleError{Cert: CertInfeasible, Horizon: T, Reason: "LP certificate"}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -35,8 +36,8 @@ func TestContractModelMatchesScratch(t *testing.T) {
 			t.Fatalf("case %d: %v", i, err)
 		}
 		opts := Options{ExactILP: tc.exact}
-		got, gotErr := cm.Synthesize(s, wl, tc.T, opts)
-		want, wantErr := SynthesizeContract(s, wl, tc.T, opts)
+		got, gotErr := cm.Synthesize(context.Background(), s, wl, tc.T, opts)
+		want, wantErr := SynthesizeContract(context.Background(), s, wl, tc.T, opts)
 		if (gotErr == nil) != (wantErr == nil) {
 			t.Fatalf("case %d: model err %v, scratch err %v", i, gotErr, wantErr)
 		}
@@ -64,7 +65,7 @@ func TestContractModelTracksStockAcrossSystems(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cm.Synthesize(s, wl, 1600, Options{}); err != nil {
+	if _, err := cm.Synthesize(context.Background(), s, wl, 1600, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	// Deplete product 0 and rebuild the same floorplan, as lifelong.Run does.
@@ -88,8 +89,8 @@ func TestContractModelTracksStockAcrossSystems(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, gotErr := cm.Synthesize(s2, wl2, 1600, Options{})
-	want, wantErr := SynthesizeContract(s2, wl2, 1600, Options{})
+	got, gotErr := cm.Synthesize(context.Background(), s2, wl2, 1600, Options{})
+	want, wantErr := SynthesizeContract(context.Background(), s2, wl2, 1600, Options{})
 	if (gotErr == nil) != (wantErr == nil) {
 		t.Fatalf("model err %v, scratch err %v", gotErr, wantErr)
 	}
@@ -118,8 +119,8 @@ func TestContractModelAdmitMatchesScratch(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, gotErr := cm.Admit(s, wl, tc.T, Options{})
-		want, wantErr := Admit(s, wl, tc.T, Options{})
+		got, gotErr := cm.Admit(context.Background(), s, wl, tc.T, Options{})
+		want, wantErr := Admit(context.Background(), s, wl, tc.T, Options{})
 		if (gotErr == nil) != (wantErr == nil) || got != want {
 			t.Errorf("units=%v T=%d: model (%v, %v), scratch (%v, %v)",
 				tc.units, tc.T, got, gotErr, want, wantErr)

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -19,7 +20,7 @@ func TestSequentialAlwaysSatisfiesContracts(t *testing.T) {
 		if err != nil {
 			return false // stocks are 300 each; small demands always validate
 		}
-		set, err := SynthesizeSequential(s, wl, 800, Options{})
+		set, err := SynthesizeSequential(context.Background(), s, wl, 800, Options{})
 		if err != nil {
 			// Feasibility depends on the ring's capacity; rejection is a
 			// legal outcome, inconsistency below is not.
@@ -44,8 +45,8 @@ func TestStrategiesAgreeOnRing(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, errSeq := SynthesizeSequential(s, wl, 800, Options{})
-		_, errIlp := SynthesizeContract(s, wl, 800, Options{})
+		_, errSeq := SynthesizeSequential(context.Background(), s, wl, 800, Options{})
+		_, errIlp := SynthesizeContract(context.Background(), s, wl, 800, Options{})
 		if (errSeq == nil) != (errIlp == nil) {
 			t.Errorf("units %v: sequential err=%v, contract err=%v", units, errSeq, errIlp)
 		}

@@ -1,10 +1,12 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/flownet"
+	"repro/internal/lp"
 	"repro/internal/traffic"
 	"repro/internal/warehouse"
 )
@@ -22,7 +24,9 @@ import (
 // another order would have preserved — but each single-commodity step is
 // exact, and the resulting Set satisfies the identical contract system
 // (VerifyContracts), just like the monolithic ILP path.
-func SynthesizeSequential(s *traffic.System, wl warehouse.Workload, T int, opts Options) (*Set, error) {
+// Cancelling ctx aborts between single-commodity routing steps; the error
+// wraps lp.ErrCanceled.
+func SynthesizeSequential(ctx context.Context, s *traffic.System, wl warehouse.Workload, T int, opts Options) (*Set, error) {
 	margin := opts.WarmupMargin
 	if margin == 0 {
 		margin = autoMargin(s, T)
@@ -131,6 +135,11 @@ func SynthesizeSequential(s *traffic.System, wl warehouse.Workload, T int, opts 
 
 	queues := s.StationQueues()
 	for _, k := range order {
+		select {
+		case <-cancelOf(ctx):
+			return nil, fmt.Errorf("flow: sequential synthesis abandoned: %w", lp.ErrCanceled)
+		default:
+		}
 		g, capArcs, edgeArcs := buildNet(true)
 		var want int64
 		for _, d := range demands[k] {
@@ -147,7 +156,8 @@ func SynthesizeSequential(s *traffic.System, wl warehouse.Workload, T int, opts 
 		}
 		got, _ := g.MinCostFlow(source, sink, want)
 		if got < want {
-			return nil, fmt.Errorf("flow: cannot route %d units/period of product %d (capacity exhausted after %d)", want, k, got)
+			return nil, &InfeasibleError{Cert: CertMaybeFeasible, Horizon: T,
+				Reason: fmt.Sprintf("cannot route %d units/period of product %d (capacity exhausted after %d)", want, k, got)}
 		}
 		harvest(set, g, capArcs, edgeArcs, residual, k)
 		for _, d := range demands[k] {
@@ -189,12 +199,13 @@ func SynthesizeSequential(s *traffic.System, wl warehouse.Workload, T int, opts 
 	}
 	got, _ := g.MinCostFlow(source, sink, want)
 	if got < want {
-		return nil, fmt.Errorf("flow: cannot route empty-agent return flow (%d of %d units/period)", got, want)
+		return nil, &InfeasibleError{Cert: CertMaybeFeasible, Horizon: T,
+			Reason: fmt.Sprintf("cannot route empty-agent return flow (%d of %d units/period)", got, want)}
 	}
 	harvest(set, g, capArcs, edgeArcs, residual, empty)
 
 	if errs := set.Check(wl); len(errs) > 0 {
-		return nil, fmt.Errorf("flow: sequential synthesis produced an invalid set: %v", errs[0])
+		return nil, fmt.Errorf("flow: sequential synthesis produced an invalid set: %w", errs[0])
 	}
 	return set, nil
 }

@@ -11,11 +11,14 @@
 package lifelong
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"repro/internal/grid"
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/lp"
 	"repro/internal/traffic"
 	"repro/internal/warehouse"
 )
@@ -65,7 +68,10 @@ type Report struct {
 
 // Run services all batches within T timesteps. Batches must have distinct,
 // non-negative release times and demand vectors sized to the warehouse.
-func Run(s *traffic.System, batches []Batch, T int, opts Options) (*Report, error) {
+//
+// Cancelling ctx aborts the epoch in flight; the partial Report (epochs
+// completed so far) is returned alongside an error wrapping lp.ErrCanceled.
+func Run(ctx context.Context, s *traffic.System, batches []Batch, T int, opts Options) (*Report, error) {
 	w := s.W
 	p := w.NumProducts
 	sorted := append([]Batch(nil), batches...)
@@ -159,8 +165,11 @@ func Run(s *traffic.System, batches []Batch, T int, opts Options) (*Report, erro
 		if err != nil {
 			return rep, err
 		}
-		res, err := core.SolveScratch(se, wl, horizon, opts.Core, sc)
+		res, err := core.SolveScratch(ctx, se, wl, horizon, opts.Core, sc)
 		if err != nil {
+			if errors.Is(err, lp.ErrCanceled) {
+				return rep, fmt.Errorf("lifelong: run canceled in epoch at t=%d: %w", now, err)
+			}
 			// The epoch may be too short for the whole backlog; retry with a
 			// reduced target before giving up.
 			half := halve(wl.Units)
@@ -168,7 +177,7 @@ func Run(s *traffic.System, batches []Batch, T int, opts Options) (*Report, erro
 			if err2 != nil {
 				return rep, err
 			}
-			res, err = core.SolveScratch(se, wl2, horizon, opts.Core, sc)
+			res, err = core.SolveScratch(ctx, se, wl2, horizon, opts.Core, sc)
 			if err != nil {
 				return rep, fmt.Errorf("lifelong: epoch at t=%d failed: %w", now, err)
 			}

@@ -1,6 +1,7 @@
 package lifelong
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -10,7 +11,7 @@ import (
 
 func TestRunSingleBatchMatchesOneShot(t *testing.T) {
 	_, s := testmaps.MustRing()
-	rep, err := Run(s, []Batch{{Release: 0, Units: []int{10, 5}}}, 2400, Options{})
+	rep, err := Run(context.Background(), s, []Batch{{Release: 0, Units: []int{10, 5}}}, 2400, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestRunStaggeredBatches(t *testing.T) {
 		{Release: 900, Units: []int{0, 8}},
 		{Release: 1800, Units: []int{4, 4}},
 	}
-	rep, err := Run(s, batches, 4800, Options{})
+	rep, err := Run(context.Background(), s, batches, 4800, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestRunOnPaperMap(t *testing.T) {
 		{Release: 0, Units: units},
 		{Release: 2000, Units: units},
 	}
-	rep, err := Run(m.S, batches, 8000, Options{})
+	rep, err := Run(context.Background(), m.S, batches, 8000, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestRunChargesOneCycleTimePerEpoch(t *testing.T) {
 		{Release: 1800, Units: []int{4, 4}},
 	}
 	for _, strat := range []core.Strategy{core.RoutePacking, core.ContractILP} {
-		rep, err := Run(s, batches, 4800, Options{Core: core.Options{Strategy: strat}})
+		rep, err := Run(context.Background(), s, batches, 4800, Options{Core: core.Options{Strategy: strat}})
 		if err != nil {
 			t.Fatalf("%v: %v", strat, err)
 		}
@@ -128,13 +129,13 @@ func TestRunChargesOneCycleTimePerEpoch(t *testing.T) {
 
 func TestRunRejectsBadBatches(t *testing.T) {
 	_, s := testmaps.MustRing()
-	if _, err := Run(s, []Batch{{Release: 0, Units: []int{1}}}, 1000, Options{}); err == nil {
+	if _, err := Run(context.Background(), s, []Batch{{Release: 0, Units: []int{1}}}, 1000, Options{}); err == nil {
 		t.Error("short demand vector accepted")
 	}
-	if _, err := Run(s, []Batch{{Release: -1, Units: []int{1, 0}}}, 1000, Options{}); err == nil {
+	if _, err := Run(context.Background(), s, []Batch{{Release: -1, Units: []int{1, 0}}}, 1000, Options{}); err == nil {
 		t.Error("negative release accepted")
 	}
-	if _, err := Run(s, []Batch{{Release: 5000, Units: []int{1, 0}}}, 1000, Options{}); err == nil {
+	if _, err := Run(context.Background(), s, []Batch{{Release: 5000, Units: []int{1, 0}}}, 1000, Options{}); err == nil {
 		t.Error("release beyond horizon accepted")
 	}
 }
@@ -142,14 +143,14 @@ func TestRunRejectsBadBatches(t *testing.T) {
 func TestRunOverloadedHorizonFails(t *testing.T) {
 	_, s := testmaps.MustRing()
 	// 600 units through a capacity-2 ring in 600 steps is impossible.
-	if _, err := Run(s, []Batch{{Release: 0, Units: []int{300, 300}}}, 600, Options{}); err == nil {
+	if _, err := Run(context.Background(), s, []Batch{{Release: 0, Units: []int{300, 300}}}, 600, Options{}); err == nil {
 		t.Error("overloaded lifelong run reported success")
 	}
 }
 
 func TestRunNoBatches(t *testing.T) {
 	_, s := testmaps.MustRing()
-	rep, err := Run(s, nil, 1000, Options{})
+	rep, err := Run(context.Background(), s, nil, 1000, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,23 @@
+package lp
+
+import "errors"
+
+// Sentinel errors of the solver layer. They are the roots of the public
+// error taxonomy: every layer above (contracts, flow, core, the wsp facade)
+// wraps them with %w so errors.Is works end to end, and the wsp package
+// re-exports them as wsp.ErrCanceled / wsp.ErrBudgetExhausted.
+var (
+	// ErrCanceled reports that a solve was abandoned because its
+	// cancellation channel (ILPOptions.Cancel / SolveOptions.Cancel,
+	// normally a context's Done channel) fired. The cancellation check
+	// piggybacks on the MaxWork accounting tick, so a running solve
+	// returns within one pivot of the channel closing, and a solve that
+	// is never cancelled executes the exact same arithmetic as one with
+	// no channel installed.
+	ErrCanceled = errors.New("lp: solve canceled")
+
+	// ErrBudgetExhausted reports that a branch-and-bound search ran out
+	// of its deterministic node (MaxNodes) or work (MaxWork) budget
+	// before reaching a decision.
+	ErrBudgetExhausted = errors.New("lp: search budget exhausted")
+)

@@ -46,6 +46,13 @@ type ILPOptions struct {
 	// size). Answers are bit-identical either way. The float engine
 	// ignores it and always runs dense.
 	Simplex SimplexEngine
+	// Cancel, when non-nil, aborts the search as soon as the channel
+	// fires (normally a context's Done channel). The check piggybacks on
+	// the MaxWork accounting tick — once per pivot — so the pivot hot
+	// path stays unbranched between ticks, a cancelled search returns
+	// StatusCanceled within one tick, and an uncancelled search performs
+	// exactly the arithmetic it would with no channel installed.
+	Cancel <-chan struct{}
 }
 
 // arena is the engine surface branch-and-bound and the Model layer drive,
@@ -56,6 +63,8 @@ type arena[T any] interface {
 	prob() *Problem
 	startSearch(workBudget int64)
 	setWorkBudget(int64)
+	setCancel(<-chan struct{})
+	canceled() bool
 	solveNode(lo, hi []*big.Rat) Status
 	resolveModel(lo, hi []*big.Rat) Status
 	value(j int) T
@@ -106,6 +115,7 @@ func bbSolve[T any, A arith[T]](p *Problem, ar A, opts ILPOptions, revisedEngine
 // stay bit-identical to from-scratch ones while skipping the arena
 // (re)build.
 func bbSolveTableau[T any, A arith[T]](p *Problem, tb arena[T], ar A, opts ILPOptions) (*Solution, error) {
+	tb.setCancel(opts.Cancel)
 	tb.startSearch(opts.MaxWork) // cold root, as from a fresh arena
 	maxNodes := opts.MaxNodes
 	if maxNodes == 0 {
@@ -213,6 +223,12 @@ func bbSolveTableau[T any, A arith[T]](p *Problem, tb arena[T], ar A, opts ILPOp
 		stack = append(stack, nd.push(branch, false, ceil), nd.push(branch, true, fl))
 	}
 
+	if tb.canceled() {
+		// Cancellation trumps any incumbent: the caller walked away from
+		// the answer, so reporting a half-searched best would be
+		// indistinguishable from a completed solve.
+		return &Solution{Status: StatusCanceled}, nil
+	}
 	if best != nil {
 		return best, nil
 	}

@@ -141,12 +141,12 @@ func (mo *Model) ResolveWith(opts SolveOptions) (*Solution, error) {
 	if !mo.promoted {
 		var sol *Solution
 		var err error
-		if promote(func() { sol, err = resolveLP(mo, mo.arena64(rev)) }) {
+		if promote(func() { sol, err = resolveLP(mo, mo.arena64(rev), opts.Cancel) }) {
 			return sol, err
 		}
 		mo.dropRat64()
 	}
-	return resolveLP(mo, mo.arenaBig(rev))
+	return resolveLP(mo, mo.arenaBig(rev), opts.Cancel)
 }
 
 // ResolveILP solves the current program by branch and bound in the retained
@@ -170,12 +170,17 @@ func (mo *Model) ResolveILP(opts ILPOptions) (*Solution, error) {
 
 // resolveLP drives one LP solve over the given arena: declared bounds in,
 // warm or cold solve, Solution out.
-func resolveLP[T any](mo *Model, tb arena[T]) (*Solution, error) {
+func resolveLP[T any](mo *Model, tb arena[T], cancel <-chan struct{}) (*Solution, error) {
 	lo, hi := mo.declaredBounds()
+	tb.setCancel(cancel)
 	tb.setWorkBudget(0)
 	switch status := tb.resolveModel(lo, hi); status {
 	case StatusInfeasible, StatusUnbounded:
 		return &Solution{Status: status}, nil
+	case StatusLimit:
+		// Model LP solves carry no work budget; the tick can only have
+		// fired through the cancellation channel.
+		return &Solution{Status: StatusCanceled}, nil
 	}
 	return optimalSolution(tb), nil
 }
@@ -205,6 +210,11 @@ func (tb *tableau[T, A]) resolveModel(lo, hi []*big.Rat) Status {
 				// answer is canonical.
 			case dualInfeasible:
 				return StatusInfeasible
+			case dualBudget:
+				// Cancelled mid-reentry (Model LP solves carry no work
+				// budget): drop the mid-walk state and report promptly.
+				tb.warmOK, tb.basisOK = false, false
+				return StatusLimit
 			}
 			// dualStuck: anti-cycling cap hit; restart cold for certainty.
 		}
@@ -223,6 +233,9 @@ func (tb *tableau[T, A]) resolveModel(lo, hi []*big.Rat) Status {
 		case StatusUnbounded:
 			tb.warmOK, tb.basisOK = false, false
 			return StatusUnbounded
+		case StatusLimit:
+			tb.warmOK, tb.basisOK = false, false
+			return StatusLimit
 		}
 	}
 	tb.warmOK = false

@@ -134,6 +134,7 @@ const (
 	StatusInfeasible               // no assignment satisfies the constraints
 	StatusUnbounded                // objective can improve without limit
 	StatusLimit                    // ILP search hit its node limit before deciding
+	StatusCanceled                 // solve abandoned: the cancellation channel fired
 )
 
 func (s Status) String() string {
@@ -146,6 +147,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case StatusLimit:
 		return "limit"
+	case StatusCanceled:
+		return "canceled"
 	}
 	return "unknown"
 }

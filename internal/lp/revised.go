@@ -104,6 +104,10 @@ type revised[T any, A arith[T]] struct {
 	pr         pricer
 	work       int64
 	workBudget int64
+	// Cancellation channel and latch, as on the dense tableau: checked on
+	// the same per-pivot tick as the work budget.
+	cancelC     <-chan struct{}
+	cancelFired bool
 
 	// Solve scratch: FTRAN output in raw space, the same column gathered
 	// into basis-position space, the BTRAN cost vector, and the dual
@@ -188,7 +192,28 @@ func (rv *revised[T, A]) startSearch(workBudget int64) {
 
 func (rv *revised[T, A]) setWorkBudget(b int64) { rv.workBudget = b }
 
+// setCancel installs the cancellation channel for subsequent solves and
+// re-arms the latch, mirroring tableau.setCancel.
+func (rv *revised[T, A]) setCancel(c <-chan struct{}) {
+	rv.cancelC = c
+	rv.cancelFired = false
+}
+
+func (rv *revised[T, A]) canceled() bool { return rv.cancelFired }
+
+// exhausted reports budget exhaustion or cancellation, checked once per
+// pivot. The revised engine charges the same work units per pivot as the
+// dense elimination would, so budgeted AND cancelled searches stop at the
+// same tick across representations.
 func (rv *revised[T, A]) exhausted() bool {
+	if rv.cancelC != nil {
+		select {
+		case <-rv.cancelC:
+			rv.cancelFired = true
+			return true
+		default:
+		}
+	}
 	return rv.workBudget > 0 && rv.work >= rv.workBudget
 }
 
@@ -282,6 +307,11 @@ func (rv *revised[T, A]) resolveModel(lo, hi []*big.Rat) Status {
 				}
 			case dualInfeasible:
 				return StatusInfeasible
+			case dualBudget:
+				// Cancelled mid-reentry (Model LP solves carry no work
+				// budget): drop the mid-walk state and report promptly.
+				rv.warmOK, rv.basisOK = false, false
+				return StatusLimit
 			}
 			// dualStuck: restart cold for certainty.
 		}
@@ -296,6 +326,9 @@ func (rv *revised[T, A]) resolveModel(lo, hi []*big.Rat) Status {
 		case StatusUnbounded:
 			rv.warmOK, rv.basisOK = false, false
 			return StatusUnbounded
+		case StatusLimit:
+			rv.warmOK, rv.basisOK = false, false
+			return StatusLimit
 		}
 	}
 	rv.warmOK = false

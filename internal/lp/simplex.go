@@ -39,6 +39,10 @@ type SolveOptions struct {
 	// LU-factorized revised simplex. SimplexAuto selects by instance size.
 	// Answers are bit-identical either way.
 	Simplex SimplexEngine
+	// Cancel, when non-nil, aborts the solve when the channel fires; the
+	// solve then returns StatusCanceled. See ILPOptions.Cancel for the
+	// tick semantics.
+	Cancel <-chan struct{}
 }
 
 // SolveLPWith is SolveLP with explicit solve options.
@@ -46,10 +50,10 @@ func SolveLPWith(p *Problem, opts SolveOptions) (*Solution, error) {
 	rev := pickSimplex(p, opts.Simplex) == SimplexRevised
 	var sol *Solution
 	var err error
-	if promote(func() { sol, err = solveLPWith[rat64, rat64Arith](p, rat64Arith{}, rev) }) {
+	if promote(func() { sol, err = solveLPWith[rat64, rat64Arith](p, rat64Arith{}, rev, opts.Cancel) }) {
 		return sol, err
 	}
-	return solveLPWith[*big.Rat, ratArith](p, ratArith{}, rev)
+	return solveLPWith[*big.Rat, ratArith](p, ratArith{}, rev, opts.Cancel)
 }
 
 // SolveLPFloat solves the continuous relaxation of p with the float64
@@ -58,16 +62,17 @@ func SolveLPWith(p *Problem, opts SolveOptions) (*Solution, error) {
 // The float engine always runs the dense tableau (the revised engine would
 // reorder float operations and lose parity with the reference).
 func SolveLPFloat(p *Problem) (*Solution, error) {
-	return solveLPWith[float64, floatArith](p, floatArith{eps: defaultEps}, false)
+	return solveLPWith[float64, floatArith](p, floatArith{eps: defaultEps}, false, nil)
 }
 
-func solveLPWith[T any, A arith[T]](p *Problem, ar A, revisedEngine bool) (*Solution, error) {
+func solveLPWith[T any, A arith[T]](p *Problem, ar A, revisedEngine bool, cancel <-chan struct{}) (*Solution, error) {
 	var tb arena[T]
 	if revisedEngine {
 		tb = newRevised[T, A](p, ar)
 	} else {
 		tb = newTableau[T, A](p, ar)
 	}
+	tb.setCancel(cancel)
 	lo := make([]*big.Rat, len(p.Vars))
 	hi := make([]*big.Rat, len(p.Vars))
 	for i := range p.Vars {
@@ -78,6 +83,10 @@ func solveLPWith[T any, A arith[T]](p *Problem, ar A, revisedEngine bool) (*Solu
 	switch status {
 	case StatusInfeasible, StatusUnbounded:
 		return &Solution{Status: status}, nil
+	case StatusLimit:
+		// An LP solve has no work budget of its own; the only way to hit
+		// the tick is the cancellation channel.
+		return &Solution{Status: StatusCanceled}, nil
 	}
 	return optimalSolution(tb), nil
 }
@@ -157,6 +166,11 @@ type tableau[T any, A arith[T]] struct {
 	// the allowance from ILPOptions.MaxWork (0 = unlimited).
 	work       int64
 	workBudget int64
+	// cancelC aborts the solve when it fires; cancelFired latches the
+	// observation so status mapping can distinguish cancellation from
+	// budget exhaustion after the fact.
+	cancelC     <-chan struct{}
+	cancelFired bool
 }
 
 func newTableau[T any, A arith[T]](p *Problem, ar A) *tableau[T, A] {
@@ -243,6 +257,16 @@ func (tb *tableau[T, A]) startSearch(workBudget int64) {
 
 func (tb *tableau[T, A]) setWorkBudget(b int64) { tb.workBudget = b }
 
+// setCancel installs (or, with nil, removes) the cancellation channel for
+// subsequent solves and re-arms the latch; a retained arena serves many
+// solves, each under its own caller context.
+func (tb *tableau[T, A]) setCancel(c <-chan struct{}) {
+	tb.cancelC = c
+	tb.cancelFired = false
+}
+
+func (tb *tableau[T, A]) canceled() bool { return tb.cancelFired }
+
 // updateCost (re)derives the phase-2 minimization cost vector from the
 // problem's current objective. The maintained reduced-cost row still prices
 // the previous objective afterwards, so any dual-feasible warm state is
@@ -328,8 +352,19 @@ func (tb *tableau[T, A]) uniqueOptimum() bool {
 	return true
 }
 
-// exhausted reports whether the work budget has run out.
+// exhausted reports whether the work budget has run out or the solve has
+// been cancelled. It is checked once per pivot — the MaxWork accounting
+// tick — so the elimination hot path stays unbranched between ticks and a
+// cancelled solve stops within one pivot of the channel firing.
 func (tb *tableau[T, A]) exhausted() bool {
+	if tb.cancelC != nil {
+		select {
+		case <-tb.cancelC:
+			tb.cancelFired = true
+			return true
+		default:
+		}
+	}
 	return tb.workBudget > 0 && tb.work >= tb.workBudget
 }
 

@@ -2,6 +2,7 @@ package mapf
 
 import (
 	"container/heap"
+	"fmt"
 
 	"repro/internal/grid"
 )
@@ -211,7 +212,7 @@ func planPath(p planParams) (Path, error) {
 			return extractPath(node), nil
 		}
 		if *p.budget <= 0 {
-			return nil, ErrExpansionLimit
+			return nil, fmt.Errorf("mapf: low-level search budget spent: %w", ErrExpansionLimit)
 		}
 		*p.budget--
 		if int(node.state.t) >= p.horizon {

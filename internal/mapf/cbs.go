@@ -206,7 +206,7 @@ func ecbs(g *grid.Grid, starts []grid.VertexID, goals [][]grid.VertexID, lim Lim
 			return sol, nil
 		}
 		if budget <= 0 {
-			return sol, ErrExpansionLimit
+			return sol, fmt.Errorf("mapf: high-level search budget spent on %d conflicts: %w", sol.HighLevelNodes, ErrExpansionLimit)
 		}
 		// Branch: forbid the conflict for each involved agent in turn.
 		for _, side := range [2]struct {

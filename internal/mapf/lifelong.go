@@ -78,7 +78,7 @@ func IteratedECBS(g *grid.Grid, starts []grid.VertexID, goals [][]grid.VertexID,
 			return total, err
 		}
 		if budget <= 0 {
-			return total, ErrExpansionLimit
+			return total, fmt.Errorf("mapf: iterated window budget spent after %d expansions: %w", total.Expansions, ErrExpansionLimit)
 		}
 		// Execute the first `window` steps.
 		for i, p := range sol.Paths {

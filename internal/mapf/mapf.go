@@ -19,6 +19,7 @@
 package mapf
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/grid"
@@ -131,6 +132,8 @@ func (l Limits) horizon(g *grid.Grid) int {
 	return l.Horizon
 }
 
-// ErrExpansionLimit is returned when a planner exhausts its search budget —
-// the "failed to terminate" outcome the paper reports for the baseline.
-var ErrExpansionLimit = fmt.Errorf("mapf: expansion limit exhausted")
+// ErrExpansionLimit is the sentinel for a planner exhausting its search
+// budget — the "failed to terminate" outcome the paper reports for the
+// baseline. Planners return it wrapped with %w and stage context; classify
+// with errors.Is(err, ErrExpansionLimit), never by equality or message.
+var ErrExpansionLimit = errors.New("mapf: expansion limit exhausted")

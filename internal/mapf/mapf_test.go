@@ -1,6 +1,7 @@
 package mapf
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/grid"
@@ -151,7 +152,15 @@ func TestExpansionLimit(t *testing.T) {
 	goals := [][]grid.VertexID{{at(g, 4, 4)}, {at(g, 0, 0)}, {at(g, 4, 0)}, {at(g, 0, 4)}}
 	_, err := CBS(g, starts, goals, Limits{MaxExpansions: 5})
 	if err == nil {
-		t.Error("tiny budget did not abort")
+		t.Fatal("tiny budget did not abort")
+	}
+	// The budget verdict is the wrapped sentinel, classified by errors.Is —
+	// never by equality (returns carry stage context via %w).
+	if !errors.Is(err, ErrExpansionLimit) {
+		t.Errorf("budget error %v does not classify as ErrExpansionLimit", err)
+	}
+	if err == ErrExpansionLimit { //nolint:errorlint // asserting wrapping happened
+		t.Error("budget error returned bare; want it wrapped with stage context")
 	}
 }
 

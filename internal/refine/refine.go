@@ -14,10 +14,13 @@
 package refine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/cycles"
+	"repro/internal/lp"
 	"repro/internal/traffic"
 	"repro/internal/warehouse"
 )
@@ -108,7 +111,11 @@ type HorizonResult struct {
 // recompiling the contract system per probe. Probe outcomes are
 // bit-identical to scratchless core.Solve calls, so the search trajectory
 // and result are unchanged.
-func MinimalHorizon(s *traffic.System, wl warehouse.Workload, T int, opts core.Options) (*HorizonResult, error) {
+//
+// Cancelling ctx aborts the probe in flight and returns an error wrapping
+// lp.ErrCanceled; an infeasible probe (any other error) just narrows the
+// search window.
+func MinimalHorizon(ctx context.Context, s *traffic.System, wl warehouse.Workload, T int, opts core.Options) (*HorizonResult, error) {
 	lo := s.CycleTime()
 	hi := T
 	if lo > hi {
@@ -116,15 +123,21 @@ func MinimalHorizon(s *traffic.System, wl warehouse.Workload, T int, opts core.O
 	}
 	probes := 0
 	sc := &core.Scratch{}
-	solve := func(t int) *core.Result {
+	solve := func(t int) (*core.Result, error) {
 		probes++
-		res, err := core.SolveScratch(s, wl, t, opts, sc)
+		res, err := core.SolveScratch(ctx, s, wl, t, opts, sc)
 		if err != nil {
-			return nil
+			if errors.Is(err, lp.ErrCanceled) {
+				return nil, fmt.Errorf("refine: horizon search canceled at probe %d: %w", probes, err)
+			}
+			return nil, nil // infeasible probe: a search datum, not a failure
 		}
-		return res
+		return res, nil
 	}
-	best := solve(hi)
+	best, err := solve(hi)
+	if err != nil {
+		return nil, err
+	}
 	if best == nil {
 		return nil, fmt.Errorf("refine: instance unsolvable at the initial horizon %d", T)
 	}
@@ -139,7 +152,11 @@ func MinimalHorizon(s *traffic.System, wl warehouse.Workload, T int, opts core.O
 	}
 	for lo < bestT {
 		mid := lo + (bestT-lo)/2
-		if res := solve(mid); res != nil {
+		res, err := solve(mid)
+		if err != nil {
+			return nil, err
+		}
+		if res != nil {
 			best, bestT = res, mid
 			if sa := res.Sim.ServicedAt; sa > lo {
 				lo = sa

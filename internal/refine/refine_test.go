@@ -1,6 +1,7 @@
 package refine
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/agentplan"
@@ -80,11 +81,11 @@ func TestMinimalHorizonShrinks(t *testing.T) {
 		t.Fatal(err)
 	}
 	const T = 2400
-	base, err := core.Solve(s, wl, T, core.Options{})
+	base, err := core.Solve(context.Background(), s, wl, T, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	hr, err := MinimalHorizon(s, wl, T, core.Options{})
+	hr, err := MinimalHorizon(context.Background(), s, wl, T, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestMinimalHorizonContractILP(t *testing.T) {
 		t.Fatal(err)
 	}
 	const T = 1600
-	hr, err := MinimalHorizon(s, wl, T, core.Options{Strategy: core.ContractILP})
+	hr, err := MinimalHorizon(context.Background(), s, wl, T, core.Options{Strategy: core.ContractILP})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,14 +140,14 @@ func TestMinimalHorizonErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Unsolvable at this horizon at all.
-	if _, err := MinimalHorizon(s, wl, 120, core.Options{}); err == nil {
+	if _, err := MinimalHorizon(context.Background(), s, wl, 120, core.Options{}); err == nil {
 		t.Error("unsolvable instance accepted")
 	}
 	wl2, _ := warehouse.NewWorkload(w, []int{1, 0})
-	if _, err := MinimalHorizon(s, wl2, 5, core.Options{}); err == nil {
+	if _, err := MinimalHorizon(context.Background(), s, wl2, 5, core.Options{}); err == nil {
 		t.Error("horizon below a cycle period accepted")
 	}
-	if _, err := MinimalHorizon(s, wl2, 800, core.Options{SkipRealization: true}); err == nil {
+	if _, err := MinimalHorizon(context.Background(), s, wl2, 800, core.Options{SkipRealization: true}); err == nil {
 		t.Error("SkipRealization accepted")
 	}
 }

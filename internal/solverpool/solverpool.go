@@ -12,12 +12,15 @@
 package solverpool
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/lp"
 	"repro/internal/traffic"
 	"repro/internal/warehouse"
 )
@@ -58,14 +61,20 @@ func (p *Pool) Workers() int { return p.workers }
 // most Workers() solves run concurrently; each worker owns a core.Scratch
 // that is reused across all requests it drains, so the synthesis hot path
 // allocates per worker, not per request.
-func (p *Pool) SolveBatch(reqs []Request) []Result {
+//
+// Cancelling ctx aborts in-flight solves (within one LP work-budget tick)
+// and fails every not-yet-started request fast; the pool still drains the
+// whole batch — every Result slot is filled, workers exit, and no
+// goroutine outlives the call. Cancelled slots carry an error wrapping
+// lp.ErrCanceled.
+func (p *Pool) SolveBatch(ctx context.Context, reqs []Request) []Result {
 	results := make([]Result, len(reqs))
 	n := p.workers
 	if n > len(reqs) {
 		n = len(reqs)
 	}
 	if n <= 1 {
-		solveRange(reqs, results, new(atomic.Int64))
+		solveRange(ctx, reqs, results, new(atomic.Int64))
 		return results
 	}
 	var next atomic.Int64
@@ -74,7 +83,7 @@ func (p *Pool) SolveBatch(reqs []Request) []Result {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			solveRange(reqs, results, &next)
+			solveRange(ctx, reqs, results, &next)
 		}()
 	}
 	wg.Wait()
@@ -82,22 +91,28 @@ func (p *Pool) SolveBatch(reqs []Request) []Result {
 }
 
 // solveRange drains requests by atomic index, reusing one scratch for every
-// request this worker handles.
-func solveRange(reqs []Request, results []Result, next *atomic.Int64) {
+// request this worker handles. Once ctx is cancelled the remaining indices
+// drain without solving, so the batch always completes with every slot
+// filled.
+func solveRange(ctx context.Context, reqs []Request, results []Result, next *atomic.Int64) {
 	sc := &core.Scratch{}
 	for {
 		i := int(next.Add(1)) - 1
 		if i >= len(reqs) {
 			return
 		}
+		if err := ctx.Err(); err != nil {
+			results[i] = Result{Err: fmt.Errorf("solverpool: request %d canceled before solving: %w", i, lp.ErrCanceled)}
+			continue
+		}
 		start := time.Now()
-		res, err := core.SolveScratch(reqs[i].S, reqs[i].WL, reqs[i].T, reqs[i].Opts, sc)
+		res, err := core.SolveScratch(ctx, reqs[i].S, reqs[i].WL, reqs[i].T, reqs[i].Opts, sc)
 		results[i] = Result{Res: res, Err: err, Elapsed: time.Since(start)}
 	}
 }
 
 // SolveBatch solves reqs on a fresh pool of the given width (<= 0 selects
 // GOMAXPROCS) — the one-call form of Pool.SolveBatch.
-func SolveBatch(reqs []Request, workers int) []Result {
-	return New(workers).SolveBatch(reqs)
+func SolveBatch(ctx context.Context, reqs []Request, workers int) []Result {
+	return New(workers).SolveBatch(ctx, reqs)
 }

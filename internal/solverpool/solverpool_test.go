@@ -1,10 +1,14 @@
 package solverpool
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/lp"
 	"repro/internal/maps"
 	"repro/internal/testmaps"
 	"repro/internal/warehouse"
@@ -48,14 +52,14 @@ func TestSolveBatchMatchesSequential(t *testing.T) {
 
 	want := make([]*core.Result, len(reqs))
 	for i, r := range reqs {
-		res, err := core.Solve(r.S, r.WL, r.T, r.Opts)
+		res, err := core.Solve(context.Background(), r.S, r.WL, r.T, r.Opts)
 		if err != nil {
 			t.Fatalf("sequential solve %d: %v", i, err)
 		}
 		want[i] = res
 	}
 
-	got := SolveBatch(reqs, 4)
+	got := SolveBatch(context.Background(), reqs, 4)
 	if len(got) != len(reqs) {
 		t.Fatalf("SolveBatch returned %d results for %d requests", len(got), len(reqs))
 	}
@@ -108,14 +112,14 @@ func TestContractModelReuseMatchesScratchless(t *testing.T) {
 
 	want := make([]*core.Result, len(reqs))
 	for i, r := range reqs {
-		res, err := core.Solve(r.S, r.WL, r.T, r.Opts)
+		res, err := core.Solve(context.Background(), r.S, r.WL, r.T, r.Opts)
 		if err != nil {
 			t.Fatalf("scratchless solve %d: %v", i, err)
 		}
 		want[i] = res
 	}
 	for _, workers := range []int{1, 4} {
-		got := SolveBatch(reqs, workers)
+		got := SolveBatch(context.Background(), reqs, workers)
 		for i, g := range got {
 			if g.Err != nil {
 				t.Fatalf("workers=%d request %d: %v", workers, i, g.Err)
@@ -152,7 +156,7 @@ func TestPoolWidths(t *testing.T) {
 	good := Request{S: m.S, WL: wl, T: 3600, Opts: core.Options{SkipRealization: true}}
 	bad := Request{S: m.S, WL: wl, T: 1} // horizon shorter than one cycle period
 	for _, workers := range []int{1, 2, 8} {
-		got := SolveBatch([]Request{good, bad, good}, workers)
+		got := SolveBatch(context.Background(), []Request{good, bad, good}, workers)
 		if got[0].Err != nil || got[2].Err != nil {
 			t.Fatalf("workers=%d: good requests failed: %v %v", workers, got[0].Err, got[2].Err)
 		}
@@ -163,4 +167,64 @@ func TestPoolWidths(t *testing.T) {
 			t.Fatalf("workers=%d: missing cycle sets", workers)
 		}
 	}
+}
+
+// TestSolveBatchCancelDrains pins the cancellation contract: cancelling the
+// batch context mid-drain still fills EVERY result slot (no zero-value
+// "successes" with a nil Res), workers exit (SolveBatch returns), and the
+// cancelled slots classify as lp.ErrCanceled via errors.Is. Run under
+// -race this also proves cancellation introduces no worker/result races.
+func TestSolveBatchCancelDrains(t *testing.T) {
+	m, err := maps.SortingCenter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.Uniform(m.W, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{S: m.S, WL: wl, T: 3600}
+
+	t.Run("pre-canceled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		got := SolveBatch(ctx, []Request{req, req, req, req}, 2)
+		for i, g := range got {
+			if g.Err == nil {
+				t.Fatalf("slot %d: nil error from cancelled batch (Res=%v)", i, g.Res)
+			}
+			if !errors.Is(g.Err, lp.ErrCanceled) {
+				t.Errorf("slot %d: %v does not classify as ErrCanceled", i, g.Err)
+			}
+		}
+	})
+
+	t.Run("mid-batch", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		reqs := make([]Request, 16)
+		for i := range reqs {
+			reqs[i] = req
+		}
+		done := make(chan []Result, 1)
+		go func() { done <- SolveBatch(ctx, reqs, 4) }()
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+		var got []Result
+		select {
+		case got = <-done:
+		case <-time.After(60 * time.Second):
+			t.Fatal("cancelled batch did not drain within 60s")
+		}
+		if len(got) != len(reqs) {
+			t.Fatalf("drained %d of %d slots", len(got), len(reqs))
+		}
+		for i, g := range got {
+			switch {
+			case g.Err == nil && g.Res != nil: // finished before the cancel
+			case g.Err != nil && errors.Is(g.Err, lp.ErrCanceled): // cancelled
+			default:
+				t.Errorf("slot %d: unexpected outcome Res=%v Err=%v", i, g.Res, g.Err)
+			}
+		}
+	})
 }

@@ -1,6 +1,7 @@
 package wspio
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -44,7 +45,7 @@ func TestRoundTripRing(t *testing.T) {
 		}
 	}
 	// The decoded instance must solve like the original.
-	res, err := core.Solve(s2, *wl2, 800, core.Options{})
+	res, err := core.Solve(context.Background(), s2, *wl2, 800, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestRoundTripPaperMap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Solve(s2, *wl2, inst2.T, core.Options{})
+	res, err := core.Solve(context.Background(), s2, *wl2, inst2.T, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

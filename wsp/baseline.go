@@ -1,0 +1,25 @@
+package wsp
+
+import "repro/internal/mapf"
+
+// MAPF baseline planners (§V's Iterated ECBS comparison). These are the
+// paper's baseline, re-exported so benchmark programs can compare the
+// contract pipeline against direct multi-agent pathfinding without
+// reaching into internal packages.
+
+type (
+	// MAPFSolution is a set of collision-free paths plus search effort
+	// counters.
+	MAPFSolution = mapf.Solution
+	// MAPFLimits bounds a MAPF search (expansions, horizon).
+	MAPFLimits = mapf.Limits
+	// IteratedOptions tunes IteratedECBS (window, suboptimality, limits).
+	IteratedOptions = mapf.IteratedOptions
+)
+
+// IteratedECBS runs windowed Enhanced CBS through each agent's goal
+// sequence — the lifelong MAPF baseline. A planner that exhausts its
+// budget returns an error wrapping ErrExpansionLimit.
+func IteratedECBS(g *Grid, starts []VertexID, goals [][]VertexID, opts IteratedOptions) (*MAPFSolution, error) {
+	return mapf.IteratedECBS(g, starts, goals, opts)
+}

@@ -1,0 +1,63 @@
+package wsp
+
+import (
+	"repro/internal/flow"
+	"repro/internal/lp"
+	"repro/internal/mapf"
+)
+
+// The error taxonomy of API v1. Every error the package returns wraps (via
+// %w, at every internal layer) exactly one of these sentinels when the
+// corresponding condition holds, so errors.Is classifies failures without
+// string matching:
+//
+//	res, err := solver.Solve(ctx, inst)
+//	switch {
+//	case errors.Is(err, wsp.ErrCanceled):        // ctx fired mid-solve
+//	case errors.Is(err, wsp.ErrInfeasible):      // no flow set exists
+//	case errors.Is(err, wsp.ErrHorizonTooShort): // T below one cycle period
+//	case errors.Is(err, wsp.ErrBudgetExhausted): // search undecided in budget
+//	}
+var (
+	// ErrInfeasible: no agent flow set services the workload within the
+	// instance's horizon. Use errors.As with *InfeasibleError to read the
+	// admission certificate that distinguishes a sound LP-relaxation
+	// proof from an exhausted integral search.
+	ErrInfeasible = flow.ErrInfeasible
+
+	// ErrHorizonTooShort: the horizon is below one traffic-system cycle
+	// period — too short to host a single agent cycle.
+	ErrHorizonTooShort = flow.ErrHorizonTooShort
+
+	// ErrBudgetExhausted: the ILP search ran out of its deterministic
+	// node or work budget (WithWorkBudget / WithNodeBudget) before
+	// deciding.
+	ErrBudgetExhausted = lp.ErrBudgetExhausted
+
+	// ErrCanceled: the context was cancelled and the solve was abandoned
+	// — inside the LP search, within one work-budget accounting tick.
+	ErrCanceled = lp.ErrCanceled
+
+	// ErrExpansionLimit: a MAPF baseline planner (IteratedECBS) exhausted
+	// its search budget — the "failed to terminate" outcome the paper
+	// reports for the baseline.
+	ErrExpansionLimit = mapf.ErrExpansionLimit
+)
+
+// InfeasibleError is the concrete infeasibility verdict behind
+// ErrInfeasible; it carries the flow.Admit certificate.
+type InfeasibleError = flow.InfeasibleError
+
+// Certificate classifies an admission check (see Admit outcomes).
+type Certificate = flow.Certificate
+
+// Admission certificates carried by InfeasibleError.
+const (
+	// CertInfeasible: the LP relaxation of the contract conjunction is
+	// infeasible — a sound proof that no agent flow set (integral or
+	// not) services the workload in the horizon.
+	CertInfeasible = flow.CertInfeasible
+	// CertMaybeFeasible: the relaxation is satisfiable; only the
+	// integral search failed (or was not run).
+	CertMaybeFeasible = flow.CertMaybeFeasible
+)

@@ -1,0 +1,65 @@
+package wsp
+
+import (
+	"fmt"
+
+	"repro/internal/maps"
+	"repro/internal/wspio"
+)
+
+// Evaluation maps and instance I/O.
+
+type (
+	// Map bundles a warehouse with its co-designed traffic system.
+	Map = maps.Map
+	// MapParams parameterizes the warehouse generator (stripes, corridor
+	// width, component-length cap, products, stock, stations).
+	MapParams = maps.Params
+	// InstanceFile is the JSON-serializable form of a WSP instance.
+	InstanceFile = wspio.Instance
+)
+
+// Fulfillment1 builds the paper's Fulfillment 1 evaluation map.
+func Fulfillment1() (*Map, error) { return maps.Fulfillment1() }
+
+// Fulfillment2 builds the paper's Fulfillment 2 evaluation map.
+func Fulfillment2() (*Map, error) { return maps.Fulfillment2() }
+
+// SortingCenter builds the paper's sorting-center evaluation map (§V).
+func SortingCenter() (*Map, error) { return maps.SortingCenter() }
+
+// BuiltinMap resolves an evaluation map by name: "fulfillment1",
+// "fulfillment2", or "sorting".
+func BuiltinMap(name string) (*Map, error) {
+	switch name {
+	case "fulfillment1":
+		return Fulfillment1()
+	case "fulfillment2":
+		return Fulfillment2()
+	case "sorting":
+		return SortingCenter()
+	}
+	return nil, fmt.Errorf("wsp: unknown map %q (want fulfillment1, fulfillment2, or sorting)", name)
+}
+
+// GenerateMap builds a parametric warehouse plus traffic system — the
+// co-design generator behind the Fig. 5 sweep.
+func GenerateMap(p MapParams) (*Map, error) { return maps.Generate(p) }
+
+// EncodeInstance converts a built instance into its serializable form
+// (wl may be nil for a map-only file).
+func EncodeInstance(s *System, wl *Workload, T int, name string) (*InstanceFile, error) {
+	return wspio.Encode(s, wl, T, name)
+}
+
+// DecodeInstance rebuilds the traffic system and workload from a
+// serialized instance.
+func DecodeInstance(inst *InstanceFile) (*System, *Workload, error) {
+	return wspio.Decode(inst)
+}
+
+// MarshalInstance renders an instance file as JSON.
+func MarshalInstance(inst *InstanceFile) ([]byte, error) { return wspio.Marshal(inst) }
+
+// UnmarshalInstance parses an instance file from JSON.
+func UnmarshalInstance(data []byte) (*InstanceFile, error) { return wspio.Unmarshal(data) }

@@ -1,0 +1,246 @@
+package wsp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// tinyMap generates the smallest contract-expressible topology (one
+// stripe, two products) used across the facade tests.
+func tinyMap(t *testing.T) *Map {
+	t.Helper()
+	m, err := GenerateMap(MapParams{
+		Stripes: 1, Rows: 2, BayWidth: 12, CorridorWidth: 2,
+		MaxComponentLen: 6, DoubleShelfRows: true,
+		NumProducts: 2, UnitsPerShelf: 30, StationsPerStripe: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// midMap is a mid-size topology whose exact contract solve runs long
+// enough to cancel into (and to exhaust default budgets).
+func midMap(t *testing.T) *Map {
+	t.Helper()
+	m, err := GenerateMap(MapParams{
+		Stripes: 2, Rows: 2, BayWidth: 12, CorridorWidth: 2,
+		MaxComponentLen: 6, DoubleShelfRows: true,
+		NumProducts: 8, UnitsPerShelf: 30, StationsPerStripe: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func tinyInstance(t *testing.T, m *Map, units, T int) Instance {
+	t.Helper()
+	wl, err := UniformWorkload(m.W, units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Instance{System: m.S, Workload: wl, Horizon: T}
+}
+
+// TestSolveAndBatchAgree pins the facade's bit-identity surface: a batch
+// of identical instances over the pool returns exactly what individual
+// Solve calls return.
+func TestSolveAndBatchAgree(t *testing.T) {
+	m := tinyMap(t)
+	inst := tinyInstance(t, m, 12, 800)
+	solver := New(WithStrategy(ContractILP), WithExact(true), WithParallel(2))
+	ctx := context.Background()
+
+	want, err := solver.Solve(ctx, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range solver.SolveBatch(ctx, []Instance{inst, inst, inst}) {
+		if r.Err != nil {
+			t.Fatalf("batch slot %d: %v", i, r.Err)
+		}
+		if r.Res.Sim.ServicedAt != want.Sim.ServicedAt || r.Res.Stats.Agents != want.Stats.Agents {
+			t.Errorf("batch slot %d: (serviced %d, agents %d) differs from Solve (%d, %d)",
+				i, r.Res.Sim.ServicedAt, r.Res.Stats.Agents, want.Sim.ServicedAt, want.Stats.Agents)
+		}
+	}
+}
+
+// TestErrorTaxonomy drives each sentinel of the public taxonomy through a
+// real solve and classifies it with errors.Is/As — no string matching.
+func TestErrorTaxonomy(t *testing.T) {
+	ctx := context.Background()
+	m := tinyMap(t)
+
+	t.Run("horizon-too-short", func(t *testing.T) {
+		solver := New(WithStrategy(ContractILP))
+		_, err := solver.Solve(ctx, tinyInstance(t, m, 12, 5))
+		if !errors.Is(err, ErrHorizonTooShort) {
+			t.Fatalf("%v does not classify as ErrHorizonTooShort", err)
+		}
+	})
+
+	t.Run("infeasible-with-certificate", func(t *testing.T) {
+		// T=40 hosts at least one cycle period but the LP relaxation of
+		// the contract conjunction is infeasible: the admission check
+		// fails with the sound certificate attached.
+		solver := New(WithStrategy(ContractILP), WithAdmissionCheck(true))
+		_, err := solver.Solve(ctx, tinyInstance(t, m, 60, 40))
+		if !errors.Is(err, ErrInfeasible) {
+			t.Fatalf("%v does not classify as ErrInfeasible", err)
+		}
+		var ie *InfeasibleError
+		if !errors.As(err, &ie) {
+			t.Fatalf("%v does not expose *InfeasibleError", err)
+		}
+		if ie.Cert != CertInfeasible {
+			t.Errorf("certificate %v, want CertInfeasible", ie.Cert)
+		}
+	})
+
+	t.Run("infeasible-integral-search", func(t *testing.T) {
+		// The same demand without the admission gate: the integral search
+		// proves the conjunction unsatisfiable; the certificate records
+		// that the relaxation was NOT the proof.
+		solver := New(WithStrategy(ContractILP), WithMaxAttempts(1))
+		_, err := solver.Solve(ctx, tinyInstance(t, m, 60, 40))
+		if !errors.Is(err, ErrInfeasible) {
+			t.Fatalf("%v does not classify as ErrInfeasible", err)
+		}
+		var ie *InfeasibleError
+		if !errors.As(err, &ie) {
+			t.Fatalf("%v does not expose *InfeasibleError", err)
+		}
+	})
+
+	t.Run("budget-exhausted", func(t *testing.T) {
+		mm := midMap(t)
+		solver := New(WithStrategy(ContractILP), WithExact(true), WithMaxAttempts(1))
+		_, err := solver.Solve(ctx, tinyInstance(t, mm, 120, 3600))
+		if !errors.Is(err, ErrBudgetExhausted) {
+			t.Fatalf("%v does not classify as ErrBudgetExhausted", err)
+		}
+	})
+
+	t.Run("canceled-before-start", func(t *testing.T) {
+		cctx, cancel := context.WithCancel(ctx)
+		cancel()
+		solver := New(WithStrategy(ContractILP), WithExact(true))
+		_, err := solver.Solve(cctx, tinyInstance(t, m, 12, 800))
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("%v does not classify as ErrCanceled", err)
+		}
+	})
+}
+
+// TestSolveCanceledMidILP is the acceptance path: cancelling an exact ILP
+// solve mid-branch-and-bound returns ErrCanceled promptly (the check rides
+// the MaxWork accounting tick), and the same Solver — whose pooled scratch
+// retains the compiled contract model the cancelled solve was using —
+// serves the next solve normally.
+func TestSolveCanceledMidILP(t *testing.T) {
+	m := midMap(t)
+	inst := tinyInstance(t, m, 120, 3600)
+	// Budgets lifted far beyond the ~10^9 work units the instance consumes
+	// before exhausting the DEFAULT budget (~200ms): uncancelled this
+	// search grinds for a very long time, so a prompt return is the
+	// cancellation path, not a finished solve.
+	solver := New(WithStrategy(ContractILP), WithExact(true), WithMaxAttempts(1),
+		WithWorkBudget(1<<50), WithNodeBudget(1<<30))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := solver.Solve(ctx, inst)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("%v does not classify as ErrCanceled", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("cancelled solve did not return within 60s")
+	}
+
+	// The Solver (and its recycled scratch) must remain usable: a small
+	// feasible instance on the tiny topology solves fine afterwards.
+	tm := tinyMap(t)
+	res, err := solver.Solve(context.Background(), tinyInstance(t, tm, 12, 800))
+	if err != nil {
+		t.Fatalf("solve after cancellation: %v", err)
+	}
+	if res.Sim.ServicedAt < 0 {
+		t.Fatal("post-cancel solve returned an unserviced plan")
+	}
+}
+
+// TestMinimalHorizonViaFacade smoke-tests the refinement entry point and
+// its cancellation classification.
+func TestMinimalHorizonViaFacade(t *testing.T) {
+	m := tinyMap(t)
+	inst := tinyInstance(t, m, 12, 800)
+	solver := New(WithStrategy(ContractILP))
+	hr, err := solver.MinimalHorizon(context.Background(), inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.T > inst.Horizon || hr.Result == nil {
+		t.Fatalf("refined horizon %d invalid (initial %d)", hr.T, inst.Horizon)
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := solver.MinimalHorizon(cctx, inst); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("%v does not classify as ErrCanceled", err)
+	}
+}
+
+// TestSweepCanceledReturnsCompletedCells pins Sweep's partial-result
+// contract: a cancelled walk returns the cells completed so far plus a
+// classified error, never a truncated mystery.
+func TestSweepCanceledReturnsCompletedCells(t *testing.T) {
+	solver := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cells, err := solver.Sweep(ctx, SweepSpec{
+		Corridors: []int{2}, Lens: []int{6},
+		Stripes: 1, Products: 2, Units: 12, Points: 1, Horizon: 800,
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("%v does not classify as ErrCanceled", err)
+	}
+	if len(cells) != 0 {
+		t.Fatalf("pre-cancelled sweep returned %d cells", len(cells))
+	}
+}
+
+// TestConfigResolution pins the option → config mapping the facade
+// documents.
+func TestConfigResolution(t *testing.T) {
+	s := New(
+		WithStrategy(SequentialFlows),
+		WithExact(true),
+		WithSimplex(SimplexRevised),
+		WithAdmissionCheck(true),
+		WithSkipRealization(true),
+		WithMaxAttempts(5),
+		WithWorkBudget(123),
+		WithNodeBudget(45),
+		WithParallel(7),
+	)
+	got := s.Config()
+	want := Config{
+		Strategy: SequentialFlows, Exact: true, Simplex: SimplexRevised,
+		AdmissionCheck: true, SkipRealization: true, MaxAttempts: 5,
+		WorkBudget: 123, NodeBudget: 45, Parallel: 7,
+	}
+	if got != want {
+		t.Fatalf("config %+v, want %+v", got, want)
+	}
+}

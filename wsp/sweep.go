@@ -1,0 +1,123 @@
+package wsp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// SweepSpec describes a co-design grid walk in the style of the paper's
+// Fig. 5: corridor width × component-length cap, each generated topology
+// evaluated against a rising series of workload levels.
+type SweepSpec struct {
+	// Corridors lists the corridor widths to walk (also sets aisle rows).
+	Corridors []int
+	// Lens lists the component-length caps to walk.
+	Lens []int
+	// Stripes and Products parameterize each generated topology.
+	Stripes  int
+	Products int
+	// Units is the total demand at the top workload level; Points levels
+	// are evaluated at units·i/points, i = 1..Points.
+	Units  int
+	Points int
+	// Horizon is the timestep budget per evaluation.
+	Horizon int
+}
+
+func (sp SweepSpec) validate() error {
+	if len(sp.Corridors) == 0 || len(sp.Lens) == 0 {
+		return fmt.Errorf("wsp: sweep needs at least one corridor width and one length cap")
+	}
+	if sp.Points < 1 {
+		return fmt.Errorf("wsp: sweep points %d must be at least 1", sp.Points)
+	}
+	// units ≥ points keeps the level series units·i/points positive and
+	// strictly increasing (each step adds at least one unit).
+	if sp.Units < sp.Points {
+		return fmt.Errorf("wsp: sweep units %d must be at least points %d", sp.Units, sp.Points)
+	}
+	return nil
+}
+
+// SweepPoint is one (topology, workload level) evaluation. An infeasible
+// design point is an expected sweep outcome: Err is set and Result nil.
+type SweepPoint struct {
+	Units   int
+	Result  *Result
+	Err     error
+	Elapsed time.Duration
+}
+
+// SweepCell is one topology of the grid with its evaluated level series.
+type SweepCell struct {
+	Corridor int
+	MaxLen   int
+	Stats    TrafficStats
+	Points   []SweepPoint
+}
+
+// Sweep walks the co-design grid. Every topology's level series runs as
+// one SolveBatch over the Solver's worker pool, so a worker's synthesis
+// scratch is reused across the series. Cancelling ctx stops the walk at a
+// topology boundary (in-flight evaluations abort within one work-budget
+// tick): the completed cells are returned alongside an error wrapping
+// ErrCanceled, so callers can flush partial results instead of losing the
+// grid walked so far.
+func (s *Solver) Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	var cells []SweepCell
+	for _, v := range spec.Corridors {
+		for _, l := range spec.Lens {
+			if err := ctx.Err(); err != nil {
+				return cells, fmt.Errorf("wsp: sweep canceled after %d topologies: %w", len(cells), ErrCanceled)
+			}
+			m, err := GenerateMap(MapParams{
+				Stripes: spec.Stripes, Rows: v, BayWidth: 12, CorridorWidth: v,
+				MaxComponentLen: l, DoubleShelfRows: true,
+				NumProducts: spec.Products, UnitsPerShelf: 30, StationsPerStripe: 1,
+			})
+			if err != nil {
+				return cells, fmt.Errorf("wsp: sweep V=%d L=%d: %w", v, l, err)
+			}
+			insts := make([]Instance, 0, spec.Points)
+			levels := make([]int, 0, spec.Points)
+			for i := 1; i <= spec.Points; i++ {
+				u := spec.Units * i / spec.Points
+				wl, err := UniformWorkload(m.W, u)
+				if err != nil {
+					return cells, fmt.Errorf("wsp: sweep V=%d L=%d units=%d: %w", v, l, u, err)
+				}
+				levels = append(levels, u)
+				insts = append(insts, Instance{System: m.S, Workload: wl, Horizon: spec.Horizon})
+			}
+			cell := SweepCell{Corridor: v, MaxLen: l, Stats: SummarizeTraffic(m.S)}
+			hit := false
+			for i, r := range s.SolveBatch(ctx, insts) {
+				if r.Err != nil && errors.Is(r.Err, ErrCanceled) {
+					hit = true
+				}
+				cell.Points = append(cell.Points, SweepPoint{
+					Units: levels[i], Result: r.Res, Err: r.Err, Elapsed: r.Elapsed,
+				})
+			}
+			if hit {
+				// The batch drained under cancellation: its rows are
+				// cancellation artifacts, not design verdicts — drop the
+				// partial cell and report the completed ones. A cancel
+				// that landed only after every slot finished affected
+				// nothing, so that cell is kept (the next topology's
+				// pre-check ends the walk).
+				return cells, fmt.Errorf("wsp: sweep canceled after %d topologies: %w", len(cells), ErrCanceled)
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}

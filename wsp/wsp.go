@@ -1,0 +1,295 @@
+// Package wsp is the public API (v1) of the Warehouse Servicing Problem
+// reproduction: a context-aware facade over the internal pipeline of the
+// paper's Fig. 2 — traffic-system contracts → agent flow synthesis → agent
+// cycle mapping → plan realization → validation.
+//
+// The entry point is the Solver, built once with functional options and
+// reused for any number of solves:
+//
+//	solver := wsp.New(
+//		wsp.WithStrategy(wsp.ContractILP),
+//		wsp.WithExact(true),
+//	)
+//	res, err := solver.Solve(ctx, wsp.Instance{System: sys, Workload: wl, Horizon: 3600})
+//
+// Every solving method takes a context.Context first and honors its
+// cancellation down to the LP branch-and-bound work loops: the check rides
+// the solver's deterministic work-budget accounting tick, so a cancelled
+// solve stops within one simplex pivot and an uncancelled solve is
+// bit-identical to one run under context.Background().
+//
+// Failures carry a typed taxonomy rooted in four sentinels — ErrInfeasible
+// (match the concrete *InfeasibleError for the admission certificate),
+// ErrHorizonTooShort, ErrBudgetExhausted, and ErrCanceled — all wrapped
+// with %w at every layer, so errors.Is and errors.As work on any error the
+// package returns.
+//
+// Besides Solve, the Solver exposes the higher-level workloads of the
+// reproduction: SolveBatch (concurrent what-if batches over a bounded
+// worker pool, bit-identical to sequential solves), MinimalHorizon (the
+// §VI makespan refinement), Lifelong (epoch-based batch release), and
+// Sweep (the Fig. 5 co-design grid).
+package wsp
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/lifelong"
+	"repro/internal/lp"
+	"repro/internal/refine"
+	"repro/internal/solverpool"
+)
+
+// Strategy selects how the agent flow / cycle set is synthesized.
+type Strategy = core.Strategy
+
+// Synthesis strategies.
+const (
+	// RoutePacking packs workload demand into cycles directly over
+	// residual component capacities — the strategy that reaches the scale
+	// of the paper's Table I.
+	RoutePacking = core.RoutePacking
+	// SequentialFlows synthesizes the per-period agent flow set one
+	// commodity at a time with exact min-cost flow.
+	SequentialFlows = core.SequentialFlows
+	// ContractILP is the faithful §IV-D contract pipeline solved with the
+	// built-in ILP engine (the Z3 substitute).
+	ContractILP = core.ContractILP
+)
+
+// Simplex selects the exact LP engines' representation. Answers are
+// bit-identical across choices; this is a speed knob.
+type Simplex = lp.SimplexEngine
+
+// Simplex representations.
+const (
+	// SimplexAuto routes by instance size (revised for large systems).
+	SimplexAuto = lp.SimplexAuto
+	// SimplexDense forces the dense tableau (the reference).
+	SimplexDense = lp.SimplexDense
+	// SimplexRevised forces the LU-factorized revised simplex.
+	SimplexRevised = lp.SimplexRevised
+)
+
+// ParseStrategy resolves a strategy name ("route", "flows", "contract").
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "route":
+		return RoutePacking, nil
+	case "flows":
+		return SequentialFlows, nil
+	case "contract":
+		return ContractILP, nil
+	}
+	return 0, fmt.Errorf("wsp: unknown strategy %q (want route, flows, or contract)", name)
+}
+
+// ParseSimplex resolves a simplex representation name ("auto", "dense",
+// "revised").
+func ParseSimplex(name string) (Simplex, error) {
+	switch name {
+	case "auto":
+		return SimplexAuto, nil
+	case "dense":
+		return SimplexDense, nil
+	case "revised":
+		return SimplexRevised, nil
+	}
+	return 0, fmt.Errorf("wsp: unknown simplex %q (want auto, dense, or revised)", name)
+}
+
+// Config is the resolved knob set of a Solver: one struct in place of the
+// per-layer option plumbing (core.Options, flow.Options, lp.ILPOptions)
+// that the facade threads internally. Zero value = defaults.
+type Config struct {
+	// Strategy selects the synthesis pipeline (default RoutePacking).
+	Strategy Strategy
+	// Exact switches the ContractILP strategy to exact rational
+	// arithmetic.
+	Exact bool
+	// Simplex overrides the exact LP representation (default SimplexAuto).
+	Simplex Simplex
+	// AdmissionCheck gates synthesis on the LP-relaxation infeasibility
+	// certificate (fail fast with a sound proof).
+	AdmissionCheck bool
+	// SkipRealization stops after cycle synthesis.
+	SkipRealization bool
+	// MaxAttempts bounds the synthesize→realize→verify retry loop
+	// (0 = default 3).
+	MaxAttempts int
+	// WorkBudget bounds the contract path's per-attempt simplex work in
+	// deterministic row-update units (0 = auto-scaled default);
+	// exhaustion wraps ErrBudgetExhausted.
+	WorkBudget int64
+	// NodeBudget bounds the per-attempt branch-and-bound tree
+	// (0 = default).
+	NodeBudget int
+	// Parallel is the SolveBatch / Sweep worker-pool width
+	// (0 = GOMAXPROCS).
+	Parallel int
+}
+
+// coreOptions resolves the Config into the internal per-layer options.
+func (c Config) coreOptions() core.Options {
+	return core.Options{
+		Strategy:        c.Strategy,
+		ExactILP:        c.Exact,
+		Simplex:         c.Simplex,
+		AdmissionCheck:  c.AdmissionCheck,
+		SkipRealization: c.SkipRealization,
+		MaxAttempts:     c.MaxAttempts,
+		MaxWork:         c.WorkBudget,
+		MaxNodes:        c.NodeBudget,
+	}
+}
+
+// Option configures a Solver at construction.
+type Option func(*Config)
+
+// WithStrategy selects the synthesis strategy.
+func WithStrategy(s Strategy) Option { return func(c *Config) { c.Strategy = s } }
+
+// WithExact toggles exact rational arithmetic for the ContractILP strategy.
+func WithExact(exact bool) Option { return func(c *Config) { c.Exact = exact } }
+
+// WithSimplex overrides the exact LP engines' simplex representation.
+func WithSimplex(s Simplex) Option { return func(c *Config) { c.Simplex = s } }
+
+// WithAdmissionCheck toggles the LP-relaxation admission certificate
+// before synthesis.
+func WithAdmissionCheck(check bool) Option { return func(c *Config) { c.AdmissionCheck = check } }
+
+// WithSkipRealization stops solves after cycle synthesis (no plan,
+// no simulation).
+func WithSkipRealization(skip bool) Option { return func(c *Config) { c.SkipRealization = skip } }
+
+// WithMaxAttempts bounds the synthesize→realize→verify retry loop.
+func WithMaxAttempts(n int) Option { return func(c *Config) { c.MaxAttempts = n } }
+
+// WithWorkBudget bounds the contract path's per-attempt simplex work in
+// deterministic row-update units; exhaustion surfaces as an error wrapping
+// ErrBudgetExhausted.
+func WithWorkBudget(units int64) Option { return func(c *Config) { c.WorkBudget = units } }
+
+// WithNodeBudget bounds the contract path's per-attempt branch-and-bound
+// tree.
+func WithNodeBudget(nodes int) Option { return func(c *Config) { c.NodeBudget = nodes } }
+
+// WithParallel sets the worker-pool width used by SolveBatch and Sweep
+// (0 selects GOMAXPROCS). Results are bit-identical for every width.
+func WithParallel(workers int) Option { return func(c *Config) { c.Parallel = workers } }
+
+// Solver is the facade over the whole pipeline. Build one with New and
+// reuse it: a Solver is safe for concurrent use, and it recycles per-call
+// synthesis scratch (compiled contract models, solver arenas) across
+// solves, so repeated calls on similar instances skip recompilation.
+type Solver struct {
+	cfg Config
+	// scratch recycles core.Scratch values across calls; each concurrent
+	// Solve borrows one, so reuse never races and results stay
+	// bit-identical to scratchless solves.
+	scratch sync.Pool
+}
+
+// New builds a Solver from functional options.
+func New(opts ...Option) *Solver {
+	s := &Solver{}
+	for _, o := range opts {
+		o(&s.cfg)
+	}
+	s.scratch.New = func() any { return &core.Scratch{} }
+	return s
+}
+
+// Config returns the Solver's resolved configuration.
+func (s *Solver) Config() Config { return s.cfg }
+
+// Instance is one Warehouse Servicing Problem: service Workload on the
+// traffic system within Horizon timesteps.
+type Instance struct {
+	System   *System
+	Workload Workload
+	// Horizon is the timestep budget T.
+	Horizon int
+}
+
+// Solve answers the WSP for one instance: synthesize, realize, validate.
+// Cancelling ctx aborts the solve inside the LP search within one
+// work-budget tick; the error then satisfies errors.Is(err, ErrCanceled).
+func (s *Solver) Solve(ctx context.Context, inst Instance) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sc := s.scratch.Get().(*core.Scratch)
+	defer s.scratch.Put(sc)
+	res, err := core.SolveScratch(ctx, inst.System, inst.Workload, inst.Horizon, s.cfg.coreOptions(), sc)
+	if err != nil {
+		return nil, fmt.Errorf("wsp: solve (T=%d): %w", inst.Horizon, err)
+	}
+	return res, nil
+}
+
+// BatchResult pairs one SolveBatch instance's outcome with its wall-clock
+// solve time.
+type BatchResult = solverpool.Result
+
+// SolveBatch solves every instance over a bounded worker pool (width
+// WithParallel) and returns results in instance order, each bit-identical
+// to a sequential Solve of the same instance. Cancelling ctx aborts
+// in-flight solves and fails the not-yet-started rest fast; the pool
+// always drains — every slot of the returned slice is filled and no
+// goroutine outlives the call. Cancelled slots' errors wrap ErrCanceled.
+func (s *Solver) SolveBatch(ctx context.Context, insts []Instance) []BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	reqs := make([]solverpool.Request, len(insts))
+	opts := s.cfg.coreOptions()
+	for i, inst := range insts {
+		reqs[i] = solverpool.Request{S: inst.System, WL: inst.Workload, T: inst.Horizon, Opts: opts}
+	}
+	return solverpool.New(s.cfg.Parallel).SolveBatch(ctx, reqs)
+}
+
+// HorizonResult reports a MinimalHorizon search.
+type HorizonResult = refine.HorizonResult
+
+// MinimalHorizon binary-searches the smallest horizon at which the
+// instance still solves (the §VI refinement), holding one synthesis
+// scratch across all probes. Infeasible probes narrow the search;
+// cancelling ctx aborts it with an error wrapping ErrCanceled.
+func (s *Solver) MinimalHorizon(ctx context.Context, inst Instance) (*HorizonResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	hr, err := refine.MinimalHorizon(ctx, inst.System, inst.Workload, inst.Horizon, s.cfg.coreOptions())
+	if err != nil {
+		return nil, fmt.Errorf("wsp: minimal horizon: %w", err)
+	}
+	return hr, nil
+}
+
+// Batch is a demand vector released at a point in time of a lifelong run.
+type Batch = lifelong.Batch
+
+// LifelongReport summarizes a lifelong run: per-batch completion, epoch
+// timelines, peak team size, delivered units.
+type LifelongReport = lifelong.Report
+
+// Lifelong services workload batches released over an open-ended horizon,
+// re-synthesizing per epoch as demand arrives and stock depletes.
+// Cancelling ctx aborts the epoch in flight; the partial report (epochs
+// completed so far) is returned alongside the wrapping error.
+func (s *Solver) Lifelong(ctx context.Context, sys *System, batches []Batch, T int) (*LifelongReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rep, err := lifelong.Run(ctx, sys, batches, T, lifelong.Options{Core: s.cfg.coreOptions()})
+	if err != nil {
+		return rep, fmt.Errorf("wsp: lifelong: %w", err)
+	}
+	return rep, nil
+}
