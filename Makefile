@@ -5,7 +5,7 @@
 GO ?= go
 BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: build test vet race bench bench-compare test-lp-long examples ci fmt
+.PHONY: build test vet race bench bench-compare test-lp-long examples serve-smoke ci fmt
 
 build:
 	$(GO) build ./...
@@ -48,7 +48,13 @@ bench-compare:
 test-lp-long:
 	LP_PARITY_ROUNDS=2000 $(GO) test -race -run 'TestRevisedParity' -timeout 40m ./internal/lp
 
+# End-to-end daemon smoke: build wspd, start it, hit /healthz and one
+# /v1/solve, then SIGTERM and require a drain-clean exit 0. This is the
+# gate for the service's lifecycle contract (serve → answer → drain).
+serve-smoke:
+	$(GO) run ./scripts/servesmoke
+
 fmt:
 	gofmt -l .
 
-ci: build vet test race examples
+ci: build vet test race examples serve-smoke

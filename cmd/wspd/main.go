@@ -1,0 +1,120 @@
+// Command wspd is the long-running WSP solve service: an HTTP+JSON daemon
+// over the wsp facade with admission control, deadline policy, graceful
+// degradation, panic isolation, and drain-clean shutdown. See
+// internal/server for the service semantics and DESIGN.md for the
+// rationale.
+//
+// Usage:
+//
+//	wspd [-addr :8080] [-max-inflight N] [-deadline 30s] [-drain 30s]
+//	     [-strategy route|flows|contract] [-no-degrade]
+//
+// Endpoints:
+//
+//	POST /v1/solve   one instance  (builtin map or inline JSON instance)
+//	POST /v1/batch   many instances, one admission decision
+//	POST /v1/sweep   the Fig. 5 co-design grid
+//	GET  /healthz    liveness  (200 while the process runs)
+//	GET  /readyz     readiness (503 once draining)
+//	GET  /debug/vars service counters as JSON
+//
+// SIGINT/SIGTERM start a drain: admission stops, in-flight solves finish
+// (bounded by -drain), and the process exits 0 on a clean drain or 1 when
+// the drain deadline forces connections closed. A second signal kills the
+// process immediately via the restored default handler.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/wsp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("wspd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	maxInFlight := fs.Int("max-inflight", 0, "max concurrent solves (0 = 2×GOMAXPROCS)")
+	deadline := fs.Duration("deadline", 0, "default per-solve deadline (0 = 30s)")
+	maxDeadline := fs.Duration("max-deadline", 0, "clamp on client deadlines (0 = 2m)")
+	drain := fs.Duration("drain", 0, "shutdown drain budget (0 = 30s)")
+	strategy := fs.String("strategy", "contract", "base strategy: route|flows|contract")
+	exact := fs.Bool("exact", false, "base config: exact rational ILP arithmetic")
+	noDegrade := fs.Bool("no-degrade", false, "disable the graceful-degradation ladder")
+	clientRate := fs.Int64("client-rate", 0, "per-client budget refill, work units/sec (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	st, err := wsp.ParseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wspd:", err)
+		return 2
+	}
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	srv := server.New(server.Config{
+		Solver:          wsp.Config{Strategy: st, Exact: *exact},
+		MaxInFlight:     *maxInFlight,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		DrainTimeout:    *drain,
+		NoDegrade:       *noDegrade,
+		ClientRate:      *clientRate,
+		Logf:            logger.Printf,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wspd:", err)
+		return 1
+	}
+
+	// First SIGINT/SIGTERM starts the drain; a second one restores the
+	// default handler and kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		// Listener failed before any signal.
+		fmt.Fprintln(os.Stderr, "wspd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainBudget(*drain))
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "wspd: drain incomplete:", err)
+		return 1
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "wspd:", err)
+		return 1
+	}
+	return 0
+}
+
+func drainBudget(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 30 * time.Second
+	}
+	return d
+}

@@ -147,14 +147,15 @@ func SolveScratch(ctx context.Context, s *traffic.System, wl warehouse.Workload,
 		// ContractILP strategy would use, so a gated synthesis pays the
 		// compilation once.
 		if err := sc.contract.MustAdmit(ctx, s, wl, T, flow.Options{Simplex: opts.Simplex}); err != nil {
-			return nil, err
+			return nil, lp.WrapCancelCause(ctx, err)
 		}
 	}
 	margin := 0 // 0 = automatic, per strategy
 	var lastErr error
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("core: solve canceled before attempt %d: %w", attempt, lp.ErrCanceled)
+			return nil, lp.WrapCancelCause(ctx,
+				fmt.Errorf("core: solve canceled before attempt %d: %w", attempt, lp.ErrCanceled))
 		}
 		res, err := solveOnce(ctx, s, wl, T, opts, margin, sc)
 		if err == nil {
@@ -163,8 +164,11 @@ func SolveScratch(ctx context.Context, s *traffic.System, wl warehouse.Workload,
 		}
 		if errors.Is(err, lp.ErrCanceled) {
 			// Retrying a cancelled attempt would grind on work the caller
-			// already walked away from.
-			return nil, err
+			// already walked away from. Annotate WHY the context fired here
+			// — the one place on this path that still holds it — so a
+			// deadline expiry stays distinguishable from an explicit cancel
+			// all the way up (the wspd server maps them to 504 vs 499).
+			return nil, lp.WrapCancelCause(ctx, err)
 		}
 		lastErr = err
 		// Double the margin (starting from the automatic default).
@@ -201,7 +205,7 @@ func solveOnce(ctx context.Context, s *traffic.System, wl warehouse.Workload, T 
 	var cs *cycles.Set
 	switch opts.Strategy {
 	case RoutePacking:
-		c, err := cycles.Synthesize(s, wl, T, cycles.Options{WarmupMargin: margin, Scratch: &sc.cyc})
+		c, err := cycles.Synthesize(s, wl, T, cycles.Options{WarmupMargin: margin, Scratch: &sc.cyc, Cancel: ctx.Done()})
 		if err != nil {
 			return nil, err
 		}

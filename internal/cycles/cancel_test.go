@@ -1,0 +1,49 @@
+package cycles
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/lp"
+)
+
+// TestSynthesizeCancelParity pins the inert-channel contract of the
+// route-packing cancellation check: a synthesis run with an open (never
+// fired) cancel channel is bit-identical to one with no channel at all.
+func TestSynthesizeCancelParity(t *testing.T) {
+	w, s := ringSystem(t)
+	workload := wl(t, w, 20, 12)
+
+	want, err := Synthesize(s, workload, 600, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inert := make(chan struct{})
+	defer close(inert)
+	got, err := Synthesize(s, workload, 600, Options{Cancel: inert})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("synthesis with an inert cancel channel differs from a channel-free run")
+	}
+}
+
+// TestSynthesizeCanceled: a pre-fired channel aborts the packing loop at
+// its first per-cycle check, with the error classified under lp.ErrCanceled
+// (how a context deadline lands inside route packing).
+func TestSynthesizeCanceled(t *testing.T) {
+	w, s := ringSystem(t)
+	workload := wl(t, w, 20, 12)
+
+	fired := make(chan struct{})
+	close(fired)
+	cs, err := Synthesize(s, workload, 600, Options{Cancel: fired})
+	if cs != nil || err == nil {
+		t.Fatalf("cancelled synthesis returned (%v, %v), want error", cs, err)
+	}
+	if !errors.Is(err, lp.ErrCanceled) {
+		t.Fatalf("%v does not classify as lp.ErrCanceled", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/lp"
 	"repro/internal/traffic"
 	"repro/internal/warehouse"
 )
@@ -17,6 +18,13 @@ type Options struct {
 	// MaxLegsPerCycle caps how many (row, product) legs are packed into one
 	// cycle. Zero means the default of 32.
 	MaxLegsPerCycle int
+	// Cancel, when non-nil, aborts the packing loop when the channel fires
+	// (normally a context's Done channel). The check runs once per placed
+	// leg — before each route/placement step, never inside the BFS — so a
+	// cancelled synthesis returns within one packed cycle rather than one
+	// full synthesis, and an uncancelled run performs exactly the work it
+	// would with no channel installed. The error wraps lp.ErrCanceled.
+	Cancel <-chan struct{}
 	// Scratch, when non-nil, supplies reusable buffers so repeated
 	// syntheses (the core.Solve retry loop, solver-pool workers) stay
 	// allocation-free on the packing hot path. A Scratch must not be shared
@@ -214,6 +222,12 @@ func Synthesize(s *traffic.System, wl warehouse.Workload, T int, opts Options) (
 	for k, want := range wl.Units {
 		remaining := want
 		for remaining > 0 {
+			select {
+			case <-opts.Cancel:
+				return nil, fmt.Errorf("cycles: route packing canceled with %d units of product %d unplaced: %w",
+					remaining, k, lp.ErrCanceled)
+			default:
+			}
 			// Prefer an open cycle passing a row that still stocks k. Among
 			// equal gives the lowest row wins, then the earliest-opened cycle.
 			var bestOC *openCycle

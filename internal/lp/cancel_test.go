@@ -1,7 +1,9 @@
 package lp
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math/big"
 	"testing"
 	"time"
@@ -175,4 +177,70 @@ func TestBudgetVersusCancelStatus(t *testing.T) {
 	if errors.Is(ErrCanceled, ErrBudgetExhausted) {
 		t.Error("sentinels must be distinct")
 	}
+}
+
+// TestWrapCancelCause pins the deadline/cancel distinction at its root:
+// the helper annotates cancellation errors with the context's cause and
+// leaves everything else alone.
+func TestWrapCancelCause(t *testing.T) {
+	base := fmt.Errorf("solve abandoned: %w", ErrCanceled)
+
+	t.Run("deadline", func(t *testing.T) {
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel()
+		err := WrapCancelCause(ctx, base)
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("%v does not classify as DeadlineExceeded", err)
+		}
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("%v lost ErrCanceled", err)
+		}
+	})
+
+	t.Run("plain-cancel", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		err := WrapCancelCause(ctx, base)
+		if err != base {
+			t.Fatalf("plain cancel rewrote the error: %v", err)
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("%v spuriously classifies as DeadlineExceeded", err)
+		}
+	})
+
+	t.Run("custom-cause", func(t *testing.T) {
+		reason := errors.New("shed load")
+		ctx, cancel := context.WithCancelCause(context.Background())
+		cancel(reason)
+		err := WrapCancelCause(ctx, base)
+		if !errors.Is(err, reason) {
+			t.Fatalf("%v does not carry the custom cause", err)
+		}
+	})
+
+	t.Run("pass-through", func(t *testing.T) {
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel()
+		if err := WrapCancelCause(ctx, nil); err != nil {
+			t.Fatalf("nil error rewritten to %v", err)
+		}
+		other := errors.New("unrelated")
+		if err := WrapCancelCause(ctx, other); err != other {
+			t.Fatalf("non-cancellation error rewritten to %v", err)
+		}
+		if err := WrapCancelCause(context.Background(), base); err != base {
+			t.Fatalf("unfired context rewrote the error: %v", err)
+		}
+	})
+
+	t.Run("idempotent", func(t *testing.T) {
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel()
+		once := WrapCancelCause(ctx, base)
+		twice := WrapCancelCause(ctx, once)
+		if twice != once {
+			t.Fatalf("double wrap produced a new error: %v", twice)
+		}
+	})
 }

@@ -1,6 +1,10 @@
 package lp
 
-import "errors"
+import (
+	"context"
+	"errors"
+	"fmt"
+)
 
 // Sentinel errors of the solver layer. They are the roots of the public
 // error taxonomy: every layer above (contracts, flow, core, the wsp facade)
@@ -21,3 +25,23 @@ var (
 	// before reaching a decision.
 	ErrBudgetExhausted = errors.New("lp: search budget exhausted")
 )
+
+// WrapCancelCause annotates a cancellation error with its context's cancel
+// cause, so callers can tell a deadline expiry apart from an explicit
+// cancellation. The solver layer itself sees only a closed channel — WHY it
+// closed lives in the context — so every ctx-bearing layer that surfaces an
+// error wrapping ErrCanceled routes it through this helper. After that,
+// errors.Is(err, context.DeadlineExceeded) holds exactly when the context's
+// deadline fired (and likewise for any custom context.CancelCause), while a
+// plain context.Canceled adds nothing. Non-cancellation errors and nil pass
+// through untouched.
+func WrapCancelCause(ctx context.Context, err error) error {
+	if err == nil || ctx == nil || !errors.Is(err, ErrCanceled) {
+		return err
+	}
+	cause := context.Cause(ctx)
+	if cause == nil || cause == context.Canceled || errors.Is(err, cause) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", cause, err)
+}

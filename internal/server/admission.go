@@ -1,0 +1,128 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Admission control: a request is admitted only if (1) an in-flight slot is
+// free and (2) its client's token bucket covers the solve's work cost. Both
+// checks are non-blocking — an over-admitted or over-budget request is
+// rejected immediately with 429 + Retry-After, so load sheds at the door
+// instead of queueing unboundedly in front of the solver pool.
+
+// denial explains a rejected admission.
+type denial struct {
+	reason     string // "load" (semaphore full) or "budget" (bucket dry)
+	retryAfter time.Duration
+}
+
+type admission struct {
+	slots chan struct{} // buffered semaphore; len() = solves in flight
+	buckets
+}
+
+func newAdmission(cfg Config) *admission {
+	return &admission{
+		slots: make(chan struct{}, cfg.MaxInFlight),
+		buckets: buckets{
+			rate:  float64(cfg.ClientRate),
+			burst: float64(cfg.ClientBurst),
+			max:   cfg.MaxClients,
+			now:   cfg.Now,
+			m:     make(map[string]*bucket),
+		},
+	}
+}
+
+// admit reserves a slot and charges cost work units to client. On success
+// it returns a release closure (idempotence is the caller's duty — call it
+// exactly once) and the post-admission occupancy in [0,1], the degradation
+// ladder's load sample. On rejection release is nil and d explains why.
+func (a *admission) admit(client string, cost int64) (release func(), occupancy float64, d *denial) {
+	select {
+	case a.slots <- struct{}{}:
+	default:
+		// Full house. The earliest a slot can free up is when one of the
+		// in-flight solves finishes; one second is the honest "soon".
+		return nil, 1, &denial{reason: "load", retryAfter: time.Second}
+	}
+	if ok, retry := a.take(client, float64(cost)); !ok {
+		<-a.slots
+		return nil, 0, &denial{reason: "budget", retryAfter: retry}
+	}
+	// The load sample is the occupancy this request FOUND on arrival
+	// (itself excluded): serial traffic on an idle server reads 0 however
+	// small MaxInFlight is, while sustained overlap — requests queueing on
+	// top of each other — reads high. Saturation beyond the slot count
+	// shows up as rejections, which the degrader weighs separately.
+	occ := float64(len(a.slots)-1) / float64(cap(a.slots))
+	return func() { <-a.slots }, occ, nil
+}
+
+// buckets is the per-client token-bucket table. Budgets are measured in
+// the LP's deterministic MaxWork units — the one load currency that does
+// not depend on machine speed — refilled at rate units/sec up to burst.
+type buckets struct {
+	mu    sync.Mutex
+	rate  float64
+	burst float64
+	max   int
+	now   func() time.Time
+	m     map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// take charges cost to client's bucket. When the bucket is short it leaves
+// the balance untouched and reports how long the refill needs to cover the
+// deficit.
+func (b *buckets) take(client string, cost float64) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	bk := b.m[client]
+	if bk == nil {
+		if len(b.m) >= b.max {
+			b.evictStalest()
+		}
+		bk = &bucket{tokens: b.burst, last: now}
+		b.m[client] = bk
+	} else {
+		dt := now.Sub(bk.last).Seconds()
+		if dt > 0 {
+			bk.tokens = math.Min(b.burst, bk.tokens+dt*b.rate)
+		}
+		bk.last = now
+	}
+	if bk.tokens >= cost {
+		bk.tokens -= cost
+		return true, 0
+	}
+	deficit := cost - bk.tokens
+	retry := time.Duration(math.Ceil(deficit/b.rate)) * time.Second
+	if retry < time.Second {
+		retry = time.Second
+	}
+	return false, retry
+}
+
+// evictStalest drops the least-recently charged client so the table stays
+// bounded under client-ID churn. Callers hold b.mu.
+func (b *buckets) evictStalest() {
+	var victim string
+	var oldest time.Time
+	first := true
+	for id, bk := range b.m {
+		if first || bk.last.Before(oldest) {
+			victim, oldest, first = id, bk.last, false
+		}
+	}
+	if !first {
+		delete(b.m, victim)
+	}
+}

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/wsp"
+)
+
+func newTestCache(sigCap, perSig int) *scratchCache {
+	met := &metrics{}
+	return newScratchCache(Config{CacheSignatures: sigCap, CachePerSignature: perSig}.withDefaults(), met)
+}
+
+// TestCacheSingleFlight: concurrent first contacts on one signature
+// compile once — followers block on the leader's gate, then split the warm
+// scratch and cold fallbacks deterministically.
+func TestCacheSingleFlight(t *testing.T) {
+	c := newTestCache(4, 2)
+	ctx := context.Background()
+
+	leaderSc, err := c.checkout(ctx, "sig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.met.cacheMisses.Load(); got != 1 {
+		t.Fatalf("leader checkout: misses = %d, want 1", got)
+	}
+
+	// Two followers arrive mid-compile: both must park on the gate.
+	type out struct {
+		sc  *wsp.Scratch
+		err error
+	}
+	results := make(chan out, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc, err := c.checkout(ctx, "sig")
+			results <- out{sc, err}
+		}()
+	}
+	waitFor(t, func() bool { return c.met.cacheWaits.Load() == 2 })
+
+	c.release("sig", leaderSc)
+	wg.Wait()
+	close(results)
+	var warm, cold int
+	for r := range results {
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.sc == leaderSc {
+			warm++
+		} else {
+			cold++
+		}
+	}
+	if warm != 1 || cold != 1 {
+		t.Errorf("followers got warm=%d cold=%d, want exactly one each", warm, cold)
+	}
+	if hits := c.met.cacheHits.Load(); hits != 1 {
+		t.Errorf("hits = %d, want 1", hits)
+	}
+}
+
+// TestCacheWaiterHonorsDeadline: a follower parked on the single-flight
+// gate unblocks when its own context fires, with the full error taxonomy
+// (ErrCanceled + the deadline cause).
+func TestCacheWaiterHonorsDeadline(t *testing.T) {
+	c := newTestCache(4, 2)
+	if _, err := c.checkout(context.Background(), "sig"); err != nil {
+		t.Fatal(err) // leader, never released: compile "hangs"
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := c.checkout(ctx, "sig")
+	if err == nil {
+		t.Fatal("waiter returned without the gate opening")
+	}
+	if !errors.Is(err, wsp.ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("waiter error %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+}
+
+// TestCacheDiscardWakesWaiters: a panicked solve's scratch is dropped, but
+// its single-flight waiters are still released to retry cold.
+func TestCacheDiscardWakesWaiters(t *testing.T) {
+	c := newTestCache(4, 2)
+	ctx := context.Background()
+	if _, err := c.checkout(ctx, "sig"); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan *wsp.Scratch, 1)
+	go func() {
+		sc, err := c.checkout(ctx, "sig")
+		if err != nil {
+			t.Error(err)
+		}
+		got <- sc
+	}()
+	waitFor(t, func() bool { return c.met.cacheWaits.Load() == 1 })
+
+	c.discard("sig") // the leader's solve panicked
+	sc := <-got
+	if sc == nil {
+		t.Fatal("waiter not released after discard")
+	}
+	if c.met.cacheMisses.Load() != 2 {
+		t.Errorf("misses = %d, want 2 (waiter retried cold)", c.met.cacheMisses.Load())
+	}
+}
+
+// TestCacheEvictsLRU: signatures beyond the cap are evicted least-recently
+// used; a released scratch for an evicted signature is dropped silently.
+func TestCacheEvictsLRU(t *testing.T) {
+	c := newTestCache(2, 2)
+	ctx := context.Background()
+	a, _ := c.checkout(ctx, "a")
+	c.release("a", a)
+	b, _ := c.checkout(ctx, "b")
+	c.release("b", b)
+	a2, _ := c.checkout(ctx, "a") // refresh a: b is now stalest
+	c.release("a", a2)
+	if a2 != a {
+		t.Fatal("warm scratch not reused within cap")
+	}
+
+	x, _ := c.checkout(ctx, "x") // third signature: b evicted
+	c.release("x", x)
+	if c.met.cacheEvictions.Load() != 1 {
+		t.Fatalf("evictions = %d, want 1", c.met.cacheEvictions.Load())
+	}
+	if _, ok := c.entries["b"]; ok {
+		t.Error("b survived eviction; LRU order broken")
+	}
+	if _, ok := c.entries["a"]; !ok {
+		t.Error("a (recently used) was evicted")
+	}
+
+	// Releasing into an evicted signature must not resurrect it.
+	c.release("b", wsp.NewScratch())
+	if _, ok := c.entries["b"]; ok {
+		t.Error("release resurrected an evicted signature")
+	}
+}

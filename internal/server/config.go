@@ -1,0 +1,124 @@
+package server
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/server/faultinject"
+	"repro/wsp"
+)
+
+// Config tunes the wspd service. The zero value is usable: every field has
+// a production default filled in by withDefaults, so callers (and tests)
+// set only what they mean to pin.
+type Config struct {
+	// Solver is the base solver configuration every request starts from;
+	// per-request overrides and the degradation ladder derive from it.
+	Solver wsp.Config
+
+	// MaxInFlight bounds concurrently admitted solves (the in-flight
+	// semaphore). Requests beyond it are rejected with 429 + Retry-After,
+	// never queued. Default 2×GOMAXPROCS.
+	MaxInFlight int
+	// ClientRate refills each client's work-budget bucket, in the LP's
+	// deterministic MaxWork units per second. Default 100e6.
+	ClientRate int64
+	// ClientBurst caps a client's bucket. Default 10×SolveCost.
+	ClientBurst int64
+	// SolveCost is the nominal admission charge for one solve whose
+	// request does not pin a work budget. Default 20e6 (≈ the contract
+	// path's default per-attempt budget on a small instance).
+	SolveCost int64
+	// MaxClients bounds the per-client bucket table; the least-recently
+	// charged entry is evicted beyond it. Default 4096.
+	MaxClients int
+
+	// DefaultDeadline applies when a request carries no deadline_ms.
+	// Default 30s.
+	DefaultDeadline time.Duration
+	// MaxDeadline clamps client-requested deadlines. Default 2m.
+	MaxDeadline time.Duration
+	// DrainTimeout bounds how long Drain waits for in-flight solves
+	// before forcing the listener closed. Default 30s. (Enforced by the
+	// caller of Drain — cmd/wspd — via the context it passes.)
+	DrainTimeout time.Duration
+
+	// DegradeWindow is the width of the sliding load window driving the
+	// degradation ladder. Default 15s.
+	DegradeWindow time.Duration
+	// NoDegrade disables the degradation ladder entirely.
+	NoDegrade bool
+
+	// CacheSignatures bounds the warm-scratch cache: distinct
+	// traffic.StructureSignature keys kept (LRU beyond it). Default 64.
+	CacheSignatures int
+	// CachePerSignature bounds warm scratches retained per signature.
+	// Default MaxInFlight.
+	CachePerSignature int
+
+	// MaxBodyBytes bounds request bodies. Default 8 MiB.
+	MaxBodyBytes int64
+	// MaxBatch bounds instances per /v1/batch request. Default 64.
+	MaxBatch int
+	// MaxSweepPoints bounds topologies×levels per /v1/sweep request.
+	// Default 256.
+	MaxSweepPoints int
+
+	// Fault, when non-nil, intercepts every solve (see faultinject).
+	Fault faultinject.Hook
+	// Now substitutes the clock for admission and load accounting.
+	// Default time.Now.
+	Now func() time.Time
+	// Logf, when non-nil, receives one line per lifecycle event (start,
+	// drain, forced close). The request path stays log-free.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.SolveCost <= 0 {
+		c.SolveCost = 20_000_000
+	}
+	if c.ClientRate <= 0 {
+		c.ClientRate = 100_000_000
+	}
+	if c.ClientBurst <= 0 {
+		c.ClientBurst = 10 * c.SolveCost
+	}
+	if c.MaxClients <= 0 {
+		c.MaxClients = 4096
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 2 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.DegradeWindow <= 0 {
+		c.DegradeWindow = 15 * time.Second
+	}
+	if c.CacheSignatures <= 0 {
+		c.CacheSignatures = 64
+	}
+	if c.CachePerSignature <= 0 {
+		c.CachePerSignature = c.MaxInFlight
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxSweepPoints <= 0 {
+		c.MaxSweepPoints = 256
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}

@@ -1,0 +1,96 @@
+// Package faultinject provides composable fault hooks for the wspd solve
+// service. A Hook runs at the top of a request's solve section — inside the
+// server's panic-isolation recover() and its admission/deadline scaffolding
+// — so tests can force the failure modes the service must survive: slow
+// solves (drain and disconnect windows), solver panics (isolation), and
+// injected errors (taxonomy mapping), without needing a pathological LP
+// instance for each one. The production server runs with a nil Hook; the
+// hook call sits outside the solver hot path either way.
+package faultinject
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Info describes the request a hook intercepts.
+type Info struct {
+	// Path is the endpoint serving the request (e.g. "/v1/solve").
+	Path string
+	// Client is the admission identity the request was charged to.
+	Client string
+	// Horizon is the instance's timestep budget (0 for sweeps).
+	Horizon int
+}
+
+// Hook intercepts a solve. Returning nil lets the solve proceed; returning
+// an error aborts it (the server maps the error through its usual
+// taxonomy); panicking exercises the server's per-request recover.
+type Hook func(ctx context.Context, info Info) error
+
+// Sleep stalls the solve for d — a stand-in for a long-running instance.
+// It returns early with the context's cause when the request's deadline
+// fires or the client disconnects mid-sleep, exactly as a real cancellable
+// solve would.
+func Sleep(d time.Duration) Hook {
+	return func(ctx context.Context, _ Info) error {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return context.Cause(ctx)
+		}
+	}
+}
+
+// Panic panics with msg — a stand-in for a solver bug on one bad instance.
+func Panic(msg string) Hook {
+	return func(context.Context, Info) error { panic(msg) }
+}
+
+// Fail aborts the solve with err.
+func Fail(err error) Hook {
+	return func(context.Context, Info) error { return err }
+}
+
+// After passes the first n intercepted solves through untouched, then
+// applies h to every later one.
+func After(n int64, h Hook) Hook {
+	var seen atomic.Int64
+	return func(ctx context.Context, info Info) error {
+		if seen.Add(1) <= n {
+			return nil
+		}
+		return h(ctx, info)
+	}
+}
+
+// Times applies h to the first n intercepted solves, then passes the rest
+// through untouched.
+func Times(n int64, h Hook) Hook {
+	var seen atomic.Int64
+	return func(ctx context.Context, info Info) error {
+		if seen.Add(1) > n {
+			return nil
+		}
+		return h(ctx, info)
+	}
+}
+
+// Chain runs hooks in order, stopping at the first error.
+func Chain(hooks ...Hook) Hook {
+	return func(ctx context.Context, info Info) error {
+		for _, h := range hooks {
+			if h == nil {
+				continue
+			}
+			if err := h(ctx, info); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+)
+
+// metrics is the server's counter set, exported as a flat JSON object at
+// /debug/vars. Counters are monotonic; in_flight is a gauge. Everything is
+// a plain atomic so the hot path never takes a lock to count.
+type metrics struct {
+	requests        atomic.Int64 // requests hitting a /v1 endpoint
+	admitted        atomic.Int64 // requests that passed admission
+	rejectedLoad    atomic.Int64 // 429: in-flight semaphore full
+	rejectedBudget  atomic.Int64 // 429: client work budget exhausted
+	rejectedDrain   atomic.Int64 // 503: refused because draining
+	completed       atomic.Int64 // solves answered 200
+	infeasible      atomic.Int64 // 422 outcomes (infeasible / horizon)
+	deadline        atomic.Int64 // 504: server deadline fired mid-solve
+	clientGone      atomic.Int64 // 499: client disconnected mid-solve
+	panics          atomic.Int64 // 500: solver panic caught by recover
+	budgetExhausted atomic.Int64 // solves undecided within work/node budget
+	degraded        atomic.Int64 // responses labeled degraded
+	cacheHits       atomic.Int64 // warm-scratch checkouts
+	cacheMisses     atomic.Int64 // cold-scratch checkouts
+	cacheEvictions  atomic.Int64 // LRU signature evictions
+	cacheWaits      atomic.Int64 // single-flight waits behind a compile
+	drains          atomic.Int64 // Drain() invocations
+	inFlight        atomic.Int64 // gauge: admitted solves currently running
+}
+
+func (m *metrics) snapshot() map[string]int64 {
+	return map[string]int64{
+		"requests_total":         m.requests.Load(),
+		"admitted_total":         m.admitted.Load(),
+		"rejected_load_total":    m.rejectedLoad.Load(),
+		"rejected_budget_total":  m.rejectedBudget.Load(),
+		"rejected_drain_total":   m.rejectedDrain.Load(),
+		"completed_total":        m.completed.Load(),
+		"infeasible_total":       m.infeasible.Load(),
+		"deadline_total":         m.deadline.Load(),
+		"client_gone_total":      m.clientGone.Load(),
+		"panics_total":           m.panics.Load(),
+		"budget_exhausted_total": m.budgetExhausted.Load(),
+		"degraded_total":         m.degraded.Load(),
+		"cache_hits_total":       m.cacheHits.Load(),
+		"cache_misses_total":     m.cacheMisses.Load(),
+		"cache_evictions_total":  m.cacheEvictions.Load(),
+		"cache_waits_total":      m.cacheWaits.Load(),
+		"drains_total":           m.drains.Load(),
+		"in_flight":              m.inFlight.Load(),
+	}
+}
+
+// handleVars serves the /debug/vars-style counter dump.
+func (m *metrics) handleVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(m.snapshot()) // maps marshal with sorted keys
+}

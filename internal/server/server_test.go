@@ -1,0 +1,524 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/server/faultinject"
+	"repro/wsp"
+)
+
+// testInstance builds the smallest contract-expressible instance, inlined
+// as the wire-format InstanceFile a client would POST.
+func testInstance(t *testing.T) *wsp.InstanceFile {
+	t.Helper()
+	m, err := wsp.GenerateMap(wsp.MapParams{
+		Stripes: 1, Rows: 2, BayWidth: 12, CorridorWidth: 2,
+		MaxComponentLen: 6, DoubleShelfRows: true,
+		NumProducts: 2, UnitsPerShelf: 30, StationsPerStripe: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := wsp.UniformWorkload(m.W, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := wsp.EncodeInstance(m.S, &wl, 800, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(buf))
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func decodeAs[T any](t *testing.T, w *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+		t.Fatalf("decoding %q: %v", w.Body.String(), err)
+	}
+	return v
+}
+
+// TestSolveBitIdentical pins the service's core contract: an admitted,
+// undegraded request is answered bit-identically to a direct wsp.Solver
+// call — cold scratch and warm cache hit alike.
+func TestSolveBitIdentical(t *testing.T) {
+	inst := testInstance(t)
+	cfg := wsp.Config{Strategy: wsp.ContractILP, Exact: true}
+	srv := New(Config{Solver: cfg, NoDegrade: true})
+
+	sys, wl, err := wsp.DecodeInstance(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := wsp.NewFromConfig(cfg).Solve(context.Background(),
+		wsp.Instance{System: sys, Workload: *wl, Horizon: inst.T})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 2; round++ {
+		w := postJSON(t, srv.Handler(), "/v1/solve", SolveRequest{
+			InstanceSpec: InstanceSpec{Instance: inst},
+		}, nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("round %d: status %d: %s", round, w.Code, w.Body.String())
+		}
+		resp := decodeAs[SolveResponse](t, w)
+		if resp.Degraded || len(resp.DegradeSteps) != 0 {
+			t.Fatalf("round %d: unloaded solve labeled degraded: %+v", round, resp)
+		}
+		if resp.Agents != want.Stats.Agents || resp.ServicedAt != want.Sim.ServicedAt {
+			t.Fatalf("round %d: got agents=%d serviced=%d, direct solver says agents=%d serviced=%d",
+				round, resp.Agents, resp.ServicedAt, want.Stats.Agents, want.Sim.ServicedAt)
+		}
+	}
+	m := srv.Metrics()
+	if m["cache_misses_total"] != 1 || m["cache_hits_total"] != 1 {
+		t.Errorf("want 1 cold + 1 warm solve, got misses=%d hits=%d",
+			m["cache_misses_total"], m["cache_hits_total"])
+	}
+}
+
+// TestAdmissionOverCapacity: with one in-flight slot occupied by a stalled
+// solve, the next request is rejected 429/over-capacity with a Retry-After
+// — never queued.
+func TestAdmissionOverCapacity(t *testing.T) {
+	inst := testInstance(t)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	srv := New(Config{
+		MaxInFlight: 1,
+		Fault: func(ctx context.Context, _ faultinject.Info) error {
+			close(started)
+			select {
+			case <-release:
+				return nil
+			case <-ctx.Done():
+				return context.Cause(ctx)
+			}
+		},
+	})
+
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		done <- postJSON(t, srv.Handler(), "/v1/solve", SolveRequest{
+			InstanceSpec: InstanceSpec{Instance: inst},
+		}, nil)
+	}()
+	<-started
+
+	w := postJSON(t, srv.Handler(), "/v1/solve", SolveRequest{
+		InstanceSpec: InstanceSpec{Instance: inst},
+	}, nil)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", w.Code, w.Body.String())
+	}
+	resp := decodeAs[ErrorResponse](t, w)
+	if resp.Code != "over-capacity" {
+		t.Errorf("code %q, want over-capacity", resp.Code)
+	}
+	if w.Header().Get("Retry-After") == "" || resp.RetryAfterSec < 1 {
+		t.Errorf("429 lacks Retry-After (hdr=%q, sec=%d)", w.Header().Get("Retry-After"), resp.RetryAfterSec)
+	}
+
+	close(release)
+	if w := <-done; w.Code != http.StatusOK {
+		t.Fatalf("stalled solve finished %d, want 200: %s", w.Code, w.Body.String())
+	}
+	m := srv.Metrics()
+	if m["rejected_load_total"] != 1 {
+		t.Errorf("rejected_load_total = %d, want 1", m["rejected_load_total"])
+	}
+}
+
+// TestAdmissionWorkBudget: a client whose token bucket cannot cover the
+// solve's work cost is rejected 429/work-budget while other clients are
+// unaffected.
+func TestAdmissionWorkBudget(t *testing.T) {
+	inst := testInstance(t)
+	srv := New(Config{
+		SolveCost:   1000,
+		ClientBurst: 1500, // covers one solve, not two
+		ClientRate:  1,    // refill far slower than the test
+	})
+	greedy := map[string]string{"X-Client-ID": "greedy"}
+
+	if w := postJSON(t, srv.Handler(), "/v1/solve", SolveRequest{
+		InstanceSpec: InstanceSpec{Instance: inst},
+	}, greedy); w.Code != http.StatusOK {
+		t.Fatalf("first solve: status %d: %s", w.Code, w.Body.String())
+	}
+	w := postJSON(t, srv.Handler(), "/v1/solve", SolveRequest{
+		InstanceSpec: InstanceSpec{Instance: inst},
+	}, greedy)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("second solve: status %d, want 429: %s", w.Code, w.Body.String())
+	}
+	resp := decodeAs[ErrorResponse](t, w)
+	if resp.Code != "work-budget" {
+		t.Errorf("code %q, want work-budget", resp.Code)
+	}
+	if resp.RetryAfterSec < 1 {
+		t.Errorf("work-budget rejection lacks retry_after_sec: %+v", resp)
+	}
+
+	if w := postJSON(t, srv.Handler(), "/v1/solve", SolveRequest{
+		InstanceSpec: InstanceSpec{Instance: inst},
+	}, map[string]string{"X-Client-ID": "frugal"}); w.Code != http.StatusOK {
+		t.Fatalf("other client: status %d, want 200: %s", w.Code, w.Body.String())
+	}
+	if m := srv.Metrics(); m["rejected_budget_total"] != 1 {
+		t.Errorf("rejected_budget_total = %d, want 1", m["rejected_budget_total"])
+	}
+}
+
+// TestDeadlineExceededIs504: a solve cut short by the merged deadline
+// policy answers 504/deadline-exceeded — the server's deadline, not the
+// client hanging up.
+func TestDeadlineExceededIs504(t *testing.T) {
+	inst := testInstance(t)
+	srv := New(Config{Fault: faultinject.Sleep(10 * time.Second)})
+
+	w := postJSON(t, srv.Handler(), "/v1/solve", SolveRequest{
+		InstanceSpec:   InstanceSpec{Instance: inst},
+		SolveOverrides: SolveOverrides{DeadlineMS: 30},
+	}, nil)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", w.Code, w.Body.String())
+	}
+	if resp := decodeAs[ErrorResponse](t, w); resp.Code != "deadline-exceeded" {
+		t.Errorf("code %q, want deadline-exceeded", resp.Code)
+	}
+	if m := srv.Metrics(); m["deadline_total"] != 1 {
+		t.Errorf("deadline_total = %d, want 1", m["deadline_total"])
+	}
+}
+
+// TestClientDisconnectIs499: the same stalled solve abandoned by the
+// CLIENT answers 499/client-closed-request — distinguishable from 504.
+func TestClientDisconnectIs499(t *testing.T) {
+	inst := testInstance(t)
+	started := make(chan struct{})
+	srv := New(Config{
+		Fault: func(ctx context.Context, _ faultinject.Info) error {
+			close(started)
+			<-ctx.Done()
+			return context.Cause(ctx)
+		},
+	})
+
+	buf, err := json.Marshal(SolveRequest{InstanceSpec: InstanceSpec{Instance: inst}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodPost, "/v1/solve", bytes.NewReader(buf)).WithContext(ctx)
+	go func() {
+		<-started
+		cancel() // the client hangs up mid-solve
+	}()
+	w := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(w, req)
+
+	if w.Code != StatusClientClosedRequest {
+		t.Fatalf("status %d, want 499: %s", w.Code, w.Body.String())
+	}
+	if resp := decodeAs[ErrorResponse](t, w); resp.Code != "client-closed-request" {
+		t.Errorf("code %q, want client-closed-request", resp.Code)
+	}
+	if m := srv.Metrics(); m["client_gone_total"] != 1 {
+		t.Errorf("client_gone_total = %d, want 1", m["client_gone_total"])
+	}
+}
+
+// TestPanicIsolated: a panicking solve answers 500/panic and the daemon
+// keeps serving — the next request on the same topology succeeds on a
+// fresh scratch (the panicked one is discarded, not reused).
+func TestPanicIsolated(t *testing.T) {
+	inst := testInstance(t)
+	srv := New(Config{Fault: faultinject.Times(1, faultinject.Panic("injected solver bug"))})
+
+	w := postJSON(t, srv.Handler(), "/v1/solve", SolveRequest{
+		InstanceSpec: InstanceSpec{Instance: inst},
+	}, nil)
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500: %s", w.Code, w.Body.String())
+	}
+	if resp := decodeAs[ErrorResponse](t, w); resp.Code != "panic" {
+		t.Errorf("code %q, want panic", resp.Code)
+	}
+
+	w = postJSON(t, srv.Handler(), "/v1/solve", SolveRequest{
+		InstanceSpec: InstanceSpec{Instance: inst},
+	}, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("post-panic solve: status %d, want 200: %s", w.Code, w.Body.String())
+	}
+	m := srv.Metrics()
+	if m["panics_total"] != 1 {
+		t.Errorf("panics_total = %d, want 1", m["panics_total"])
+	}
+	if m["cache_hits_total"] != 0 {
+		t.Errorf("panicked scratch was reused (cache_hits_total = %d)", m["cache_hits_total"])
+	}
+}
+
+// TestDegradationLadder: under a loaded window the server answers with a
+// cheaper solve, labeled degraded with the applied rungs; a no_degrade
+// request on the same loaded server runs exactly as configured.
+func TestDegradationLadder(t *testing.T) {
+	inst := testInstance(t)
+	srv := New(Config{Solver: wsp.Config{Strategy: wsp.ContractILP, Exact: true}})
+	for i := 0; i < 50; i++ {
+		srv.deg.observeReject() // synthesize a saturated window
+	}
+	if r := srv.deg.rung(); r != 3 {
+		t.Fatalf("rung = %d under saturated window, want 3", r)
+	}
+
+	w := postJSON(t, srv.Handler(), "/v1/solve", SolveRequest{
+		InstanceSpec: InstanceSpec{Instance: inst},
+	}, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	resp := decodeAs[SolveResponse](t, w)
+	if !resp.Degraded {
+		t.Fatal("loaded solve not labeled degraded")
+	}
+	want := map[string]bool{"float-arith": true, "route-packing": true, "budget-shrink": true}
+	for _, step := range resp.DegradeSteps {
+		delete(want, step)
+	}
+	if len(want) != 0 {
+		t.Errorf("degrade steps %v missing %v", resp.DegradeSteps, want)
+	}
+	if resp.Strategy != "route-packing" {
+		t.Errorf("degraded strategy %q, want route-packing", resp.Strategy)
+	}
+
+	w = postJSON(t, srv.Handler(), "/v1/solve", SolveRequest{
+		InstanceSpec:   InstanceSpec{Instance: inst},
+		SolveOverrides: SolveOverrides{NoDegrade: true},
+	}, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("no_degrade solve: status %d: %s", w.Code, w.Body.String())
+	}
+	if resp := decodeAs[SolveResponse](t, w); resp.Degraded || resp.Strategy != "contract-ilp" {
+		t.Errorf("no_degrade solve degraded anyway: %+v", resp)
+	}
+}
+
+// TestBudgetExhaustedDegradesOnce: when the configured strategy runs out
+// of its deterministic work budget and the request allows degradation, the
+// server retries once on the cheap strategy and labels the answer instead
+// of erroring.
+func TestBudgetExhaustedDegradesOnce(t *testing.T) {
+	inst := testInstance(t)
+	srv := New(Config{Solver: wsp.Config{Strategy: wsp.ContractILP, WorkBudget: 50, MaxAttempts: 1}})
+
+	w := postJSON(t, srv.Handler(), "/v1/solve", SolveRequest{
+		InstanceSpec: InstanceSpec{Instance: inst},
+	}, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200 via degraded retry: %s", w.Code, w.Body.String())
+	}
+	resp := decodeAs[SolveResponse](t, w)
+	if !resp.Degraded || resp.Strategy != "route-packing" {
+		t.Errorf("want degraded route-packing answer, got %+v", resp)
+	}
+
+	// The same exhaustion with no_degrade is an honest 503.
+	w = postJSON(t, srv.Handler(), "/v1/solve", SolveRequest{
+		InstanceSpec:   InstanceSpec{Instance: inst},
+		SolveOverrides: SolveOverrides{NoDegrade: true},
+	}, nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("no_degrade exhaustion: status %d, want 503: %s", w.Code, w.Body.String())
+	}
+	if resp := decodeAs[ErrorResponse](t, w); resp.Code != "budget-exhausted" {
+		t.Errorf("code %q, want budget-exhausted", resp.Code)
+	}
+}
+
+// TestDrainClean: SIGTERM semantics end to end — admission stops, the
+// in-flight solve completes with its answer, Drain returns nil, and Serve
+// unwinds with http.ErrServerClosed.
+func TestDrainClean(t *testing.T) {
+	inst := testInstance(t)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	srv := New(Config{
+		Fault: faultinject.Times(1, func(ctx context.Context, _ faultinject.Info) error {
+			close(started)
+			select {
+			case <-release:
+				return nil
+			case <-ctx.Done():
+				return context.Cause(ctx)
+			}
+		}),
+	})
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	base := "http://" + l.Addr().String()
+
+	if resp, err := http.Get(base + "/readyz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz before drain: %v %v", resp, err)
+	}
+
+	buf, err := json.Marshal(SolveRequest{InstanceSpec: InstanceSpec{Instance: inst}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		code int
+		body SolveResponse
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Errorf("in-flight solve: %v", err)
+			inflight <- result{}
+			return
+		}
+		defer resp.Body.Close()
+		var sr SolveResponse
+		json.NewDecoder(resp.Body).Decode(&sr)
+		inflight <- result{resp.StatusCode, sr}
+	}()
+	<-started
+
+	drainErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainErr <- srv.Drain(ctx)
+	}()
+
+	// Draining flips readiness and rejects new admissions on the handler.
+	waitFor(t, func() bool { return srv.draining.Load() })
+	w := postJSON(t, srv.Handler(), "/v1/solve", SolveRequest{
+		InstanceSpec: InstanceSpec{Instance: inst},
+	}, nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("solve during drain: status %d, want 503: %s", w.Code, w.Body.String())
+	}
+	if resp := decodeAs[ErrorResponse](t, w); resp.Code != "draining" {
+		t.Errorf("code %q, want draining", resp.Code)
+	}
+	rw := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rw.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz during drain: %d, want 503", rw.Code)
+	}
+
+	close(release)
+	if got := <-inflight; got.code != http.StatusOK {
+		t.Fatalf("in-flight solve finished %d, want 200 (drain must not cancel admitted work)", got.code)
+	}
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain not clean: %v", err)
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve returned %v, want http.ErrServerClosed", err)
+	}
+	m := srv.Metrics()
+	if m["drains_total"] != 1 || m["rejected_drain_total"] != 1 {
+		t.Errorf("drain counters: %+v", m)
+	}
+}
+
+// TestBatchAndSweep covers the remaining endpoints' happy paths and their
+// size guards.
+func TestBatchAndSweep(t *testing.T) {
+	inst := testInstance(t)
+	srv := New(Config{})
+
+	w := postJSON(t, srv.Handler(), "/v1/batch", BatchRequest{
+		Instances: []InstanceSpec{{Instance: inst}, {Instance: inst}},
+	}, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", w.Code, w.Body.String())
+	}
+	br := decodeAs[BatchResponse](t, w)
+	if len(br.Items) != 2 || !br.Items[0].OK || !br.Items[1].OK {
+		t.Fatalf("batch items: %+v", br.Items)
+	}
+	if br.Items[0].Agents != br.Items[1].Agents {
+		t.Errorf("identical batch instances disagree: %+v", br.Items)
+	}
+
+	w = postJSON(t, srv.Handler(), "/v1/sweep", SweepRequest{
+		Corridors: []int{2}, Lens: []int{6}, Units: 60, Points: 2, Horizon: 1200,
+	}, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("sweep: status %d: %s", w.Code, w.Body.String())
+	}
+	sr := decodeAs[SweepResponse](t, w)
+	if len(sr.Cells) != 1 || len(sr.Cells[0].Points) != 2 {
+		t.Fatalf("sweep cells: %+v", sr.Cells)
+	}
+
+	w = postJSON(t, srv.Handler(), "/v1/sweep", SweepRequest{
+		Corridors: []int{2, 3, 4}, Lens: []int{6, 7, 9}, Units: 480, Points: 100, Horizon: 1200,
+	}, nil)
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("oversized sweep: status %d, want 422: %s", w.Code, w.Body.String())
+	}
+}
+
+// TestVarsEndpoint: counters are served as JSON.
+func TestVarsEndpoint(t *testing.T) {
+	srv := New(Config{})
+	w := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/debug/vars", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	vars := decodeAs[map[string]int64](t, w)
+	if _, ok := vars["requests_total"]; !ok {
+		t.Errorf("vars missing requests_total: %v", vars)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

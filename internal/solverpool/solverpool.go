@@ -102,7 +102,8 @@ func solveRange(ctx context.Context, reqs []Request, results []Result, next *ato
 			return
 		}
 		if err := ctx.Err(); err != nil {
-			results[i] = Result{Err: fmt.Errorf("solverpool: request %d canceled before solving: %w", i, lp.ErrCanceled)}
+			results[i] = Result{Err: lp.WrapCancelCause(ctx,
+				fmt.Errorf("solverpool: request %d canceled before solving: %w", i, lp.ErrCanceled))}
 			continue
 		}
 		start := time.Now()

@@ -1,0 +1,125 @@
+// Command servesmoke is the `make serve-smoke` driver: it builds wspd,
+// starts it on an ephemeral port, performs one /healthz probe and one
+// /v1/solve, then sends SIGTERM and requires a drain-clean exit 0 — the
+// daemon's whole lifecycle contract (serve → answer → drain), end to end,
+// with no curl dependency.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve-smoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("serve-smoke: ok (healthz + solve + drain-clean exit 0)")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "wspd-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	bin := filepath.Join(dir, "wspd")
+
+	build := exec.Command("go", "build", "-o", bin, "./cmd/wspd")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building wspd: %w", err)
+	}
+
+	daemon := exec.Command(bin, "-addr", "127.0.0.1:0", "-strategy", "route")
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := daemon.Start(); err != nil {
+		return fmt.Errorf("starting wspd: %w", err)
+	}
+	// On any failure below, don't leave the daemon running.
+	defer daemon.Process.Kill()
+
+	// The daemon logs "wspd: serving on 127.0.0.1:PORT (...)" once bound.
+	addr := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(os.Stderr, line)
+			if i := strings.Index(line, "serving on "); i >= 0 {
+				rest := line[i+len("serving on "):]
+				if j := strings.IndexByte(rest, ' '); j >= 0 {
+					rest = rest[:j]
+				}
+				select {
+				case addr <- rest:
+				default:
+				}
+			}
+		}
+	}()
+	var base string
+	select {
+	case a := <-addr:
+		base = "http://" + a
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("wspd did not report its listen address in 10s")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+
+	reqBody := `{"map":"sorting","units":120,"horizon":3600,"deadline_ms":60000}`
+	resp, err = http.Post(base+"/v1/solve", "application/json", strings.NewReader(reqBody))
+	if err != nil {
+		return fmt.Errorf("solve: %w", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("solve: status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var solved struct {
+		OK     bool `json:"ok"`
+		Agents int  `json:"agents"`
+	}
+	if err := json.Unmarshal(body, &solved); err != nil || !solved.OK || solved.Agents <= 0 {
+		return fmt.Errorf("solve: implausible response %s (err=%v)", bytes.TrimSpace(body), err)
+	}
+	fmt.Printf("serve-smoke: solved sorting/120 with %d agents\n", solved.Agents)
+
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("SIGTERM: %w", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- daemon.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("wspd exited dirty after SIGTERM: %w", err)
+		}
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("wspd did not exit within 30s of SIGTERM")
+	}
+	return nil
+}

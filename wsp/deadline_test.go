@@ -1,0 +1,112 @@
+package wsp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDeadlineTaxonomy pins the deadline-vs-cancel distinction end to end:
+// a solve cut short by a context DEADLINE satisfies both ErrCanceled and
+// ErrDeadlineExceeded; one cut short by a plain cancel satisfies only
+// ErrCanceled; a context.WithCancelCause cause rides along. This is the
+// contract the wspd service maps onto 504 vs 499.
+func TestDeadlineTaxonomy(t *testing.T) {
+	m := tinyMap(t)
+	inst := tinyInstance(t, m, 12, 800)
+	solver := New(WithStrategy(ContractILP), WithExact(true))
+
+	t.Run("deadline", func(t *testing.T) {
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel()
+		_, err := solver.Solve(ctx, inst)
+		if err == nil {
+			t.Fatal("expired deadline produced a result")
+		}
+		if !errors.Is(err, ErrCanceled) {
+			t.Errorf("deadline error does not wrap ErrCanceled: %v", err)
+		}
+		if !errors.Is(err, ErrDeadlineExceeded) {
+			t.Errorf("deadline error does not wrap ErrDeadlineExceeded: %v", err)
+		}
+	})
+
+	t.Run("plain-cancel", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := solver.Solve(ctx, inst)
+		if err == nil {
+			t.Fatal("cancelled context produced a result")
+		}
+		if !errors.Is(err, ErrCanceled) {
+			t.Errorf("cancel error does not wrap ErrCanceled: %v", err)
+		}
+		if errors.Is(err, ErrDeadlineExceeded) {
+			t.Errorf("plain cancel misreports a deadline: %v", err)
+		}
+	})
+
+	t.Run("custom-cause", func(t *testing.T) {
+		cause := errors.New("operator pulled the plug")
+		ctx, cancel := context.WithCancelCause(context.Background())
+		cancel(cause)
+		_, err := solver.Solve(ctx, inst)
+		if err == nil {
+			t.Fatal("cancelled context produced a result")
+		}
+		if !errors.Is(err, ErrCanceled) || !errors.Is(err, cause) {
+			t.Errorf("cause lost in transit: %v", err)
+		}
+	})
+
+	t.Run("batch-deadline", func(t *testing.T) {
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel()
+		for i, r := range solver.SolveBatch(ctx, []Instance{inst, inst}) {
+			if r.Err == nil {
+				t.Fatalf("slot %d: expired deadline produced a result", i)
+			}
+			if !errors.Is(r.Err, ErrCanceled) || !errors.Is(r.Err, ErrDeadlineExceeded) {
+				t.Errorf("slot %d: want ErrCanceled+ErrDeadlineExceeded, got %v", i, r.Err)
+			}
+		}
+	})
+
+	t.Run("sweep-deadline", func(t *testing.T) {
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel()
+		_, err := solver.Sweep(ctx, SweepSpec{
+			Corridors: []int{2}, Lens: []int{6}, Stripes: 1, Products: 2,
+			Units: 60, Points: 2, Horizon: 1200,
+		})
+		if err == nil {
+			t.Fatal("expired deadline swept the grid")
+		}
+		if !errors.Is(err, ErrCanceled) || !errors.Is(err, ErrDeadlineExceeded) {
+			t.Errorf("sweep deadline error: want ErrCanceled+ErrDeadlineExceeded, got %v", err)
+		}
+	})
+}
+
+// TestDeadlineMidSolve cancels via deadline while the ILP search is
+// actually running (not before it starts), proving the cause survives the
+// lp-layer channel crossing.
+func TestDeadlineMidSolve(t *testing.T) {
+	m := midMap(t)
+	inst := tinyInstance(t, m, 64, 1200)
+	solver := New(WithStrategy(ContractILP), WithExact(true), WithMaxAttempts(1))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := solver.Solve(ctx, inst)
+	if err == nil {
+		t.Skip("solve finished inside the deadline; nothing to assert")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("mid-solve deadline does not wrap ErrCanceled: %v", err)
+	}
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Errorf("mid-solve deadline does not wrap ErrDeadlineExceeded: %v", err)
+	}
+}

@@ -1,6 +1,8 @@
 package wsp
 
 import (
+	"context"
+
 	"repro/internal/flow"
 	"repro/internal/lp"
 	"repro/internal/mapf"
@@ -36,7 +38,17 @@ var (
 
 	// ErrCanceled: the context was cancelled and the solve was abandoned
 	// — inside the LP search, within one work-budget accounting tick.
+	// WHY the context fired stays visible: a solve cut short by
+	// context.WithDeadline/WithTimeout additionally satisfies
+	// errors.Is(err, ErrDeadlineExceeded), and a context.CancelCause cause
+	// rides along the same way, so a server can map deadline expiry and
+	// client disconnect to different responses (wspd: 504 vs 499).
 	ErrCanceled = lp.ErrCanceled
+
+	// ErrDeadlineExceeded is context.DeadlineExceeded, re-exported so the
+	// deadline/cancel distinction is part of the documented taxonomy. It
+	// always co-occurs with ErrCanceled, never replaces it.
+	ErrDeadlineExceeded = context.DeadlineExceeded
 
 	// ErrExpansionLimit: a MAPF baseline planner (IteratedECBS) exhausted
 	// its search budget — the "failed to terminate" outcome the paper

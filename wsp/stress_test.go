@@ -1,0 +1,109 @@
+package wsp
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestSharedSolverStress interleaves Solve, SolveBatch, and Sweep on ONE
+// shared Solver from many goroutines — the wspd service's usage pattern —
+// and requires every answer to be bit-identical to a quiet sequential run.
+// Run under -race this also proves the facade's scratch pooling and the
+// sweep's internal worker pool never share state across concurrent calls.
+func TestSharedSolverStress(t *testing.T) {
+	m := tinyMap(t)
+	instA := tinyInstance(t, m, 12, 800)
+	instB := tinyInstance(t, m, 8, 800)
+	spec := SweepSpec{
+		Corridors: []int{2}, Lens: []int{6}, Stripes: 1, Products: 2,
+		Units: 60, Points: 2, Horizon: 1200,
+	}
+	solver := New(WithStrategy(ContractILP), WithParallel(2))
+	ctx := context.Background()
+
+	// Quiet sequential baselines.
+	wantA, err := solver.Solve(ctx, instA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := solver.Solve(ctx, instB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSweep, err := solver.Sweep(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sameResult := func(t *testing.T, tag string, got, want *Result) {
+		t.Helper()
+		if got.Stats.Agents != want.Stats.Agents || got.Sim.ServicedAt != want.Sim.ServicedAt ||
+			len(got.CycleSet.Cycles) != len(want.CycleSet.Cycles) {
+			t.Errorf("%s: got agents=%d serviced=%d cycles=%d, want agents=%d serviced=%d cycles=%d",
+				tag, got.Stats.Agents, got.Sim.ServicedAt, len(got.CycleSet.Cycles),
+				want.Stats.Agents, want.Sim.ServicedAt, len(want.CycleSet.Cycles))
+		}
+	}
+
+	const rounds = 4
+	var wg sync.WaitGroup
+	for g := 0; g < rounds; g++ {
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2; i++ {
+				got, err := solver.Solve(ctx, instA)
+				if err != nil {
+					t.Errorf("solve: %v", err)
+					return
+				}
+				sameResult(t, "solve", got, wantA)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i, r := range solver.SolveBatch(ctx, []Instance{instA, instB, instA}) {
+				if r.Err != nil {
+					t.Errorf("batch slot %d: %v", i, r.Err)
+					return
+				}
+				want := wantA
+				if i == 1 {
+					want = wantB
+				}
+				sameResult(t, "batch", r.Res, want)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			cells, err := solver.Sweep(ctx, spec)
+			if err != nil {
+				t.Errorf("sweep: %v", err)
+				return
+			}
+			if len(cells) != len(wantSweep) {
+				t.Errorf("sweep: %d cells, want %d", len(cells), len(wantSweep))
+				return
+			}
+			for ci, c := range cells {
+				want := wantSweep[ci]
+				if len(c.Points) != len(want.Points) {
+					t.Errorf("sweep cell %d: %d points, want %d", ci, len(c.Points), len(want.Points))
+					continue
+				}
+				for pi, p := range c.Points {
+					wp := want.Points[pi]
+					if (p.Err == nil) != (wp.Err == nil) {
+						t.Errorf("sweep cell %d point %d: err=%v, want err=%v", ci, pi, p.Err, wp.Err)
+						continue
+					}
+					if p.Err == nil {
+						sameResult(t, "sweep", p.Result, wp.Result)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"repro/internal/lp"
 )
 
 // SweepSpec describes a co-design grid walk in the style of the paper's
@@ -76,7 +78,8 @@ func (s *Solver) Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error)
 	for _, v := range spec.Corridors {
 		for _, l := range spec.Lens {
 			if err := ctx.Err(); err != nil {
-				return cells, fmt.Errorf("wsp: sweep canceled after %d topologies: %w", len(cells), ErrCanceled)
+				return cells, lp.WrapCancelCause(ctx,
+					fmt.Errorf("wsp: sweep canceled after %d topologies: %w", len(cells), ErrCanceled))
 			}
 			m, err := GenerateMap(MapParams{
 				Stripes: spec.Stripes, Rows: v, BayWidth: 12, CorridorWidth: v,
@@ -114,7 +117,8 @@ func (s *Solver) Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error)
 				// that landed only after every slot finished affected
 				// nothing, so that cell is kept (the next topology's
 				// pre-check ends the walk).
-				return cells, fmt.Errorf("wsp: sweep canceled after %d topologies: %w", len(cells), ErrCanceled)
+				return cells, lp.WrapCancelCause(ctx,
+					fmt.Errorf("wsp: sweep canceled after %d topologies: %w", len(cells), ErrCanceled))
 			}
 			cells = append(cells, cell)
 		}

@@ -204,6 +204,15 @@ func New(opts ...Option) *Solver {
 	return s
 }
 
+// NewFromConfig builds a Solver from an already-resolved Config — the form
+// a server uses when the knob set is computed per request (degradation
+// ladders, per-client overrides) rather than fixed at construction.
+func NewFromConfig(cfg Config) *Solver {
+	s := &Solver{cfg: cfg}
+	s.scratch.New = func() any { return &core.Scratch{} }
+	return s
+}
+
 // Config returns the Solver's resolved configuration.
 func (s *Solver) Config() Config { return s.cfg }
 
@@ -226,6 +235,39 @@ func (s *Solver) Solve(ctx context.Context, inst Instance) (*Result, error) {
 	sc := s.scratch.Get().(*core.Scratch)
 	defer s.scratch.Put(sc)
 	res, err := core.SolveScratch(ctx, inst.System, inst.Workload, inst.Horizon, s.cfg.coreOptions(), sc)
+	if err != nil {
+		return nil, fmt.Errorf("wsp: solve (T=%d): %w", inst.Horizon, err)
+	}
+	return res, nil
+}
+
+// Scratch is an opaque, reusable synthesis scratch: compiled contract
+// models, solver arenas, and packing buffers that persist across solves.
+// A Solver's own sync.Pool already recycles scratch anonymously; an
+// explicit Scratch exists for callers that know MORE than the pool does —
+// a solve server keys warm scratches by traffic.StructureSignature so
+// concurrent clients on the same topology reuse one compiled contract
+// system instead of drawing an arbitrary (probably cold) pool entry. A
+// Scratch must not be used by two solves concurrently; results are
+// bit-identical whether a scratch is cold, warm, or absent.
+type Scratch struct {
+	sc core.Scratch
+}
+
+// NewScratch returns an empty Scratch, ready for SolveWithScratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// SolveWithScratch is Solve with a caller-owned Scratch in place of the
+// Solver's anonymous pool. The scratch may be shared across Solvers (its
+// warmth is keyed by topology, not by configuration).
+func (s *Solver) SolveWithScratch(ctx context.Context, inst Instance, sc *Scratch) (*Result, error) {
+	if sc == nil {
+		return s.Solve(ctx, inst)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := core.SolveScratch(ctx, inst.System, inst.Workload, inst.Horizon, s.cfg.coreOptions(), &sc.sc)
 	if err != nil {
 		return nil, fmt.Errorf("wsp: solve (T=%d): %w", inst.Horizon, err)
 	}
