@@ -228,16 +228,25 @@ func BenchmarkSynthesizerAblation(b *testing.B) {
 			}
 		})
 	}
-	// The exact-arithmetic contract path, auto (revised at this size) vs
-	// pinned dense: the representation ablation for the §IV-D pipeline.
-	// Results are bit-identical; only the simplex representation differs.
+	// The exact-arithmetic contract path: auto (revised at this size) vs
+	// pinned dense is the representation ablation, hybrid is the certified
+	// float-first solve mode, cuts adds the root cutting planes. Auto,
+	// dense and hybrid results are bit-identical; cuts preserves the exact
+	// objective (alternate optima may differ).
 	for _, sx := range []struct {
-		name    string
-		simplex lp.SimplexEngine
-	}{{"contract-ilp-exact", lp.SimplexAuto}, {"contract-ilp-exact-dense", lp.SimplexDense}} {
+		name     string
+		simplex  lp.SimplexEngine
+		rootCuts bool
+	}{
+		{"contract-ilp-exact", lp.SimplexAuto, false},
+		{"contract-ilp-exact-dense", lp.SimplexDense, false},
+		{"contract-ilp-exact-hybrid", lp.SimplexHybrid, false},
+		{"contract-ilp-exact-cuts", lp.SimplexAuto, true},
+	} {
 		b.Run(sx.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				opts := core.Options{Strategy: core.ContractILP, SkipRealization: true, ExactILP: true, Simplex: sx.simplex}
+				opts := core.Options{Strategy: core.ContractILP, SkipRealization: true,
+					ExactILP: true, Simplex: sx.simplex, RootCuts: sx.rootCuts}
 				if _, err := core.Solve(context.Background(), s, wl, 800, opts); err != nil {
 					b.Fatal(err)
 				}
@@ -341,9 +350,27 @@ func BenchmarkLP(b *testing.B) {
 				}
 			})
 		}
-		b.Run("Float/"+sz.name, func(b *testing.B) {
+		// "Float" routes through floatPick (the revised partial-pricing
+		// engine at these sizes); "FloatDense" pins the float tableau so the
+		// partial-pricing win stays measurable per snapshot. "Hybrid" is the
+		// certified float-first/exact-verify mode — the number to compare
+		// against "Exact", since both return bit-identical rational answers.
+		for _, fx := range []struct {
+			name    string
+			simplex lp.SimplexEngine
+		}{{"Float", lp.SimplexAuto}, {"FloatDense", lp.SimplexDense}} {
+			b.Run(fx.name+"/"+sz.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sol, err := lp.SolveLPFloatWith(cont, lp.SolveOptions{Simplex: fx.simplex})
+					if err != nil || sol.Status != lp.StatusOptimal {
+						b.Fatalf("status %v err %v", sol.Status, err)
+					}
+				}
+			})
+		}
+		b.Run("Hybrid/"+sz.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				sol, err := lp.SolveLPFloat(cont)
+				sol, err := lp.SolveLPWith(cont, lp.SolveOptions{Simplex: lp.SimplexHybrid})
 				if err != nil || sol.Status != lp.StatusOptimal {
 					b.Fatalf("status %v err %v", sol.Status, err)
 				}
@@ -357,6 +384,8 @@ func BenchmarkLP(b *testing.B) {
 			{"ILPExact", lp.ILPOptions{Engine: lp.EngineExact}},
 			{"ILPExactDense", lp.ILPOptions{Engine: lp.EngineExact, Simplex: lp.SimplexDense}},
 			{"ILPFloat", lp.ILPOptions{Engine: lp.EngineFloat}},
+			{"ILPHybrid", lp.ILPOptions{Simplex: lp.SimplexHybrid}},
+			{"ILPRootCuts", lp.ILPOptions{RootCuts: true}},
 		} {
 			b.Run(eng.name+"/"+sz.name, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {

@@ -184,7 +184,9 @@ func cmdSolve(ctx context.Context, args []string) error {
 	units := fs.Int("units", 160, "total units to move")
 	T := fs.Int("T", 3600, "timestep limit")
 	strat := fs.String("strategy", "route", "synthesis strategy: route, flows, or contract")
-	simplex := fs.String("simplex", "auto", "exact LP representation: auto, dense, or revised")
+	simplex := fs.String("simplex", "auto", "exact LP engine: auto, dense, revised, or hybrid")
+	hybrid := fs.Bool("hybrid", false, "float-first/exact-verify hybrid solves (same as -simplex hybrid)")
+	rootCuts := fs.Bool("root-cuts", false, "Gomory/cover cuts at the exact ILP root")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -204,7 +206,8 @@ func cmdSolve(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	solver := wsp.New(wsp.WithStrategy(strategy), wsp.WithSimplex(sx))
+	solver := wsp.New(wsp.WithStrategy(strategy), wsp.WithSimplex(sx),
+		wsp.WithHybrid(*hybrid || sx == wsp.SimplexHybrid), wsp.WithRootCuts(*rootCuts))
 	start := time.Now()
 	res, err := solver.Solve(ctx, wsp.Instance{System: m.S, Workload: wl, Horizon: *T})
 	if err != nil {
@@ -232,7 +235,9 @@ func cmdSweep(ctx context.Context, args []string) error {
 	points := fs.Int("points", 3, "workload levels per topology (units·i/points, i=1..points)")
 	T := fs.Int("T", 3600, "timestep limit")
 	strat := fs.String("strategy", "route", "synthesis strategy: route, flows, or contract")
-	simplex := fs.String("simplex", "auto", "exact LP representation: auto, dense, or revised")
+	simplex := fs.String("simplex", "auto", "exact LP engine: auto, dense, revised, or hybrid")
+	hybrid := fs.Bool("hybrid", false, "float-first/exact-verify hybrid solves (same as -simplex hybrid)")
+	rootCuts := fs.Bool("root-cuts", false, "Gomory/cover cuts at the exact ILP root")
 	parallel := fs.Int("parallel", 1, "solver pool width (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -253,7 +258,8 @@ func cmdSweep(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	solver := wsp.New(wsp.WithStrategy(strategy), wsp.WithSimplex(sx), wsp.WithParallel(*parallel))
+	solver := wsp.New(wsp.WithStrategy(strategy), wsp.WithSimplex(sx), wsp.WithParallel(*parallel),
+		wsp.WithHybrid(*hybrid || sx == wsp.SimplexHybrid), wsp.WithRootCuts(*rootCuts))
 	start := time.Now()
 	cells, sweepErr := solver.Sweep(ctx, wsp.SweepSpec{
 		Corridors: vs, Lens: ls,

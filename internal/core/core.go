@@ -66,9 +66,15 @@ type Options struct {
 	ExactILP bool
 	// Simplex overrides the exact LP engines' simplex representation for
 	// the contract path (dense tableau vs LU-factorized revised simplex;
-	// lp.SimplexAuto selects by instance size). Answers are bit-identical
+	// lp.SimplexAuto selects by instance size; lp.SimplexHybrid selects the
+	// float-first/exact-verify hybrid solve mode). Answers are bit-identical
 	// either way — this is a speed knob for benchmarking and tuning.
 	Simplex lp.SimplexEngine
+	// RootCuts enables Gomory fractional and knapsack-cover cuts at the
+	// branch-and-bound root of the contract path's exact ILP solves. The
+	// optimal objective is exactly preserved; alternate integer optima may
+	// surface differently than the cut-free search.
+	RootCuts bool
 	// AdmissionCheck runs the LP-relaxation infeasibility certificate
 	// (flow.Admit) before synthesis, failing fast with a sound proof when
 	// no agent flow set can exist. The relaxation has |Es|·(|ρ|+1)
@@ -213,7 +219,7 @@ func solveOnce(ctx context.Context, s *traffic.System, wl warehouse.Workload, T 
 		cs = c
 	case SequentialFlows, ContractILP:
 		fopts := flow.Options{WarmupMargin: margin, ExactILP: opts.ExactILP, Simplex: opts.Simplex,
-			MaxWork: opts.MaxWork, MaxNodes: opts.MaxNodes}
+			RootCuts: opts.RootCuts, MaxWork: opts.MaxWork, MaxNodes: opts.MaxNodes}
 		var set *flow.Set
 		var err error
 		if opts.Strategy == SequentialFlows {

@@ -244,6 +244,7 @@ func synthesisILPOptions(ctx context.Context, goal *contracts.Contract, opts Opt
 		MaxNodes: maxNodes,
 		MaxWork:  maxWork,
 		Simplex:  opts.Simplex,
+		RootCuts: opts.RootCuts,
 		Cancel:   cancelOf(ctx),
 	}
 }
@@ -418,8 +419,16 @@ type Options struct {
 	ExactILP bool
 	// Simplex overrides the exact engines' simplex representation (dense
 	// tableau vs LU-factorized revised; lp.SimplexAuto selects by instance
-	// size). Answers are bit-identical either way.
+	// size). Answers are bit-identical either way. lp.SimplexHybrid selects
+	// the float-first/exact-verify hybrid solve mode instead of a
+	// representation; certified hybrid answers are bit-identical too.
 	Simplex lp.SimplexEngine
+	// RootCuts separates Gomory fractional and knapsack-cover cutting
+	// planes at the branch-and-bound root of each exact contract synthesis
+	// (lp.ILPOptions.RootCuts). The optimal objective is exactly preserved;
+	// with alternate integer optima the returned assignment may differ from
+	// the cut-free search.
+	RootCuts bool
 	// MaxNodes overrides the per-attempt branch-and-bound node budget of
 	// the contract path; 0 selects the package default
 	// (contractNodeBudget). Exhaustion wraps lp.ErrBudgetExhausted.

@@ -53,6 +53,13 @@ type ILPOptions struct {
 	// StatusCanceled within one tick, and an uncancelled search performs
 	// exactly the arithmetic it would with no channel installed.
 	Cancel <-chan struct{}
+	// RootCuts separates Gomory fractional and knapsack-cover cutting
+	// planes at the branch-and-bound root (exact engines only; the float
+	// engine ignores it) and appends them as extra constraint rows before
+	// the search. Cuts never exclude an integer-feasible point, so the
+	// optimal value is unchanged; with alternate integer optima the search
+	// may surface a different one than the cut-free tree. See cuts.go.
+	RootCuts bool
 }
 
 // arena is the engine surface branch-and-bound and the Model layer drive,
@@ -85,9 +92,16 @@ type arena[T any] interface {
 // bounds live in a parent-linked diff chain instead of per-node slices.
 func SolveILP(p *Problem, opts ILPOptions) (*Solution, error) {
 	if opts.Engine == EngineFloat {
-		// The float engine always runs the dense tableau; a revised float
-		// engine would reorder roundings away from the reference.
-		return bbSolve[float64, floatArith](p, floatArith{eps: defaultEps}, opts, false)
+		// Float relaxations: revised partial-pricing engine above the size
+		// crossover, dense tableau below — same auto rule as the exact
+		// engines (candidates are exactly verified either way).
+		return bbSolveTableau(p, floatArena(p, opts.Simplex), floatArith{eps: defaultEps}, opts)
+	}
+	if opts.RootCuts {
+		return solveILPRootCuts(p, opts)
+	}
+	if opts.Simplex == SimplexHybrid {
+		return solveILPHybrid(p, opts)
 	}
 	rev := pickSimplex(p, opts.Simplex) == SimplexRevised
 	var sol *Solution
@@ -115,8 +129,25 @@ func bbSolve[T any, A arith[T]](p *Problem, ar A, opts ILPOptions, revisedEngine
 // stay bit-identical to from-scratch ones while skipping the arena
 // (re)build.
 func bbSolveTableau[T any, A arith[T]](p *Problem, tb arena[T], ar A, opts ILPOptions) (*Solution, error) {
+	return bbSolveHooked(p, tb, ar, opts, bbHooks{})
+}
+
+// bbHooks customizes bbSolveHooked for the hybrid search (hybrid.go): an
+// alternate root reset that keeps an adopted warm basis, and a per-node
+// certificate demanded of every consumed relaxation optimum. The zero value
+// is the plain search.
+type bbHooks struct {
+	start   func(workBudget int64) // nil: tb.startSearch (cold root)
+	certify func() bool            // nil: no certification
+}
+
+func bbSolveHooked[T any, A arith[T]](p *Problem, tb arena[T], ar A, opts ILPOptions, hooks bbHooks) (*Solution, error) {
 	tb.setCancel(opts.Cancel)
-	tb.startSearch(opts.MaxWork) // cold root, as from a fresh arena
+	if hooks.start != nil {
+		hooks.start(opts.MaxWork) // hybrid root: adopted warm basis kept
+	} else {
+		tb.startSearch(opts.MaxWork) // cold root, as from a fresh arena
+	}
 	maxNodes := opts.MaxNodes
 	if maxNodes == 0 {
 		maxNodes = 200000
@@ -188,6 +219,14 @@ func bbSolveTableau[T any, A arith[T]](p *Problem, tb arena[T], ar A, opts ILPOp
 			if !betterOrEqual(p, objTmp, bestObj) {
 				continue
 			}
+		}
+		// Hybrid certification: from here on the node's VALUES matter (the
+		// branching variable, the candidate extraction), not just its
+		// objective, so a warm-path search must prove the relaxation optimum
+		// unique — the exact-only search would then have produced the very
+		// same values. An uncertifiable node aborts the whole hybrid tree.
+		if hooks.certify != nil && !hooks.certify() {
+			return nil, errHybridBail
 		}
 		// Find a fractional integer variable to branch on.
 		branch := tb.firstFractionalInt()

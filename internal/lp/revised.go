@@ -25,10 +25,10 @@ import "math/big"
 // reduced-cost pass over the matrix nonzeros. Contract-shaped systems are
 // extremely sparse, which is where the revised engine wins.
 
-// SimplexEngine selects the simplex representation used by the exact
-// engines. The float engine always runs the dense tableau: revising it
-// would reorder floating-point operations and break parity with the
-// reference representation.
+// SimplexEngine selects the simplex representation. The exact engines keep
+// a bit-identity contract across representations; the float engine has no
+// such contract (its answers are approximate either way), which frees its
+// revised representation to use partial pricing (see newRevisedFloat).
 type SimplexEngine int
 
 // Simplex representations.
@@ -41,6 +41,12 @@ const (
 	SimplexDense
 	// SimplexRevised forces the LU-factorized revised engine.
 	SimplexRevised
+	// SimplexHybrid solves float-first on the revised partial-pricing
+	// float engine, then verifies with the exact engine warm-started from
+	// the float basis; certified answers are bit-identical to an
+	// exact-only solve, and anything that fails certification falls back
+	// to the deterministic cold exact path. See solveLPHybrid.
+	SimplexHybrid
 )
 
 // revisedAutoRows is the SimplexAuto crossover: systems with at least this
@@ -53,7 +59,13 @@ const (
 const revisedAutoRows = 16
 
 // pickSimplex resolves a SimplexEngine choice against the instance.
+// SimplexHybrid is a solve MODE, not a representation; entry points route
+// it before reaching here, so a hybrid choice that leaks this far falls
+// back to size-based selection of an exact representation.
 func pickSimplex(p *Problem, choice SimplexEngine) SimplexEngine {
+	if choice == SimplexHybrid {
+		choice = SimplexAuto
+	}
 	if choice != SimplexAuto {
 		return choice
 	}
@@ -61,6 +73,16 @@ func pickSimplex(p *Problem, choice SimplexEngine) SimplexEngine {
 		return SimplexRevised
 	}
 	return SimplexDense
+}
+
+// floatPick resolves the float engine's representation: same size-based
+// auto rule, with SimplexHybrid folding into auto (hybrid is a property of
+// exact solves; its float half takes the auto choice).
+func floatPick(p *Problem, choice SimplexEngine) SimplexEngine {
+	if choice == SimplexHybrid {
+		choice = SimplexAuto
+	}
+	return pickSimplex(p, choice)
 }
 
 // revised is the factorized-basis counterpart of tableau. The column
@@ -104,6 +126,13 @@ type revised[T any, A arith[T]] struct {
 	pr         pricer
 	work       int64
 	workBudget int64
+	// Partial pricing (float engine only): primal pivots price a rotating
+	// candidate window instead of every column. Exact engines never enable
+	// it — the entering choices would diverge from the dense reference and
+	// break the bit-identity contract.
+	partial bool
+	pwin    int // rotating window width
+	scan    int // column the next window starts at
 	// Cancellation channel and latch, as on the dense tableau: checked on
 	// the same per-pivot tick as the work budget.
 	cancelC     <-chan struct{}
@@ -179,6 +208,29 @@ func newRevised[T any, A arith[T]](p *Problem, ar A) *revised[T, A] {
 	return rv
 }
 
+// newRevisedFloat builds the float64 revised engine: the same LU machinery
+// as the exact revised engine, plus partial pricing. The float engine has
+// no bit-identity contract to a reference representation (see
+// SimplexEngine), so the cheaper entering rule is safe here and only here.
+func newRevisedFloat(p *Problem) *revised[float64, floatArith] {
+	rv := newRevised[float64, floatArith](p, floatArith{eps: defaultEps})
+	rv.partial = true
+	rv.pwin = partialWindow(rv.artStart)
+	return rv
+}
+
+// partialWindow sizes the rotating candidate window: wide enough to give
+// Dantzig's rule real choice (narrow windows degenerate into Bland-like
+// crawls), narrow enough that pricing stops paying one dot per column per
+// pivot on large systems.
+func partialWindow(n int) int {
+	w := n / 8
+	if w < 32 {
+		w = 32
+	}
+	return w
+}
+
 // Arena surface shared with the dense tableau (see arena in ilp.go).
 
 func (rv *revised[T, A]) prob() *Problem { return rv.p }
@@ -188,9 +240,98 @@ func (rv *revised[T, A]) startSearch(workBudget int64) {
 	rv.basisOK = false
 	rv.work = 0
 	rv.workBudget = workBudget
+	// Partial pricing's window position is part of the pivot-sequence
+	// state: a retained arena must replay a fresh arena's solve exactly,
+	// so every search starts the rotation from column zero.
+	rv.scan = 0
+}
+
+// startSearchWarm is startSearch for the hybrid branch-and-bound root: the
+// work counter, budget and pricing rotation reset exactly as on a cold
+// start, but a pre-seeded dual-feasible basis (adopted from the float half
+// of the solve, see adoptBasis) is kept so the root relaxation re-enters
+// through the dual simplex instead of a two-phase cold solve.
+func (rv *revised[T, A]) startSearchWarm(workBudget int64) {
+	rv.basisOK = false
+	rv.work = 0
+	rv.workBudget = workBudget
+	rv.scan = 0
 }
 
 func (rv *revised[T, A]) setWorkBudget(b int64) { rv.workBudget = b }
+
+// basisState snapshots the basis columns and every column's status: the
+// hand-off payload from the float half of a hybrid solve to the exact
+// verifier.
+func (rv *revised[T, A]) basisState() ([]int, []vstat) {
+	basis := make([]int, len(rv.basis))
+	copy(basis, rv.basis)
+	stat := make([]vstat, len(rv.stat))
+	copy(stat, rv.stat)
+	return basis, stat
+}
+
+// adoptBasis installs a basis snapshot produced by another engine over the
+// same Problem — the float half of a hybrid solve, or a deliberately
+// corrupted snapshot in the fault-injection tests. Declared bounds must
+// already be installed (setBounds). The snapshot is validated rather than
+// trusted: wrong shape, statuses inconsistent with the bound structure,
+// artificial columns still basic, or a column set that is singular in exact
+// arithmetic all report false, leaving the engine cold so callers fall back
+// to the deterministic cold exact solve. On success the basis is factorized
+// and the caller re-enters through rewarm()/dual() (directly or via a warm
+// solveNode); basic values are not computed here — rewarm rebuilds them.
+func (rv *revised[T, A]) adoptBasis(basis []int, stat []vstat) bool {
+	if len(basis) != rv.m || len(stat) != rv.n {
+		return false
+	}
+	for j := range rv.rowOf {
+		rv.rowOf[j] = -1
+	}
+	for i, j := range basis {
+		if j < 0 || j >= rv.artStart || rv.rowOf[j] >= 0 || stat[j] != inBasis {
+			return false
+		}
+		rv.rowOf[j] = i
+	}
+	for j := 0; j < rv.artStart; j++ {
+		switch stat[j] {
+		case inBasis:
+			if rv.rowOf[j] < 0 {
+				return false
+			}
+		case nbLower:
+			if !rv.loF[j] {
+				return false
+			}
+		case nbUpper:
+			if !rv.hiF[j] {
+				return false
+			}
+		case nbFree:
+			if rv.loF[j] || rv.hiF[j] {
+				return false
+			}
+		default:
+			return false
+		}
+		rv.stat[j] = stat[j]
+	}
+	// Artificials stay locked at [0,0], as after any completed phase 1.
+	for j := rv.artStart; j < rv.n; j++ {
+		rv.stat[j] = nbLower
+		rv.lo[j], rv.hi[j] = rv.zero, rv.zero
+		rv.loF[j], rv.hiF[j] = true, true
+	}
+	copy(rv.basis, basis)
+	if !rv.fac.tryRefactor(rv.basis) {
+		return false
+	}
+	rv.nArt = 0
+	rv.warmOK = false
+	rv.basisOK = false
+	return true
+}
 
 // setCancel installs the cancellation channel for subsequent solves and
 // re-arms the latch, mirroring tableau.setCancel.
@@ -243,6 +384,17 @@ func (rv *revised[T, A]) updateCost() {
 func (rv *revised[T, A]) updateRHS(i int, rhs *big.Rat) {
 	rv.convRHS[i] = rv.ar.fromRat(rhs)
 	rv.csr.rhs[i] = rhs
+	rv.basisOK = false
+}
+
+// updateRHSPristine mirrors tableau.updateRHSPristine for the Model's
+// float revised arena: pristine system only, every warm state dropped —
+// ResolveILP cold-rebuilds the root, so a float warm basis is never
+// consumed and keeping it would be a rounding trap.
+func (rv *revised[T, A]) updateRHSPristine(i int, rhs *big.Rat) {
+	rv.convRHS[i] = rv.ar.fromRat(rhs)
+	rv.csr.rhs[i] = rhs
+	rv.warmOK = false
 	rv.basisOK = false
 }
 
@@ -575,6 +727,9 @@ func (rv *revised[T, A]) pivotRow(r int) {
 // leave the basis — and hence every reduced cost — untouched, so they
 // skip the reprice).
 func (rv *revised[T, A]) primal(cost []T) Status {
+	if rv.partial {
+		return rv.primalPartial(cost)
+	}
 	ar := rv.ar
 	dirty := true
 	for {
@@ -612,6 +767,151 @@ func (rv *revised[T, A]) primal(cost []T) Status {
 		}
 		rv.pr.observe(ar.sign(step) == 0)
 	}
+}
+
+// primalPartial is primal under partial pricing: each pivot BTRANs the
+// dual vector once (priceY) and derives reduced costs on demand for a
+// rotating window of candidate columns, instead of refreshing all of them.
+// An empty window advances to the next; scanning every window IS full
+// pricing, so an optimality claim is never window-local. The
+// degenerate-stall counter degrades the rule to Bland's least index over
+// the full range, exactly as the full-pricing loop does. Work accounting is
+// unchanged — exchange charges the same dense-equivalent units — so MaxWork
+// budgets stay deterministic for this engine.
+func (rv *revised[T, A]) primalPartial(cost []T) Status {
+	ar := rv.ar
+	dirty := true
+	for {
+		if rv.exhausted() {
+			return StatusLimit
+		}
+		if dirty {
+			rv.priceY(cost)
+			dirty = false
+		}
+		enter, dir := rv.partialEnter(cost)
+		if enter < 0 {
+			return StatusOptimal
+		}
+		rv.ftranCol(enter)
+		step, flip, leaveRow, leaveAtUpper, ok := rv.ratio(enter, dir)
+		if !ok {
+			return StatusUnbounded
+		}
+		if flip {
+			rv.boundFlip(enter, dir)
+		} else {
+			delta := step
+			if dir < 0 {
+				delta = ar.neg(step)
+			}
+			leaveStat := nbLower
+			if leaveAtUpper {
+				leaveStat = nbUpper
+			}
+			rv.exchange(leaveRow, enter, delta, leaveStat, true)
+			dirty = true
+		}
+		rv.pr.observe(ar.sign(step) == 0)
+	}
+}
+
+// priceY refreshes only the BTRAN'd dual vector y = B⁻ᵀc_B into rv.yv;
+// partialEnter derives individual reduced costs from it on demand.
+func (rv *revised[T, A]) priceY(cost []T) {
+	ar := rv.ar
+	y := rv.yv
+	y.clear(rv.zero)
+	for pos := 0; pos < rv.m; pos++ {
+		cb := cost[rv.basis[pos]]
+		if ar.sign(cb) != 0 {
+			y.set(rv.fac.rowOfPos[pos], cb)
+		}
+	}
+	rv.fac.btran(y)
+}
+
+// partialEnter picks the entering column for primalPartial: Dantzig's rule
+// over a rotating window of candidates, advancing window by window until
+// one offers an eligible column (none across a full rotation ⇒ optimal),
+// or Bland's least index over the full range under the stall fallback.
+func (rv *revised[T, A]) partialEnter(cost []T) (enter, dir int) {
+	ar := rv.ar
+	n := rv.artStart
+	y := rv.yv
+	if rv.pr.bland {
+		for j := 0; j < n; j++ {
+			if rv.stat[j] == inBasis || rv.fixedRange(j) {
+				continue
+			}
+			if jdir := rv.eligibleDir(ar.sub(cost[j], rv.dot(y, j)), j); jdir != 0 {
+				return j, jdir
+			}
+		}
+		return -1, 0
+	}
+	best := -1
+	bestDir := 0
+	var bestMag T
+	j := rv.scan
+	if j >= n {
+		j = 0
+	}
+	for scanned := 0; scanned < n; {
+		stop := scanned + rv.pwin
+		if stop > n {
+			stop = n
+		}
+		for ; scanned < stop; scanned++ {
+			jj := j
+			if j++; j >= n {
+				j = 0
+			}
+			if rv.stat[jj] == inBasis || rv.fixedRange(jj) {
+				continue
+			}
+			dj := ar.sub(cost[jj], rv.dot(y, jj))
+			jdir := rv.eligibleDir(dj, jj)
+			if jdir == 0 {
+				continue
+			}
+			mag := dj
+			if ar.sign(dj) < 0 {
+				mag = ar.neg(dj)
+			}
+			if best < 0 || ar.cmp(mag, bestMag) > 0 {
+				best, bestMag, bestDir = jj, mag, jdir
+			}
+		}
+		if best >= 0 {
+			rv.scan = j
+			return best, bestDir
+		}
+	}
+	return -1, 0
+}
+
+// eligibleDir returns the movement direction a nonbasic column with reduced
+// cost d may profitably take from its current home, or 0 when none.
+func (rv *revised[T, A]) eligibleDir(d T, j int) int {
+	sd := rv.ar.sign(d)
+	switch rv.stat[j] {
+	case nbLower:
+		if sd < 0 {
+			return 1
+		}
+	case nbUpper:
+		if sd > 0 {
+			return -1
+		}
+	case nbFree:
+		if sd < 0 {
+			return 1
+		} else if sd > 0 {
+			return -1
+		}
+	}
+	return 0
 }
 
 // priceEnter is tableau.priceEnter over the repriced d vector: Dantzig's

@@ -47,6 +47,9 @@ type SolveOptions struct {
 
 // SolveLPWith is SolveLP with explicit solve options.
 func SolveLPWith(p *Problem, opts SolveOptions) (*Solution, error) {
+	if opts.Simplex == SimplexHybrid {
+		return solveLPHybrid(p, opts.Cancel)
+	}
 	rev := pickSimplex(p, opts.Simplex) == SimplexRevised
 	var sol *Solution
 	var err error
@@ -59,10 +62,27 @@ func SolveLPWith(p *Problem, opts SolveOptions) (*Solution, error) {
 // SolveLPFloat solves the continuous relaxation of p with the float64
 // engine. It is much faster than SolveLP on very large problems but subject
 // to rounding; callers that need certainty should verify with Problem.Check.
-// The float engine always runs the dense tableau (the revised engine would
-// reorder float operations and lose parity with the reference).
+// The representation follows the exact engines' size-based auto rule: the
+// revised partial-pricing engine above the crossover, the dense tableau
+// below it.
 func SolveLPFloat(p *Problem) (*Solution, error) {
-	return solveLPWith[float64, floatArith](p, floatArith{eps: defaultEps}, false, nil)
+	return SolveLPFloatWith(p, SolveOptions{})
+}
+
+// SolveLPFloatWith is SolveLPFloat with explicit solve options.
+func SolveLPFloatWith(p *Problem, opts SolveOptions) (*Solution, error) {
+	tb := floatArena(p, opts.Simplex)
+	tb.setCancel(opts.Cancel)
+	return solveArenaLP(tb)
+}
+
+// floatArena builds the float engine of the chosen (or size-selected)
+// representation.
+func floatArena(p *Problem, choice SimplexEngine) arena[float64] {
+	if floatPick(p, choice) == SimplexRevised {
+		return newRevisedFloat(p)
+	}
+	return newTableau[float64, floatArith](p, floatArith{eps: defaultEps})
 }
 
 func solveLPWith[T any, A arith[T]](p *Problem, ar A, revisedEngine bool, cancel <-chan struct{}) (*Solution, error) {
@@ -73,12 +93,14 @@ func solveLPWith[T any, A arith[T]](p *Problem, ar A, revisedEngine bool, cancel
 		tb = newTableau[T, A](p, ar)
 	}
 	tb.setCancel(cancel)
-	lo := make([]*big.Rat, len(p.Vars))
-	hi := make([]*big.Rat, len(p.Vars))
-	for i := range p.Vars {
-		lo[i] = p.Vars[i].Lower
-		hi[i] = p.Vars[i].Upper
-	}
+	return solveArenaLP(tb)
+}
+
+// solveArenaLP runs one LP solve over a freshly built arena whose
+// cancellation is already installed: declared bounds in, Solution out.
+func solveArenaLP[T any](tb arena[T]) (*Solution, error) {
+	p := tb.prob()
+	lo, hi := declaredBounds(p)
 	status := tb.solveNode(lo, hi)
 	switch status {
 	case StatusInfeasible, StatusUnbounded:

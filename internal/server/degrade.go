@@ -12,7 +12,8 @@ import (
 // occupancy, rejections, and budget exhaustions) positions a ladder, and
 // each rung trades answer cost for answer fidelity:
 //
-//	rung 1: exact rational arithmetic → float-first (same pipeline)
+//	rung 1: exact rational arithmetic → the revised partial-pricing
+//	        float engine (same pipeline, cheapest arithmetic)
 //	rung 2: ContractILP → RoutePacking synthesis
 //	rung 3: shrunken work/node budgets (fail fast instead of grinding)
 //
@@ -143,6 +144,13 @@ func degradeConfig(cfg wsp.Config, r int) (wsp.Config, []string) {
 	var steps []string
 	if r >= 1 && cfg.Exact {
 		cfg.Exact = false
+		// The float rung rides the revised partial-pricing float engine:
+		// clear representation overrides (hybrid is an exact-side solve
+		// mode, and a pinned dense tableau would forgo the fast engine)
+		// and the exact-only root cuts, so the degraded solve is the
+		// cheap one.
+		cfg.Simplex = wsp.SimplexAuto
+		cfg.RootCuts = false
 		steps = append(steps, "float-arith")
 	}
 	if r >= 2 && cfg.Strategy == wsp.ContractILP {

@@ -2,7 +2,10 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"sort"
+	"strings"
 	"sync/atomic"
 )
 
@@ -59,4 +62,33 @@ func (m *metrics) handleVars(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(m.snapshot()) // maps marshal with sorted keys
+}
+
+// metricsNamespace prefixes every exposition name so wspd's series never
+// collide with another job's in a shared Prometheus.
+const metricsNamespace = "wspd_"
+
+// handleMetrics serves the same counter set in the Prometheus text
+// exposition format (text/plain; version=0.0.4): one # TYPE line and one
+// sample per series, names sorted, `wspd_` namespace. Everything except
+// in_flight is a counter; in_flight is a gauge. Hand-rolled on purpose —
+// eighteen integers do not justify a client-library dependency.
+func (m *metrics) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := m.snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		kind := "counter"
+		if !strings.HasSuffix(name, "_total") {
+			kind = "gauge"
+		}
+		fmt.Fprintf(&b, "# TYPE %s%s %s\n%s%s %d\n",
+			metricsNamespace, name, kind, metricsNamespace, name, snap[name])
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
 }

@@ -61,6 +61,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /debug/vars", s.met.handleVars)
+	mux.HandleFunc("GET /metrics", s.met.handleMetrics)
 	s.mux = mux
 	return s
 }

@@ -5,9 +5,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -509,6 +511,51 @@ func TestVarsEndpoint(t *testing.T) {
 	vars := decodeAs[map[string]int64](t, w)
 	if _, ok := vars["requests_total"]; !ok {
 		t.Errorf("vars missing requests_total: %v", vars)
+	}
+}
+
+// TestMetricsEndpoint: the Prometheus text exposition must carry every
+// counter from /debug/vars under the wspd_ namespace, with a matching value
+// and a # TYPE line of the right kind, after real traffic has moved the
+// counters off zero.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := New(Config{})
+	w := postJSON(t, srv.Handler(), "/v1/solve", SolveRequest{
+		InstanceSpec: InstanceSpec{Instance: testInstance(t)},
+	}, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("solve: status %d: %s", w.Code, w.Body.String())
+	}
+
+	w = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/debug/vars", nil))
+	vars := decodeAs[map[string]int64](t, w)
+
+	w = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics: status %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content-type %q", ct)
+	}
+	body := w.Body.String()
+	if vars["requests_total"] == 0 {
+		t.Fatal("solve left requests_total at zero; counter wiring regressed")
+	}
+	for name, val := range vars {
+		kind := "counter"
+		if !strings.HasSuffix(name, "_total") {
+			kind = "gauge"
+		}
+		if want := fmt.Sprintf("# TYPE wspd_%s %s\n", name, kind); !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", strings.TrimSpace(want))
+		}
+		// The sample line must match the JSON value. The snapshots are taken
+		// back to back with no solve in flight, so the counters are stable.
+		if want := fmt.Sprintf("wspd_%s %d\n", name, val); !strings.Contains(body, want) {
+			t.Errorf("metrics missing sample %q; body:\n%s", strings.TrimSpace(want), body)
+		}
 	}
 }
 

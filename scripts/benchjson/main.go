@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -219,6 +220,7 @@ func compareTable(f File, w io.Writer) error {
 	sort.Strings(names)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta")
+	logSum, paired := 0.0, 0
 	for _, name := range names {
 		o, inOld := old.Benchmarks[name]
 		c, inCur := cur.Benchmarks[name]
@@ -231,7 +233,16 @@ func compareTable(f File, w io.Writer) error {
 			fmt.Fprintf(tw, "%s\t0\t%.0f\t?\n", name, c.NsPerOp)
 		default:
 			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\n", name, o.NsPerOp, c.NsPerOp, 100*(c.NsPerOp-o.NsPerOp)/o.NsPerOp)
+			logSum += math.Log(c.NsPerOp / o.NsPerOp)
+			paired++
 		}
+	}
+	if paired > 0 {
+		// The geometric mean of the per-benchmark new/old ratios: the one
+		// scale-free overall number (arithmetic means over ns/op would let
+		// the slowest benchmark drown out everything else). Only pairs
+		// present in both snapshots contribute.
+		fmt.Fprintf(tw, "geomean (%d paired)\t\t\t%+.1f%%\n", paired, 100*(math.Exp(logSum/float64(paired))-1))
 	}
 	return tw.Flush()
 }

@@ -166,6 +166,30 @@ func TestComparePairsAcrossCoreCounts(t *testing.T) {
 	}
 }
 
+func TestCompareGeomeanRow(t *testing.T) {
+	f := File{Snapshots: []Snapshot{
+		{Label: "old", Date: "2026-08-01", Benchmarks: map[string]Bench{
+			"BenchmarkA": {NsPerOp: 100},
+			"BenchmarkB": {NsPerOp: 100},
+			"BenchmarkC": {NsPerOp: 100}, // gone in new: must not count
+		}},
+		{Label: "new", Date: "2026-08-07", Benchmarks: map[string]Bench{
+			"BenchmarkA": {NsPerOp: 50},  // ratio 0.5
+			"BenchmarkB": {NsPerOp: 200}, // ratio 2.0
+			"BenchmarkD": {NsPerOp: 10},  // new: must not count
+		}},
+	}}
+	var buf strings.Builder
+	if err := compareTable(f, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// geomean(0.5, 2.0) = 1.0 → +0.0% over the 2 paired benchmarks.
+	if !strings.Contains(out, "geomean (2 paired)") || !strings.Contains(out, "+0.0%") {
+		t.Errorf("expected a +0.0%% geomean row over 2 pairs:\n%s", out)
+	}
+}
+
 func TestCompareNeedsTwoSnapshots(t *testing.T) {
 	f := File{Snapshots: []Snapshot{{Label: "only", Benchmarks: map[string]Bench{}}}}
 	if err := compareTable(f, io.Discard); err == nil {

@@ -72,6 +72,11 @@ const (
 	SimplexDense = lp.SimplexDense
 	// SimplexRevised forces the LU-factorized revised simplex.
 	SimplexRevised = lp.SimplexRevised
+	// SimplexHybrid solves float-first on the revised partial-pricing
+	// float engine and verifies with the exact engine warm-started from
+	// the float basis; certified answers are bit-identical to exact-only
+	// solves, with a deterministic cold exact fallback otherwise.
+	SimplexHybrid = lp.SimplexHybrid
 )
 
 // ParseStrategy resolves a strategy name ("route", "flows", "contract").
@@ -87,8 +92,8 @@ func ParseStrategy(name string) (Strategy, error) {
 	return 0, fmt.Errorf("wsp: unknown strategy %q (want route, flows, or contract)", name)
 }
 
-// ParseSimplex resolves a simplex representation name ("auto", "dense",
-// "revised").
+// ParseSimplex resolves a simplex engine name ("auto", "dense", "revised",
+// "hybrid").
 func ParseSimplex(name string) (Simplex, error) {
 	switch name {
 	case "auto":
@@ -97,8 +102,10 @@ func ParseSimplex(name string) (Simplex, error) {
 		return SimplexDense, nil
 	case "revised":
 		return SimplexRevised, nil
+	case "hybrid":
+		return SimplexHybrid, nil
 	}
-	return 0, fmt.Errorf("wsp: unknown simplex %q (want auto, dense, or revised)", name)
+	return 0, fmt.Errorf("wsp: unknown simplex %q (want auto, dense, revised, or hybrid)", name)
 }
 
 // Config is the resolved knob set of a Solver: one struct in place of the
@@ -110,8 +117,14 @@ type Config struct {
 	// Exact switches the ContractILP strategy to exact rational
 	// arithmetic.
 	Exact bool
-	// Simplex overrides the exact LP representation (default SimplexAuto).
+	// Simplex overrides the exact LP representation (default SimplexAuto);
+	// SimplexHybrid selects the float-first/exact-verify solve mode.
 	Simplex Simplex
+	// RootCuts enables Gomory fractional and knapsack-cover cuts at the
+	// branch-and-bound root of exact contract solves. The optimal objective
+	// is exactly preserved; alternate integer optima may surface
+	// differently than the cut-free search.
+	RootCuts bool
 	// AdmissionCheck gates synthesis on the LP-relaxation infeasibility
 	// certificate (fail fast with a sound proof).
 	AdmissionCheck bool
@@ -138,6 +151,7 @@ func (c Config) coreOptions() core.Options {
 		Strategy:        c.Strategy,
 		ExactILP:        c.Exact,
 		Simplex:         c.Simplex,
+		RootCuts:        c.RootCuts,
 		AdmissionCheck:  c.AdmissionCheck,
 		SkipRealization: c.SkipRealization,
 		MaxAttempts:     c.MaxAttempts,
@@ -157,6 +171,23 @@ func WithExact(exact bool) Option { return func(c *Config) { c.Exact = exact } }
 
 // WithSimplex overrides the exact LP engines' simplex representation.
 func WithSimplex(s Simplex) Option { return func(c *Config) { c.Simplex = s } }
+
+// WithHybrid toggles the float-first/exact-verify hybrid solve mode
+// (shorthand for WithSimplex(SimplexHybrid)); turning it off restores
+// size-based representation selection.
+func WithHybrid(on bool) Option {
+	return func(c *Config) {
+		if on {
+			c.Simplex = SimplexHybrid
+		} else if c.Simplex == SimplexHybrid {
+			c.Simplex = SimplexAuto
+		}
+	}
+}
+
+// WithRootCuts toggles Gomory fractional and knapsack-cover cuts at the
+// branch-and-bound root of exact contract solves.
+func WithRootCuts(on bool) Option { return func(c *Config) { c.RootCuts = on } }
 
 // WithAdmissionCheck toggles the LP-relaxation admission certificate
 // before synthesis.
