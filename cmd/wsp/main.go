@@ -187,6 +187,7 @@ func cmdSolve(ctx context.Context, args []string) error {
 	simplex := fs.String("simplex", "auto", "exact LP engine: auto, dense, revised, or hybrid")
 	hybrid := fs.Bool("hybrid", false, "float-first/exact-verify hybrid solves (same as -simplex hybrid)")
 	rootCuts := fs.Bool("root-cuts", false, "Gomory/cover cuts at the exact ILP root")
+	searchPar := fs.Int("search-parallel", 0, "within-instance parallelism: B&B subtree + route-probe workers (0 = sequential; bit-identical results)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -207,7 +208,8 @@ func cmdSolve(ctx context.Context, args []string) error {
 		return err
 	}
 	solver := wsp.New(wsp.WithStrategy(strategy), wsp.WithSimplex(sx),
-		wsp.WithHybrid(*hybrid || sx == wsp.SimplexHybrid), wsp.WithRootCuts(*rootCuts))
+		wsp.WithHybrid(*hybrid || sx == wsp.SimplexHybrid), wsp.WithRootCuts(*rootCuts),
+		wsp.WithSearchParallel(*searchPar))
 	start := time.Now()
 	res, err := solver.Solve(ctx, wsp.Instance{System: m.S, Workload: wl, Horizon: *T})
 	if err != nil {
@@ -239,6 +241,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 	hybrid := fs.Bool("hybrid", false, "float-first/exact-verify hybrid solves (same as -simplex hybrid)")
 	rootCuts := fs.Bool("root-cuts", false, "Gomory/cover cuts at the exact ILP root")
 	parallel := fs.Int("parallel", 1, "solver pool width (0 = GOMAXPROCS)")
+	searchPar := fs.Int("search-parallel", 0, "within-instance parallelism: B&B subtree + route-probe workers (0 = sequential; bit-identical results)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -259,7 +262,8 @@ func cmdSweep(ctx context.Context, args []string) error {
 		return err
 	}
 	solver := wsp.New(wsp.WithStrategy(strategy), wsp.WithSimplex(sx), wsp.WithParallel(*parallel),
-		wsp.WithHybrid(*hybrid || sx == wsp.SimplexHybrid), wsp.WithRootCuts(*rootCuts))
+		wsp.WithHybrid(*hybrid || sx == wsp.SimplexHybrid), wsp.WithRootCuts(*rootCuts),
+		wsp.WithSearchParallel(*searchPar))
 	start := time.Now()
 	cells, sweepErr := solver.Sweep(ctx, wsp.SweepSpec{
 		Corridors: vs, Lens: ls,
@@ -319,6 +323,7 @@ func cmdTable(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("table", flag.ExitOnError)
 	T := fs.Int("T", 3600, "timestep limit")
 	parallel := fs.Int("parallel", 1, "solver pool width (0 = GOMAXPROCS); results are bit-identical to -parallel 1")
+	searchPar := fs.Int("search-parallel", 0, "within-instance parallelism: B&B subtree + route-probe workers (0 = sequential; bit-identical results)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -351,7 +356,7 @@ func cmdTable(ctx context.Context, args []string) error {
 			batch = append(batch, wsp.Instance{System: m.S, Workload: wl, Horizon: *T})
 		}
 	}
-	solver := wsp.New(wsp.WithParallel(*parallel))
+	solver := wsp.New(wsp.WithParallel(*parallel), wsp.WithSearchParallel(*searchPar))
 	start := time.Now()
 	results := solver.SolveBatch(ctx, batch)
 	elapsed := time.Since(start)

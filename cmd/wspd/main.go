@@ -7,7 +7,15 @@
 // Usage:
 //
 //	wspd [-addr :8080] [-max-inflight N] [-deadline 30s] [-drain 30s]
-//	     [-strategy route|flows|contract] [-no-degrade]
+//	     [-strategy route|flows|contract] [-search-parallel N]
+//	     [-no-degrade] [-config wspd.json]
+//
+// Every flag can also come from a JSON config file (-config; keys are the
+// flag names with dashes as underscores, e.g. {"max_inflight": 16}) or
+// from the environment (WSPD_ prefix, e.g. WSPD_SEARCH_PARALLEL=4), so
+// parallelism and budget knobs are deployable without rebuilding command
+// lines. Precedence: explicit flag > WSPD_* environment > config file >
+// built-in default.
 //
 // Endpoints:
 //
@@ -26,6 +34,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -34,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,9 +64,15 @@ func run(args []string) int {
 	drain := fs.Duration("drain", 0, "shutdown drain budget (0 = 30s)")
 	strategy := fs.String("strategy", "contract", "base strategy: route|flows|contract")
 	exact := fs.Bool("exact", false, "base config: exact rational ILP arithmetic")
+	searchPar := fs.Int("search-parallel", 0, "within-instance parallelism: B&B subtree + route-probe workers per solve (0 = sequential; bit-identical results)")
 	noDegrade := fs.Bool("no-degrade", false, "disable the graceful-degradation ladder")
 	clientRate := fs.Int64("client-rate", 0, "per-client budget refill, work units/sec (0 = default)")
+	configPath := fs.String("config", "", "JSON config file (flag names with dashes as underscores); explicit flags and WSPD_* env vars override it")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := applyOverrides(fs, *configPath); err != nil {
+		fmt.Fprintln(os.Stderr, "wspd:", err)
 		return 2
 	}
 	st, err := wsp.ParseStrategy(*strategy)
@@ -67,7 +83,7 @@ func run(args []string) int {
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 	srv := server.New(server.Config{
-		Solver:          wsp.Config{Strategy: st, Exact: *exact},
+		Solver:          wsp.Config{Strategy: st, Exact: *exact, SearchParallel: *searchPar},
 		MaxInFlight:     *maxInFlight,
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
@@ -110,6 +126,57 @@ func run(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// applyOverrides back-fills flags the command line left at their defaults
+// from WSPD_* environment variables first, then from the JSON config file,
+// so the precedence is: explicit flag > environment > config file >
+// built-in default. Config keys are flag names with dashes as underscores;
+// unknown keys are rejected (a typo must not silently deploy a default).
+func applyOverrides(fs *flag.FlagSet, configPath string) error {
+	var file map[string]any
+	if configPath != "" {
+		data, err := os.ReadFile(configPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &file); err != nil {
+			return fmt.Errorf("config %s: %w", configPath, err)
+		}
+	}
+	known := map[string]bool{}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	var applyErr error
+	fs.VisitAll(func(f *flag.Flag) {
+		key := strings.ReplaceAll(f.Name, "-", "_")
+		known[key] = true
+		if f.Name == "config" || explicit[f.Name] || applyErr != nil {
+			return
+		}
+		if v, ok := os.LookupEnv("WSPD_" + strings.ToUpper(key)); ok {
+			if err := fs.Set(f.Name, v); err != nil {
+				applyErr = fmt.Errorf("WSPD_%s: %w", strings.ToUpper(key), err)
+			}
+			return
+		}
+		if v, ok := file[key]; ok {
+			// JSON numbers arrive as float64; fmt.Sprint renders integral
+			// ones without a fraction, which is what the int flags parse.
+			if err := fs.Set(f.Name, fmt.Sprint(v)); err != nil {
+				applyErr = fmt.Errorf("config %s: key %q: %w", configPath, key, err)
+			}
+		}
+	})
+	if applyErr != nil {
+		return applyErr
+	}
+	for key := range file {
+		if !known[key] || key == "config" {
+			return fmt.Errorf("config %s: unknown key %q", configPath, key)
+		}
+	}
+	return nil
 }
 
 func drainBudget(d time.Duration) time.Duration {

@@ -1,0 +1,120 @@
+package cycles
+
+// Tests for parallel route packing (Options.PackParallel): the candidate
+// probes of newCycle run concurrently on private scratches, and the merge
+// takes the first success in candidate order — so the produced Set, every
+// error string, and the Check verdicts must be bit-identical to the
+// sequential packing at every worker count, with and without a warm
+// Scratch, under -race.
+
+import (
+	"errors"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/lp"
+	"repro/internal/warehouse"
+)
+
+var packWorkerCounts = []int{1, 2, 4}
+
+// synthAllWorkers synthesizes sequentially and at every pack width,
+// requiring identical Sets (or identical error strings).
+func synthAllWorkers(t *testing.T, tag string, workload warehouse.Workload, T int) {
+	t.Helper()
+	w, s := ringSystem(t)
+	_ = w
+	want, werr := Synthesize(s, workload, T, Options{})
+	for _, pack := range packWorkerCounts {
+		sc := &Scratch{}
+		for rep := 0; rep < 2; rep++ { // second rep reuses the warm scratch
+			got, gerr := Synthesize(s, workload, T, Options{PackParallel: pack, Scratch: sc})
+			if (werr == nil) != (gerr == nil) || (werr != nil && werr.Error() != gerr.Error()) {
+				t.Fatalf("%s pack=%d rep=%d: err=%v, sequential err=%v", tag, pack, rep, gerr, werr)
+			}
+			if werr != nil {
+				continue
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("%s pack=%d rep=%d: Set differs from sequential synthesis", tag, pack, rep)
+			}
+		}
+	}
+}
+
+func TestSynthesizePackParallelParity(t *testing.T) {
+	w, _ := ringSystem(t)
+	for _, tc := range []struct {
+		tag   string
+		units []int
+		T     int
+	}{
+		{"ring", []int{20, 12}, 600},
+		{"heavy", []int{120, 90}, 600},
+		{"tight", []int{40, 40}, 240},
+		{"zero", []int{0, 0}, 600},
+		{"exhausted", []int{300, 300}, 120}, // errors: strings must match too
+	} {
+		synthAllWorkers(t, tc.tag, wl(t, w, tc.units...), tc.T)
+	}
+}
+
+// A pre-fired cancel channel aborts identically at every pack width, still
+// classified under lp.ErrCanceled.
+func TestSynthesizePackParallelCanceled(t *testing.T) {
+	w, s := ringSystem(t)
+	workload := wl(t, w, 20, 12)
+	fired := make(chan struct{})
+	close(fired)
+	for _, pack := range packWorkerCounts {
+		cs, err := Synthesize(s, workload, 600, Options{Cancel: fired, PackParallel: pack})
+		if cs != nil || !errors.Is(err, lp.ErrCanceled) {
+			t.Fatalf("pack=%d: (%v, %v), want lp.ErrCanceled", pack, cs, err)
+		}
+	}
+}
+
+// Concurrent syntheses with oversized pack widths: the token pool bounds
+// the probe goroutines, every result stays bit-identical, and everything
+// winds down leak-free (each wave joins before its synthesis returns).
+func TestSynthesizePackParallelNested(t *testing.T) {
+	w, s := ringSystem(t)
+	workload := wl(t, w, 30, 20)
+	want, err := Synthesize(s, workload, 600, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := &Scratch{}
+			for i := 0; i < 3; i++ {
+				got, err := Synthesize(s, workload, 600, Options{PackParallel: 8, Scratch: sc})
+				if err != nil {
+					t.Errorf("nested synthesis: %v", err)
+					return
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Error("nested synthesis diverged from sequential")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base+2 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d, base %d", n, base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

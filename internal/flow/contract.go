@@ -240,12 +240,13 @@ func synthesisILPOptions(ctx context.Context, goal *contracts.Contract, opts Opt
 		maxWork = contractWorkBudget(goal)
 	}
 	return lp.ILPOptions{
-		Engine:   engine,
-		MaxNodes: maxNodes,
-		MaxWork:  maxWork,
-		Simplex:  opts.Simplex,
-		RootCuts: opts.RootCuts,
-		Cancel:   cancelOf(ctx),
+		Engine:         engine,
+		MaxNodes:       maxNodes,
+		MaxWork:        maxWork,
+		Simplex:        opts.Simplex,
+		RootCuts:       opts.RootCuts,
+		Cancel:         cancelOf(ctx),
+		SearchParallel: opts.SearchParallel,
 	}
 }
 
@@ -437,6 +438,11 @@ type Options struct {
 	// (row-update units); 0 selects the tableau-footprint-scaled default
 	// (contractWorkBudget).
 	MaxWork int64
+	// SearchParallel distributes open branch-and-bound subtrees of each
+	// contract solve across up to this many workers
+	// (lp.ILPOptions.SearchParallel; 0 or 1 = sequential). Answers, budget
+	// verdicts, and error strings are bit-identical at every width.
+	SearchParallel int
 }
 
 // autoMargin picks a warm-up margin when the caller did not: enough periods

@@ -24,6 +24,18 @@ var (
 	// of its deterministic node (MaxNodes) or work (MaxWork) budget
 	// before reaching a decision.
 	ErrBudgetExhausted = errors.New("lp: search budget exhausted")
+
+	// ErrUnboundedIntDomain reports that branch and bound marched too far
+	// into the open side of a one-sided integer domain: the variable is
+	// missing a bound, no finite implied bound was derivable from the
+	// constraint rows (see integerBox in intbox.go), and the branching
+	// chain kept tightening into the open direction — the signature of an
+	// integer-infeasible instance whose relaxations stay feasible forever.
+	// The search rejects the solve with this error instead of hanging.
+	// Solves that decide before branching runs away (unbounded or
+	// infeasible relaxations, entailment probes, feasibility first-wins)
+	// are unaffected by the guard.
+	ErrUnboundedIntDomain = errors.New("lp: integer variable with unbounded domain")
 )
 
 // WrapCancelCause annotates a cancellation error with its context's cancel

@@ -167,7 +167,7 @@ func hybridSearchWith[T any, A arith[T]](p *Problem, ar A, basis []int, stat []v
 	// rewarm()/dual(), and falls back to the cold two-phase solve — the
 	// exact-only root, bit for bit — on its own if re-homing fails.
 	rv.warmOK = true
-	return bbSolveHooked(p, rv, ar, opts, bbHooks{
+	return bbSolveHooked(p, rv, ar, opts, bbHooks[T]{
 		start:   rv.startSearchWarm,
 		certify: rv.uniqueOptimum,
 	})

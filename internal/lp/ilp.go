@@ -60,6 +60,20 @@ type ILPOptions struct {
 	// optimal value is unchanged; with alternate integer optima the search
 	// may surface a different one than the cut-free tree. See cuts.go.
 	RootCuts bool
+	// SearchParallel distributes open branch-and-bound subtrees across up
+	// to this many workers, one arena per worker (0 or 1 = sequential).
+	// The returned Solution, status, and budget verdict are bit-identical
+	// to the sequential search for every worker count: the search is
+	// decomposed at deterministic frontier fences into cold-rooted subtree
+	// tasks whose outcomes merge in work order, with speculative runs
+	// re-validated against the exact incumbent and budget state at commit
+	// time (see parallel.go). Effective extra workers are additionally
+	// clamped by a process-wide GOMAXPROCS-sized token pool, so nested
+	// parallelism (a solver pool of concurrent searches) cannot
+	// oversubscribe the machine — clamping never changes answers. The
+	// hybrid solve mode ignores the knob (its replay tree must be
+	// certified on one arena); its exact fallback honors it.
+	SearchParallel int
 }
 
 // arena is the engine surface branch-and-bound and the Model layer drive,
@@ -70,6 +84,8 @@ type arena[T any] interface {
 	prob() *Problem
 	startSearch(workBudget int64)
 	setWorkBudget(int64)
+	workSpent() int64
+	dropWarm()
 	setCancel(<-chan struct{})
 	canceled() bool
 	solveNode(lo, hi []*big.Rat) Status
@@ -95,7 +111,8 @@ func SolveILP(p *Problem, opts ILPOptions) (*Solution, error) {
 		// Float relaxations: revised partial-pricing engine above the size
 		// crossover, dense tableau below — same auto rule as the exact
 		// engines (candidates are exactly verified either way).
-		return bbSolveTableau(p, floatArena(p, opts.Simplex), floatArith{eps: defaultEps}, opts)
+		spawn := func() arena[float64] { return floatArena(p, opts.Simplex) }
+		return bbSolveHooked(p, floatArena(p, opts.Simplex), floatArith{eps: defaultEps}, opts, bbHooks[float64]{spawn: spawn})
 	}
 	if opts.RootCuts {
 		return solveILPRootCuts(p, opts)
@@ -113,13 +130,9 @@ func SolveILP(p *Problem, opts ILPOptions) (*Solution, error) {
 }
 
 func bbSolve[T any, A arith[T]](p *Problem, ar A, opts ILPOptions, revisedEngine bool) (*Solution, error) {
-	var tb arena[T]
-	if revisedEngine {
-		tb = newRevised[T, A](p, ar)
-	} else {
-		tb = newTableau[T, A](p, ar)
-	}
-	return bbSolveTableau(p, tb, ar, opts)
+	tb := freshArena[T, A](p, ar, revisedEngine)
+	spawn := func() arena[T] { return freshArena[T, A](p, ar, revisedEngine) }
+	return bbSolveHooked(p, tb, ar, opts, bbHooks[T]{spawn: spawn})
 }
 
 // bbSolveTableau is the branch-and-bound search over a caller-provided
@@ -127,21 +140,26 @@ func bbSolve[T any, A arith[T]](p *Problem, ar A, opts ILPOptions, revisedEngine
 // resetting the warm state and work counter first makes the search replay
 // exactly the pivot sequence a fresh arena would, so incremental re-solves
 // stay bit-identical to from-scratch ones while skipping the arena
-// (re)build.
-func bbSolveTableau[T any, A arith[T]](p *Problem, tb arena[T], ar A, opts ILPOptions) (*Solution, error) {
-	return bbSolveHooked(p, tb, ar, opts, bbHooks{})
+// (re)build. spawn builds extra arenas of the same representation for the
+// parallel executor (nil keeps the search sequential); box supplies a
+// memoized integer box (nil derives one per solve).
+func bbSolveTableau[T any, A arith[T]](p *Problem, tb arena[T], ar A, opts ILPOptions, spawn func() arena[T], box func() *boundDiff) (*Solution, error) {
+	return bbSolveHooked(p, tb, ar, opts, bbHooks[T]{spawn: spawn, box: box})
 }
 
-// bbHooks customizes bbSolveHooked for the hybrid search (hybrid.go): an
-// alternate root reset that keeps an adopted warm basis, and a per-node
-// certificate demanded of every consumed relaxation optimum. The zero value
-// is the plain search.
-type bbHooks struct {
+// bbHooks customizes bbSolveHooked: an alternate root reset that keeps an
+// adopted warm basis and a per-node certificate (both for the hybrid search,
+// hybrid.go), and an arena factory enabling the parallel frontier executor
+// (parallel.go) to give each worker its own arena. The zero value is the
+// plain sequential search.
+type bbHooks[T any] struct {
 	start   func(workBudget int64) // nil: tb.startSearch (cold root)
 	certify func() bool            // nil: no certification
+	spawn   func() arena[T]        // nil: parallel execution disabled
+	box     func() *boundDiff      // nil: integerBox(p) per solve
 }
 
-func bbSolveHooked[T any, A arith[T]](p *Problem, tb arena[T], ar A, opts ILPOptions, hooks bbHooks) (*Solution, error) {
+func bbSolveHooked[T any, A arith[T]](p *Problem, tb arena[T], ar A, opts ILPOptions, hooks bbHooks[T]) (*Solution, error) {
 	tb.setCancel(opts.Cancel)
 	if hooks.start != nil {
 		hooks.start(opts.MaxWork) // hybrid root: adopted warm basis kept
@@ -152,129 +170,18 @@ func bbSolveHooked[T any, A arith[T]](p *Problem, tb arena[T], ar A, opts ILPOpt
 	if maxNodes == 0 {
 		maxNodes = 200000
 	}
-	nv := len(p.Vars)
-	// Reused per-node scratch: effective bounds, chain replay stack, and the
-	// relaxation values (big.Rat storage recycled across nodes).
-	loEff := make([]*big.Rat, nv)
-	hiEff := make([]*big.Rat, nv)
-	var chainScratch []*boundDiff
-	relaxVals := make([]*big.Rat, nv)
-	for i := range relaxVals {
-		relaxVals[i] = new(big.Rat)
+	// Integer variables missing a bound side would let the branch chain
+	// walk the open direction forever on an integer-infeasible instance;
+	// derive an a priori box from the constraint data first (the walker's
+	// open-march guard rejects whatever the box cannot cover). A retained
+	// Model supplies its memoized chain through the hook.
+	var box *boundDiff
+	if hooks.box != nil {
+		box = hooks.box()
+	} else {
+		box = integerBox(p)
 	}
-	objTmp := new(big.Rat)
-	mulTmp := new(big.Rat)
-
-	// DFS stack of bound-diff nodes; the nil entry is the root (declared
-	// bounds only).
-	stack := make([]*boundDiff, 1, 64)
-	var best *Solution
-	var bestObj *big.Rat
-	nodes := 0
-	hitLimit := false
-
-	better := func(obj *big.Rat) bool {
-		if bestObj == nil {
-			return true
-		}
-		if p.Maximize {
-			return obj.Cmp(bestObj) > 0
-		}
-		return obj.Cmp(bestObj) < 0
-	}
-
-	for len(stack) > 0 {
-		if nodes >= maxNodes {
-			hitLimit = true
-			break
-		}
-		nodes++
-		nd := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-
-		chainScratch = nd.materialize(p, loEff, hiEff, chainScratch)
-		switch tb.solveNode(loEff, hiEff) {
-		case StatusInfeasible:
-			continue
-		case StatusUnbounded:
-			// An unbounded relaxation at the root of a minimization with no
-			// integrality cuts to help: report unbounded.
-			return &Solution{Status: StatusUnbounded}, nil
-		case StatusLimit:
-			// Pivot budget exhausted mid-relaxation: stop the search and
-			// fall through to the best incumbent, as with MaxNodes.
-			hitLimit = true
-		}
-		if hitLimit {
-			break
-		}
-		// Bound: prune if the relaxation cannot beat the incumbent. The
-		// objective is evaluated in the tableau's own field — per-node work
-		// stays allocation-free until a candidate or branch value is needed.
-		if best != nil && len(p.Objective) > 0 {
-			ar.setRat(objTmp, tb.objectiveValue())
-			if p.Maximize {
-				objTmp.Neg(objTmp) // cost is the minimization form
-			}
-			if !betterOrEqual(p, objTmp, bestObj) {
-				continue
-			}
-		}
-		// Hybrid certification: from here on the node's VALUES matter (the
-		// branching variable, the candidate extraction), not just its
-		// objective, so a warm-path search must prove the relaxation optimum
-		// unique — the exact-only search would then have produced the very
-		// same values. An uncertifiable node aborts the whole hybrid tree.
-		if hooks.certify != nil && !hooks.certify() {
-			return nil, errHybridBail
-		}
-		// Find a fractional integer variable to branch on.
-		branch := tb.firstFractionalInt()
-		if branch < 0 {
-			// Integral (by the relaxation's lights): round and verify exactly.
-			tb.extractInto(relaxVals)
-			vals := roundIntegers(p, relaxVals)
-			if err := p.Check(vals); err != nil {
-				// Float noise produced a bogus candidate; branch on the
-				// variable with the largest rounding error to make progress.
-				branch = worstRounded(p, relaxVals)
-				if branch < 0 {
-					continue // nothing to branch on; abandon this node
-				}
-			} else {
-				cand := &Solution{Status: StatusOptimal, Values: vals}
-				if len(p.Objective) > 0 {
-					cand.Objective = evalObjective(p, vals)
-					if better(cand.Objective) {
-						best, bestObj = cand, cand.Objective
-					}
-					continue
-				}
-				return cand, nil // feasibility problem: first solution wins
-			}
-		}
-		// Branch on floor/ceil of the fractional value: each child is one
-		// bound diff off this node. Explore the floor side first (LIFO:
-		// push ceil first).
-		ar.setRat(mulTmp, tb.value(branch))
-		fl := ratFloor(mulTmp)
-		ceil := new(big.Rat).Add(fl, big.NewRat(1, 1))
-		stack = append(stack, nd.push(branch, false, ceil), nd.push(branch, true, fl))
-	}
-
-	if tb.canceled() {
-		// Cancellation trumps any incumbent: the caller walked away from
-		// the answer, so reporting a half-searched best would be
-		// indistinguishable from a completed solve.
-		return &Solution{Status: StatusCanceled}, nil
-	}
-	if best != nil {
-		return best, nil
-	}
-	if hitLimit {
-		return &Solution{Status: StatusLimit}, nil
-	}
-	return &Solution{Status: StatusInfeasible}, nil
+	return bbSearch(p, tb, ar, opts, hooks, maxNodes, box)
 }
 
 func betterOrEqual(p *Problem, obj, best *big.Rat) bool {

@@ -53,6 +53,14 @@ type Model struct {
 	nv, m int // structure snapshot; growth forces a rebuild
 
 	lo, hi []*big.Rat // per-solve declared-bound scratch
+
+	// Memoized integer box (intbox.go): the box is a pure function of the
+	// declared bounds and constraint rows, so between bound/RHS edits every
+	// ResolveILP reuses one chain instead of re-deriving it. The chain and
+	// its rationals are immutable once built — sharing across solves is
+	// safe.
+	box   *boundDiff
+	boxOK bool
 }
 
 // NewModel wraps p in a persistent model. No tableau is built until the
@@ -75,12 +83,14 @@ func (mo *Model) SetSimplex(e SimplexEngine) { mo.simplex = e }
 // effect at the next solve; warm reentry handles it via the dual simplex.
 func (mo *Model) SetBound(v VarID, lo, hi *big.Rat) {
 	mo.p.Vars[v].Lower, mo.p.Vars[v].Upper = lo, hi
+	mo.boxOK = false
 }
 
 // SetRHS retargets constraint ci to a new right-hand side, keeping any warm
 // basis dual feasible (the textbook dual-simplex re-solve case).
 func (mo *Model) SetRHS(ci int, rhs *big.Rat) {
 	mo.p.Constraints[ci].RHS = rhs
+	mo.boxOK = false
 	if mo.t64 != nil && !promote(func() { mo.t64.updateRHS(ci, rhs) }) {
 		mo.dropRat64()
 	}
@@ -174,7 +184,11 @@ func (mo *Model) ResolveWith(opts SolveOptions) (*Solution, error) {
 func (mo *Model) ResolveILP(opts ILPOptions) (*Solution, error) {
 	mo.checkStructure()
 	if opts.Engine == EngineFloat {
-		return bbSolveTableau(mo.p, mo.floatArena(opts.Simplex), floatArith{eps: defaultEps}, opts)
+		// The parallel executor's extra arenas are spawned fresh (the
+		// retained one cannot be shared across goroutines); cold subtree
+		// solves are arena-independent, so the answer is unchanged.
+		spawn := func() arena[float64] { return floatArena(mo.p, opts.Simplex) }
+		return bbSolveTableau(mo.p, mo.floatArena(opts.Simplex), floatArith{eps: defaultEps}, opts, spawn, mo.cachedBox)
 	}
 	if opts.RootCuts {
 		// Root cuts append rows, which a retained arena cannot absorb;
@@ -188,12 +202,33 @@ func (mo *Model) ResolveILP(opts ILPOptions) (*Solution, error) {
 	if !mo.promoted {
 		var sol *Solution
 		var err error
-		if promote(func() { sol, err = bbSolveTableau(mo.p, mo.arena64(rev), rat64Arith{}, opts) }) {
+		spawn := func() arena[rat64] { return freshArena[rat64, rat64Arith](mo.p, rat64Arith{}, rev) }
+		if promote(func() { sol, err = bbSolveTableau(mo.p, mo.arena64(rev), rat64Arith{}, opts, spawn, mo.cachedBox) }) {
 			return sol, err
 		}
 		mo.dropRat64()
 	}
-	return bbSolveTableau(mo.p, mo.arenaBig(rev), ratArith{}, opts)
+	spawn := func() arena[*big.Rat] { return freshArena[*big.Rat, ratArith](mo.p, ratArith{}, rev) }
+	return bbSolveTableau(mo.p, mo.arenaBig(rev), ratArith{}, opts, spawn, mo.cachedBox)
+}
+
+// cachedBox returns the memoized integer box for the model's current
+// program, deriving it on first use after any bound or RHS edit.
+func (mo *Model) cachedBox() *boundDiff {
+	if !mo.boxOK {
+		mo.box = integerBox(mo.p)
+		mo.boxOK = true
+	}
+	return mo.box
+}
+
+// freshArena builds a new arena of the requested representation, as the
+// parallel executor's per-worker spawn hook.
+func freshArena[T any, A arith[T]](p *Problem, ar A, revisedEngine bool) arena[T] {
+	if revisedEngine {
+		return newRevised[T, A](p, ar)
+	}
+	return newTableau[T, A](p, ar)
 }
 
 // resolveLP drives one LP solve over the given arena: declared bounds in,
@@ -294,6 +329,7 @@ func (mo *Model) checkStructure() {
 		mo.t64, mo.tbig, mo.tflt = nil, nil, nil
 		mo.r64, mo.rbig, mo.rflt = nil, nil, nil
 		mo.promoted = false
+		mo.box, mo.boxOK = nil, false
 		mo.nv, mo.m = len(mo.p.Vars), len(mo.p.Constraints)
 	}
 }

@@ -1,0 +1,669 @@
+package lp
+
+import (
+	"fmt"
+	"math/big"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Frontier-decomposed branch and bound.
+//
+// The search is defined — for EVERY caller, sequential or parallel — as a
+// series of subtree walks over deterministic frontier fences: a walk stops
+// after bbFrontierNodes nodes (when at least two open subtrees remain on
+// its stack) and hands the remainder of its stack back as independent
+// subtree tasks, ordered top-of-stack first so that processing them in
+// order IS the sequential DFS continuation. Every task restarts cold
+// (dropWarm at the subtree root), which makes a task's pivot sequence a
+// pure function of the pristine constraint system and its bound chain —
+// independent of which arena runs it. That is the whole bit-identity
+// argument: tasks are arena-portable by construction, so the only thing a
+// parallel run has to get right is the ORDER in which task outcomes are
+// folded and the incumbent/budget state each walk was launched under.
+//
+// The executor keeps the sequential fold as the single source of truth.
+// Workers claim tasks ahead of the commit cursor and run them under a
+// GUESS — a snapshot of the fold (incumbent, node and work totals) at
+// claim time. At commit time, in task order, each speculative result is
+// validated against the now-authoritative fold: the incumbent must not
+// have moved (pruning decisions depended on it) and the walk must not have
+// been shaped by a budget cap whose true value differs from the guessed
+// one. Valid results commit as-is; invalid ones are redone synchronously
+// on the caller's arena with exact inputs, which is always valid. The
+// worker count therefore changes only which results arrive pre-computed,
+// never what is committed — workers=N is bit-identical to workers=1 and to
+// the plain sequential loop.
+//
+// Worker panics are recovered into an evFailed result, which is never
+// valid; the redo re-raises any deterministic panic (e.g. rat64 overflow)
+// on the caller goroutine, where the usual promote() machinery handles it.
+
+// bbOpenBranchMax caps how many times the search may branch into an
+// unboxed (open) side of one integer variable before rejecting the domain
+// with ErrUnboundedIntDomain. Bounded instances branch into an open side
+// at most a handful of times (the very next relaxation pins the value);
+// only the runaway march of an integer-infeasible one-sided instance
+// accumulates a deep same-direction chain.
+var bbOpenBranchMax = 64
+
+// openPushes counts the chain's bound tightenings of the given side on
+// variable v — the open-march depth the guard compares against.
+func openPushes(nd *boundDiff, v int, upper bool) int {
+	n := 0
+	for cur := nd; cur != nil; cur = cur.parent {
+		if cur.v == v && cur.upper == upper {
+			n++
+		}
+	}
+	return n
+}
+
+// bbFrontierNodes is the frontier fence: a subtree walk stops after this
+// many nodes (when ≥ 2 open subtrees remain on its stack) and hands the
+// remaining stack back as tasks. The fence fires for every caller, so the
+// task decomposition — and therefore the answer — never depends on the
+// worker count. Each task restarts its node cold (arena-portable), so the
+// fence cadence is also the sequential path's overhead knob: trees below
+// it never fence (and pay nothing beyond the walk bookkeeping), and at 256
+// the cold restarts stay under a couple percent of a subtree's work while
+// big trees still shed hundreds of tasks. A var, not a const, so tests can
+// lower it to force decomposition on small corpora.
+var bbFrontierNodes = 256
+
+// searchTokens caps the extra within-instance search workers alive in the
+// whole process. Nested parallelism — a solverpool of concurrent solves,
+// each with SearchParallel > 1 — acquires from this one pool, so the
+// goroutine count stays bounded by it no matter how the knobs multiply.
+// Acquisition is non-blocking: a solve that gets no token simply runs its
+// frontier sequentially, which by construction returns the same answer.
+// The floor of two keeps the machinery exercised even on one-CPU runners.
+var searchTokens = make(chan struct{}, max(2, runtime.GOMAXPROCS(0)))
+
+// bbEvent classifies how a subtree walk ended.
+type bbEvent int
+
+const (
+	evDone      bbEvent = iota // subtree exhausted
+	evFrontier                 // fence hit: remaining stack returned as tasks
+	evLimit                    // node cap (byWork=false) or work budget (byWork=true)
+	evCanceled                 // cancellation observed by a work tick
+	evUnbounded                // a relaxation is unbounded
+	evSolved                   // feasibility problem: first integral solution
+	evAborted                  // abort flag observed; speculative run obsolete
+	evPreempt                  // not run: claim-time totals already exhausted a budget
+	evFailed                   // walk panicked on a worker; the redo re-raises it
+)
+
+// walkIn are the launch inputs of one subtree walk. For a caller-arena walk
+// they come from the authoritative fold; for a speculative worker walk,
+// from a claim-time guess that commit-time validation re-checks.
+type walkIn struct {
+	root    *boundDiff
+	best    *Solution
+	bestObj *big.Rat
+	nodeCap int          // nodes this walk may visit before evLimit
+	remWork int64        // work this walk may charge before evLimit (0 = unlimited)
+	fence   bool         // stop at the frontier fence and decompose
+	cold    bool         // dropWarm first (every task root; not the tree root)
+	abort   *atomic.Bool // optional: checked once per node pop
+}
+
+// walkOut is the outcome of one subtree walk. best/bestObj carry the walk's
+// final incumbent (the input one unless improved — pointer identity is what
+// commit validation relies on), nodes/work its deterministic totals.
+type walkOut struct {
+	event   bbEvent
+	byWork  bool // evLimit: work budget rather than node cap
+	best    *Solution
+	bestObj *big.Rat
+	sol     *Solution    // evSolved: first-win feasibility solution
+	tasks   []*boundDiff // evFrontier: continuation subtrees, DFS order
+	nodes   int
+	work    int64
+	err     error
+}
+
+// bbWalker owns one arena plus the per-node scratch of the sequential
+// search (effective bounds, chain replay stack, relaxation storage). The
+// caller's walker doubles as the redo engine; each worker has its own.
+type bbWalker[T any, A arith[T]] struct {
+	p       *Problem
+	tb      arena[T]
+	ar      A
+	certify func() bool
+	loEff   []*big.Rat
+	hiEff   []*big.Rat
+	chain   []*boundDiff
+	relax   []*big.Rat
+	objTmp  *big.Rat
+	mulTmp  *big.Rat
+	stack   []*boundDiff
+}
+
+func newWalker[T any, A arith[T]](p *Problem, tb arena[T], ar A, certify func() bool) *bbWalker[T, A] {
+	nv := len(p.Vars)
+	w := &bbWalker[T, A]{
+		p: p, tb: tb, ar: ar, certify: certify,
+		loEff: make([]*big.Rat, nv), hiEff: make([]*big.Rat, nv),
+		relax:  make([]*big.Rat, nv),
+		objTmp: new(big.Rat), mulTmp: new(big.Rat),
+		stack: make([]*boundDiff, 0, 64),
+	}
+	for i := range w.relax {
+		w.relax[i] = new(big.Rat)
+	}
+	return w
+}
+
+// run executes one subtree walk: the node loop of the sequential search,
+// verbatim, plus the three pre-pop checks (abort, node cap, frontier fence)
+// in that order. The node cap replays the sequential `nodes >= maxNodes`
+// check exactly — the cap is the caller's remaining allowance — and budget
+// exhaustion inside solveNode surfaces as evLimit/evCanceled just as the
+// sequential loop's break-and-map did.
+func (w *bbWalker[T, A]) run(in walkIn) walkOut {
+	if in.cold {
+		w.tb.dropWarm()
+	}
+	if in.remWork > 0 {
+		w.tb.setWorkBudget(w.tb.workSpent() + in.remWork)
+	} else {
+		w.tb.setWorkBudget(0)
+	}
+	start := w.tb.workSpent()
+	out := walkOut{best: in.best, bestObj: in.bestObj}
+	finish := func(ev bbEvent) walkOut {
+		out.event = ev
+		out.work = w.tb.workSpent() - start
+		return out
+	}
+	w.stack = append(w.stack[:0], in.root)
+	for len(w.stack) > 0 {
+		if in.abort != nil && in.abort.Load() {
+			return finish(evAborted)
+		}
+		if out.nodes >= in.nodeCap {
+			return finish(evLimit)
+		}
+		if in.fence && out.nodes >= bbFrontierNodes && len(w.stack) >= 2 {
+			ts := make([]*boundDiff, len(w.stack))
+			for i := range ts {
+				ts[i] = w.stack[len(w.stack)-1-i] // top first: DFS order
+			}
+			out.tasks = ts
+			return finish(evFrontier)
+		}
+		out.nodes++
+		nd := w.stack[len(w.stack)-1]
+		w.stack = w.stack[:len(w.stack)-1]
+		w.chain = nd.materialize(w.p, w.loEff, w.hiEff, w.chain)
+		switch w.tb.solveNode(w.loEff, w.hiEff) {
+		case StatusInfeasible:
+			continue
+		case StatusUnbounded:
+			return finish(evUnbounded)
+		case StatusLimit:
+			if w.tb.canceled() {
+				return finish(evCanceled)
+			}
+			out.byWork = true
+			return finish(evLimit)
+		}
+		// Bound: prune if the relaxation cannot beat the incumbent. The
+		// objective is evaluated in the arena's own field — per-node work
+		// stays allocation-free until a candidate or branch value is needed.
+		if out.bestObj != nil && len(w.p.Objective) > 0 {
+			w.ar.setRat(w.objTmp, w.tb.objectiveValue())
+			if w.p.Maximize {
+				w.objTmp.Neg(w.objTmp) // cost is the minimization form
+			}
+			if !betterOrEqual(w.p, w.objTmp, out.bestObj) {
+				continue
+			}
+		}
+		// Hybrid certification: from here on the node's VALUES matter (the
+		// branching variable, the candidate extraction), not just its
+		// objective, so a warm-path search must prove the relaxation optimum
+		// unique — the exact-only search would then have produced the very
+		// same values. An uncertifiable node aborts the whole hybrid tree.
+		if w.certify != nil && !w.certify() {
+			out.err = errHybridBail
+			return finish(evFailed)
+		}
+		// Find a fractional integer variable to branch on.
+		branch := w.tb.firstFractionalInt()
+		if branch < 0 {
+			// Integral (by the relaxation's lights): round and verify exactly.
+			w.tb.extractInto(w.relax)
+			vals := roundIntegers(w.p, w.relax)
+			if err := w.p.Check(vals); err != nil {
+				// Float noise produced a bogus candidate; branch on the
+				// variable with the largest rounding error to make progress.
+				branch = worstRounded(w.p, w.relax)
+				if branch < 0 {
+					continue // nothing to branch on; abandon this node
+				}
+			} else {
+				cand := &Solution{Status: StatusOptimal, Values: vals}
+				if len(w.p.Objective) == 0 {
+					out.sol = cand
+					return finish(evSolved) // feasibility: first solution wins
+				}
+				cand.Objective = evalObjective(w.p, vals)
+				if out.bestObj == nil || betterOrEqual(w.p, cand.Objective, out.bestObj) {
+					out.best, out.bestObj = cand, cand.Objective
+				}
+				continue
+			}
+		}
+		// Open-march guard: a branch that tightens INTO a bound side left
+		// open (neither declared nor derivable by integerBox) is how an
+		// integer-infeasible instance with feasible relaxations runs
+		// forever — the chain pushes the open direction indefinitely. A
+		// boxed side bounds its own branch count, so the guard counts only
+		// open-direction pushes on this variable; past the cap the domain
+		// is rejected with the typed error. The count is a pure function
+		// of the node's bound chain, so the verdict lands on the same node
+		// in every representation, engine, and worker schedule.
+		if w.hiEff[branch] == nil && openPushes(nd, branch, false) >= bbOpenBranchMax {
+			out.err = fmt.Errorf("%w: branching on %s marched %d steps into its open upper side", ErrUnboundedIntDomain, w.p.Vars[branch].Name, bbOpenBranchMax)
+			return finish(evFailed)
+		}
+		if w.loEff[branch] == nil && openPushes(nd, branch, true) >= bbOpenBranchMax {
+			out.err = fmt.Errorf("%w: branching on %s marched %d steps into its open lower side", ErrUnboundedIntDomain, w.p.Vars[branch].Name, bbOpenBranchMax)
+			return finish(evFailed)
+		}
+		// Branch on floor/ceil of the fractional value: each child is one
+		// bound diff off this node. Explore the floor side first (LIFO:
+		// push ceil first).
+		w.ar.setRat(w.mulTmp, w.tb.value(branch))
+		fl := ratFloor(w.mulTmp)
+		ceil := new(big.Rat).Add(fl, big.NewRat(1, 1))
+		w.stack = append(w.stack, nd.push(branch, false, ceil), nd.push(branch, true, fl))
+	}
+	return finish(evDone)
+}
+
+// bbFold is the authoritative sequential state of the search: the fold of
+// every committed walk, in task order. It is only ever mutated by the
+// commit loop (under the executor's lock when workers exist).
+type bbFold struct {
+	best      *Solution
+	bestObj   *big.Rat
+	nodes     int
+	work      int64
+	canceled  bool
+	limit     bool
+	unbounded bool
+	solved    *Solution
+	err       error
+}
+
+func (f *bbFold) terminal() bool {
+	return f.err != nil || f.canceled || f.limit || f.unbounded || f.solved != nil
+}
+
+func (f *bbFold) absorb(res walkOut) {
+	f.nodes += res.nodes
+	f.work += res.work
+	f.best, f.bestObj = res.best, res.bestObj
+	switch res.event {
+	case evCanceled:
+		f.canceled = true
+	case evLimit:
+		f.limit = true
+	case evUnbounded:
+		f.unbounded = true
+	case evSolved:
+		f.solved = res.sol
+	}
+	if res.err != nil {
+		f.err = res.err
+	}
+}
+
+// preempt replays the sequential search's between-node budget checks from
+// the fold totals alone, without launching a walk: the node cap fires
+// before a pop (plain limit), and an exhausted work budget surfaces through
+// the next solve's first tick — which checks cancellation first, exactly
+// like exhausted(). Reports whether the search must stop here.
+func (f *bbFold) preempt(maxNodes int, maxWork int64, cancel <-chan struct{}) bool {
+	if f.terminal() {
+		return true
+	}
+	if f.nodes >= maxNodes {
+		f.limit = true
+		return true
+	}
+	if maxWork > 0 && f.work >= maxWork {
+		select {
+		case <-cancel:
+			f.canceled = true
+		default:
+			f.limit = true
+		}
+		return true
+	}
+	return false
+}
+
+// solution maps the final fold to the sequential search's return, in its
+// precedence order: error, feasibility first-win, unbounded, canceled
+// (which trumps any incumbent), incumbent, budget limit, infeasible.
+func (f *bbFold) solution(arenaCanceled bool) (*Solution, error) {
+	if f.err != nil {
+		return nil, f.err
+	}
+	if f.solved != nil {
+		return f.solved, nil
+	}
+	if f.unbounded {
+		return &Solution{Status: StatusUnbounded}, nil
+	}
+	if f.canceled || arenaCanceled {
+		// Cancellation trumps any incumbent: the caller walked away from
+		// the answer, so reporting a half-searched best would be
+		// indistinguishable from a completed solve.
+		return &Solution{Status: StatusCanceled}, nil
+	}
+	if f.best != nil {
+		return f.best, nil
+	}
+	if f.limit {
+		return &Solution{Status: StatusLimit}, nil
+	}
+	return &Solution{Status: StatusInfeasible}, nil
+}
+
+func remWorkOf(maxWork, spent int64) int64 {
+	if maxWork > 0 {
+		return maxWork - spent
+	}
+	return 0
+}
+
+// bbGuess is the fold snapshot a speculative walk launched under.
+type bbGuess struct {
+	best    *Solution
+	bestObj *big.Rat
+	nodes   int
+	work    int64
+}
+
+// bbTask is one frontier subtree awaiting execution, plus its speculation
+// state. All fields are guarded by the executor's lock except abort, which
+// the walker reads lock-free.
+type bbTask struct {
+	root    *boundDiff
+	claimed bool
+	done    bool
+	guess   bbGuess
+	res     walkOut
+	abort   *atomic.Bool
+}
+
+// validCommit reports whether a speculative result is exactly what a
+// caller-arena walk launched from the current fold would produce, so it
+// may commit without being rerun. The conditions are conservative: any
+// doubt costs one synchronous redo, never correctness.
+func validCommit(t *bbTask, fold *bbFold, maxNodes int, maxWork int64) bool {
+	res := &t.res
+	switch res.event {
+	case evCanceled:
+		// Cancellation is global and sticky: once observed, the search
+		// ends with StatusCanceled regardless of scheduling, and the
+		// sequential run would have observed it too (within its next tick).
+		return true
+	case evAborted, evPreempt, evFailed:
+		return false
+	}
+	if t.guess.best != fold.best {
+		return false // incumbent moved since the snapshot: pruning differed
+	}
+	capN := maxNodes - fold.nodes
+	switch res.event {
+	case evFrontier:
+		// The fence check runs strictly after the node-cap check, so a
+		// fence outcome is only real if the true cap was not yet reached.
+		if res.nodes >= capN {
+			return false
+		}
+	case evLimit:
+		if res.byWork {
+			// A work-budget stop is shaped by the exact remaining budget;
+			// it replays identically iff the guessed spend was exact and
+			// the node cap could not have fired first.
+			return maxWork > 0 && t.guess.work == fold.work && res.nodes <= capN
+		}
+		if t.guess.nodes != fold.nodes {
+			return false // the node cap would have fired elsewhere
+		}
+	default: // evDone, evSolved, evUnbounded
+		if res.nodes > capN {
+			return false
+		}
+	}
+	// The work budget must never have been binding: every tick compares
+	// cumulative spend ≥ budget, and a trailing tick sees the walk's final
+	// spend, so equality already flips a verdict — hence strictly less.
+	if maxWork > 0 && res.work >= maxWork-fold.work {
+		return false
+	}
+	return true
+}
+
+// insertAt splices sub into s before index at, preserving order.
+func insertAt[E any](s []E, at int, sub []E) []E {
+	s = append(s, sub...)
+	copy(s[at+len(sub):], s[at:])
+	copy(s[at:], sub)
+	return s
+}
+
+// runRecover runs one speculative walk, converting any panic into an
+// evFailed result. The commit loop's redo then re-raises deterministic
+// panics (rat64 overflow) on the caller goroutine, where promote() catches
+// them exactly as in a sequential run.
+func runRecover[T any, A arith[T]](w *bbWalker[T, A], in walkIn) (out walkOut) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = walkOut{event: evFailed}
+		}
+	}()
+	return w.run(in)
+}
+
+// bbSearch runs the frontier-decomposed branch and bound: a fenced prefix
+// walk on the caller's arena, then — if the prefix fenced — the ordered
+// commit loop over the frontier tasks, with up to SearchParallel−1 extra
+// workers speculating ahead when the caller opted in, an arena factory
+// exists, and the process-wide token pool has capacity.
+func bbSearch[T any, A arith[T]](p *Problem, tb arena[T], ar A, opts ILPOptions, hooks bbHooks[T], maxNodes int, rootChain *boundDiff) (*Solution, error) {
+	w := newWalker(p, tb, ar, hooks.certify)
+	fold := new(bbFold)
+	first := w.run(walkIn{root: rootChain, nodeCap: maxNodes, remWork: opts.MaxWork, fence: true})
+	fold.absorb(first)
+	if first.event != evFrontier || fold.terminal() {
+		return fold.solution(tb.canceled())
+	}
+	workers := 0
+	// The hybrid replay must stay on one certified arena; its exact
+	// fallback re-enters through SolveILP and inherits the knob there.
+	if opts.SearchParallel > 1 && hooks.spawn != nil && hooks.certify == nil {
+		workers = opts.SearchParallel - 1
+	}
+	acquired := 0
+	for i := 0; i < workers; i++ {
+		select {
+		case searchTokens <- struct{}{}:
+			acquired++
+		default:
+		}
+	}
+	defer func() {
+		for ; acquired > 0; acquired-- {
+			<-searchTokens
+		}
+	}()
+	return bbExec(w, fold, first.tasks, opts, hooks, maxNodes, acquired)
+}
+
+// bbExec is the ordered commit loop. The caller's goroutine owns the
+// cursor: it commits task results in order, runs the in-order task itself
+// whenever no worker has claimed it, validates speculative results against
+// the authoritative fold, and redoes invalid ones synchronously. Workers
+// claim the first unclaimed task at or after the cursor and run it under a
+// claim-time guess. Frontier subtasks enter the queue at the commit cursor,
+// which is exactly where the sequential DFS would continue.
+func bbExec[T any, A arith[T]](w *bbWalker[T, A], fold *bbFold, roots []*boundDiff, opts ILPOptions, hooks bbHooks[T], maxNodes, workers int) (*Solution, error) {
+	tasks := make([]*bbTask, len(roots))
+	for i, r := range roots {
+		tasks[i] = &bbTask{root: r}
+	}
+	var (
+		mu       sync.Mutex
+		cv       = sync.NewCond(&mu)
+		cursor   int
+		shutdown bool
+		wg       sync.WaitGroup
+	)
+
+	worker := func() {
+		defer wg.Done()
+		var cur *bbTask
+		defer func() {
+			if r := recover(); r != nil {
+				// Arena construction or bookkeeping failed: surrender any
+				// claimed task so the commit loop redoes it on the caller
+				// (re-raising a deterministic panic there), then retire.
+				mu.Lock()
+				if cur != nil && !cur.done {
+					cur.res = walkOut{event: evFailed}
+					cur.done = true
+				}
+				cv.Broadcast()
+				mu.Unlock()
+			}
+		}()
+		wtb := hooks.spawn()
+		wtb.setCancel(opts.Cancel)
+		ww := newWalker(w.p, wtb, w.ar, nil)
+		mu.Lock()
+		defer mu.Unlock()
+		for {
+			if shutdown {
+				return
+			}
+			cur = nil
+			for i := cursor; i < len(tasks); i++ {
+				if !tasks[i].claimed {
+					cur = tasks[i]
+					break
+				}
+			}
+			if cur == nil {
+				cv.Wait()
+				continue
+			}
+			cur.claimed = true
+			g := bbGuess{best: fold.best, bestObj: fold.bestObj, nodes: fold.nodes, work: fold.work}
+			cur.guess = g
+			if g.nodes >= maxNodes || (opts.MaxWork > 0 && g.work >= opts.MaxWork) {
+				// The totals known at claim time already exhaust a budget:
+				// commit-time preemption is certain, so don't burn a walk.
+				cur.res = walkOut{event: evPreempt}
+				cur.done = true
+				cv.Broadcast()
+				continue
+			}
+			ab := new(atomic.Bool)
+			cur.abort = ab
+			mu.Unlock()
+			res := runRecover(ww, walkIn{
+				root: cur.root, best: g.best, bestObj: g.bestObj,
+				nodeCap: maxNodes - g.nodes, remWork: remWorkOf(opts.MaxWork, g.work),
+				fence: true, cold: true, abort: ab,
+			})
+			mu.Lock()
+			cur.res = res
+			cur.done = true
+			cv.Broadcast()
+		}
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go worker()
+	}
+	defer func() {
+		// Runs on normal return AND on a re-raised redo panic: stop the
+		// fleet, abort in-flight walks, and wait so no goroutine outlives
+		// the solve (the token pool accounting depends on it).
+		mu.Lock()
+		shutdown = true
+		for _, t := range tasks {
+			if t.abort != nil {
+				t.abort.Store(true)
+			}
+		}
+		cv.Broadcast()
+		mu.Unlock()
+		wg.Wait()
+	}()
+
+	mu.Lock()
+	for cursor < len(tasks) {
+		if fold.preempt(maxNodes, opts.MaxWork, opts.Cancel) {
+			break
+		}
+		t := tasks[cursor]
+		var res walkOut
+		switch {
+		case !t.claimed:
+			// The in-order task is unclaimed: run it here, on the caller's
+			// arena, under the authoritative fold — valid by construction.
+			t.claimed = true
+			in := walkIn{
+				root: t.root, best: fold.best, bestObj: fold.bestObj,
+				nodeCap: maxNodes - fold.nodes, remWork: remWorkOf(opts.MaxWork, fold.work),
+				fence: true, cold: true,
+			}
+			mu.Unlock()
+			res = w.run(in)
+			mu.Lock()
+		case !t.done:
+			cv.Wait()
+			continue
+		case validCommit(t, fold, maxNodes, opts.MaxWork):
+			res = t.res
+		default:
+			// Speculation missed: redo synchronously with exact inputs.
+			in := walkIn{
+				root: t.root, best: fold.best, bestObj: fold.bestObj,
+				nodeCap: maxNodes - fold.nodes, remWork: remWorkOf(opts.MaxWork, fold.work),
+				fence: true, cold: true,
+			}
+			mu.Unlock()
+			res = w.run(in)
+			mu.Lock()
+		}
+		fold.absorb(res)
+		cursor++
+		if fold.terminal() {
+			break
+		}
+		if res.event == evFrontier {
+			tasks = insertAt(tasks, cursor, func() []*bbTask {
+				sub := make([]*bbTask, len(res.tasks))
+				for i, r := range res.tasks {
+					sub[i] = &bbTask{root: r}
+				}
+				return sub
+			}())
+			cv.Broadcast()
+		}
+	}
+	mu.Unlock()
+	return fold.solution(w.tb.canceled())
+}

@@ -260,6 +260,19 @@ func (rv *revised[T, A]) startSearchWarm(workBudget int64) {
 
 func (rv *revised[T, A]) setWorkBudget(b int64) { rv.workBudget = b }
 
+func (rv *revised[T, A]) workSpent() int64 { return rv.work }
+
+// dropWarm mirrors tableau.dropWarm: forget the warm basis so the next
+// solveNode cold-solves deterministically from the pristine system. The
+// partial-pricing window is part of the pivot-sequence state, so it resets
+// with the warm state — a subtree root must start the rotation from column
+// zero on every arena for the fenced search to be arena-independent.
+func (rv *revised[T, A]) dropWarm() {
+	rv.warmOK = false
+	rv.basisOK = false
+	rv.scan = 0
+}
+
 // basisState snapshots the basis columns and every column's status: the
 // hand-off payload from the float half of a hybrid solve to the exact
 // verifier.

@@ -279,6 +279,19 @@ func (tb *tableau[T, A]) startSearch(workBudget int64) {
 
 func (tb *tableau[T, A]) setWorkBudget(b int64) { tb.workBudget = b }
 
+func (tb *tableau[T, A]) workSpent() int64 { return tb.work }
+
+// dropWarm forgets any warm basis so the next solveNode runs the
+// deterministic cold path (a pure function of the pristine system and the
+// node bounds), while the cumulative work counter and budget keep running.
+// The frontier-decomposed search calls this at every subtree root, which is
+// what makes a subtree's pivot sequence independent of the arena it runs
+// on — the keystone of the parallel search's bit-identity.
+func (tb *tableau[T, A]) dropWarm() {
+	tb.warmOK = false
+	tb.basisOK = false
+}
+
 // setCancel installs (or, with nil, removes) the cancellation channel for
 // subsequent solves and re-arms the latch; a retained arena serves many
 // solves, each under its own caller context.

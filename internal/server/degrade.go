@@ -14,7 +14,11 @@ import (
 //
 //	rung 1: exact rational arithmetic → the revised partial-pricing
 //	        float engine (same pipeline, cheapest arithmetic)
-//	rung 2: ContractILP → RoutePacking synthesis
+//	rung 2: ContractILP → RoutePacking synthesis, and within-instance
+//	        parallelism shed to sequential — under load the extra search
+//	        workers only steal cores from concurrent requests, and
+//	        shedding them never changes an answer, so they go before any
+//	        budget does
 //	rung 3: shrunken work/node budgets (fail fast instead of grinding)
 //
 // Degraded responses are still real, validated plans — they are labeled
@@ -156,6 +160,14 @@ func degradeConfig(cfg wsp.Config, r int) (wsp.Config, []string) {
 	if r >= 2 && cfg.Strategy == wsp.ContractILP {
 		cfg.Strategy = wsp.RoutePacking
 		steps = append(steps, "route-packing")
+	}
+	if r >= 2 && cfg.SearchParallel > 1 {
+		// Shed within-instance workers BEFORE touching budgets: dropping to
+		// the sequential search returns the bit-identical answer (just
+		// slower for this one request), while a shrunken budget can change
+		// it — so parallelism is always the first sacrifice.
+		cfg.SearchParallel = 0
+		steps = append(steps, "search-shed")
 	}
 	if r >= 3 {
 		if cfg.WorkBudget == 0 || cfg.WorkBudget > shrinkWork {

@@ -1,0 +1,88 @@
+package wsp
+
+// Facade-level tests for WithSearchParallel: within-instance parallelism
+// (subtree-parallel branch & bound on the contract path, parallel route
+// packing on the route path) must return bit-identical plans at every
+// width, including when stacked with the solver pool — the nested
+// solverpool × search-workers shape the process-wide token pools exist
+// for.
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func requireSameResult(t *testing.T, tag string, want, got *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(want.CycleSet, got.CycleSet) {
+		t.Fatalf("%s: cycle set differs from sequential solve", tag)
+	}
+	if !reflect.DeepEqual(want.Stats, got.Stats) {
+		t.Fatalf("%s: stats differ: %+v vs %+v", tag, got.Stats, want.Stats)
+	}
+	if !reflect.DeepEqual(want.Sim, got.Sim) {
+		t.Fatalf("%s: sim result differs: %+v vs %+v", tag, got.Sim, want.Sim)
+	}
+	if want.Attempts != got.Attempts {
+		t.Fatalf("%s: attempts %d vs %d", tag, got.Attempts, want.Attempts)
+	}
+}
+
+func TestSearchParallelBitIdentity(t *testing.T) {
+	m := tinyMap(t)
+	inst := tinyInstance(t, m, 12, 800)
+	ctx := context.Background()
+	for _, strat := range []Strategy{RoutePacking, ContractILP} {
+		exact := strat == ContractILP
+		want, err := New(WithStrategy(strat), WithExact(exact)).Solve(ctx, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			solver := New(WithStrategy(strat), WithExact(exact), WithSearchParallel(workers))
+			got, err := solver.Solve(ctx, inst)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", strat, workers, err)
+			}
+			requireSameResult(t, strat.String(), want, got)
+		}
+	}
+}
+
+// Solver pool × search workers: every batch slot still returns the
+// sequential answer bit for bit, and all worker goroutines join before the
+// batch returns (the token pools bound them while it runs).
+func TestSearchParallelNestedWithPool(t *testing.T) {
+	m := tinyMap(t)
+	inst := tinyInstance(t, m, 12, 800)
+	ctx := context.Background()
+	want, err := New(WithStrategy(ContractILP), WithExact(true)).Solve(ctx, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+	solver := New(WithStrategy(ContractILP), WithExact(true),
+		WithParallel(4), WithSearchParallel(4))
+	batch := make([]Instance, 8)
+	for i := range batch {
+		batch[i] = inst
+	}
+	for i, r := range solver.SolveBatch(ctx, batch) {
+		if r.Err != nil {
+			t.Fatalf("batch slot %d: %v", i, r.Err)
+		}
+		requireSameResult(t, "batch", want, r.Res)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base+2 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d, base %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
