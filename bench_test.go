@@ -642,6 +642,39 @@ func BenchmarkLifelong(b *testing.B) {
 	}
 }
 
+// BenchmarkLifelongStream measures what observation costs: the same
+// staggered-batch run event-free (nil observer — the engine skips all
+// event bookkeeping) versus with a counting observer consuming every
+// epoch, delivery, and completion event. Streaming should be ~free next
+// to the epoch solves.
+func BenchmarkLifelongStream(b *testing.B) {
+	_, s := testmaps.MustRing()
+	batches := []lifelong.Batch{
+		{Release: 0, Units: []int{8, 0}},
+		{Release: 900, Units: []int{0, 8}},
+		{Release: 1800, Units: []int{4, 4}},
+	}
+	run := func(b *testing.B, opts lifelong.Options) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lifelong.Run(context.Background(), s, batches, 4800, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("nil-observer", func(b *testing.B) {
+		run(b, lifelong.Options{})
+	})
+	b.Run("observer", func(b *testing.B) {
+		var events int
+		run(b, lifelong.Options{Observer: lifelong.ObserverFuncs{
+			Epoch:         func(lifelong.EpochReport) { events++ },
+			Delivery:      func(lifelong.Delivery) { events++ },
+			BatchComplete: func(int, lifelong.BatchStats) { events++ },
+		}})
+		b.ReportMetric(float64(events)/float64(b.N), "events/run")
+	})
+}
+
 // BenchmarkDesignSweep measures one design-sweep cell: the same topology
 // evaluated at a series of workload levels as one solver-pool batch, which
 // is the unit of work the `wsp sweep` grid walk repeats per topology. The

@@ -10,6 +10,8 @@
 //	wsp table [-parallel N]                # reproduce Table I (N-wide solver pool)
 //	wsp sweep [-corridors 2,3,4] [-lens 6,7,9] [-units 480] [-points 3]
 //	                                       # walk the Fig. 5 co-design grid
+//	wsp lifelong -name sorting -batches 0:160,1200:160 [-T 3600] [-stream]
+//	                                       # service batches released over time
 //
 // SIGINT/SIGTERM cancel the in-flight context: solves abort within one LP
 // work-budget tick, commands flush whatever completed (a sweep prints its
@@ -58,6 +60,8 @@ func main() {
 		err = cmdTable(ctx, os.Args[2:])
 	case "sweep":
 		err = cmdSweep(ctx, os.Args[2:])
+	case "lifelong":
+		err = cmdLifelong(ctx, os.Args[2:])
 	case "export":
 		err = cmdExport(os.Args[2:])
 	case "solvefile":
@@ -80,7 +84,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wsp <map|solve|table|sweep|export|solvefile> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: wsp <map|solve|table|sweep|lifelong|export|solvefile> [flags]")
 }
 
 // cmdExport writes a built-in instance to a JSON file that solvefile (or a
@@ -298,6 +302,106 @@ func cmdSweep(ctx context.Context, args []string) error {
 	fmt.Printf("\n%d topologies × %d levels in %v\n",
 		len(cells), *points, time.Since(start).Round(time.Microsecond))
 	return nil
+}
+
+// cmdLifelong services batches released over time via Solver.Lifelong.
+// With -stream, each epoch and batch completion prints as it happens (the
+// engine's observer events); without it only the final summary appears. On
+// interrupt the partial report — epochs completed so far — is still
+// printed before the distinct cancellation exit code.
+func cmdLifelong(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("lifelong", flag.ExitOnError)
+	name := fs.String("name", "sorting", "map name")
+	batchesArg := fs.String("batches", "0:160,1200:160", "comma-separated release:units batch list")
+	T := fs.Int("T", 3600, "timestep limit for the whole run")
+	strat := fs.String("strategy", "route", "synthesis strategy: route, flows, or contract")
+	stream := fs.Bool("stream", false, "print each epoch and batch completion as it happens")
+	window := fs.Int("window", 0, "throughput bin width in timesteps (0 = one cycle time; needs -stream)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := wsp.BuiltinMap(*name)
+	if err != nil {
+		return err
+	}
+	strategy, err := wsp.ParseStrategy(*strat)
+	if err != nil {
+		return err
+	}
+	var batches []wsp.Batch
+	for _, f := range strings.Split(*batchesArg, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		rel, units, ok := strings.Cut(f, ":")
+		if !ok {
+			return fmt.Errorf("bad -batches entry %q (want release:units)", f)
+		}
+		r, err := strconv.Atoi(strings.TrimSpace(rel))
+		if err != nil {
+			return fmt.Errorf("bad -batches release %q: %w", rel, err)
+		}
+		u, err := strconv.Atoi(strings.TrimSpace(units))
+		if err != nil {
+			return fmt.Errorf("bad -batches units %q: %w", units, err)
+		}
+		wl, err := wsp.UniformWorkload(m.W, u)
+		if err != nil {
+			return err
+		}
+		batches = append(batches, wsp.Batch{Release: r, Units: wl.Units})
+	}
+	if len(batches) == 0 {
+		return fmt.Errorf("empty -batches list")
+	}
+
+	var opts []wsp.LifelongOption
+	if *stream {
+		opts = append(opts, wsp.WithLifelongObserver(wsp.LifelongObserverFuncs{
+			Epoch: func(er wsp.EpochReport) {
+				fmt.Printf("epoch %d: t=%d..%d (horizon %d) agents=%d delivered=%d outstanding=%d\n",
+					er.Epoch, er.Start, er.End, er.Horizon, er.Agents, sum(er.Delivered), sum(er.Outstanding))
+			},
+			BatchComplete: func(_ int, bs wsp.BatchStats) {
+				fmt.Printf("batch released@%d completed at t=%d (%d units)\n",
+					bs.Release, bs.Completed, bs.Units)
+			},
+		}))
+		if *window > 0 {
+			opts = append(opts, wsp.WithLifelongThroughputWindow(*window))
+		}
+	}
+	solver := wsp.New(wsp.WithStrategy(strategy))
+	start := time.Now()
+	rep, runErr := solver.Lifelong(ctx, m.S, batches, *T, opts...)
+	// Flush the (possibly partial) report BEFORE reporting any error: an
+	// interrupted run still shows the epochs it completed.
+	if rep != nil {
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "Release\tUnits\tCompleted@")
+		for _, bs := range rep.Batches {
+			if bs.Completed < 0 {
+				fmt.Fprintf(tw, "%d\t%d\t-\n", bs.Release, bs.Units)
+				continue
+			}
+			fmt.Fprintf(tw, "%d\t%d\t%d\n", bs.Release, bs.Units, bs.Completed)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Printf("\n%d epochs, peak %d agents, %d units delivered in %v\n",
+			rep.Epochs, rep.PeakAgents, sum(rep.Delivered), time.Since(start).Round(time.Microsecond))
+	}
+	return runErr
+}
+
+func sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
 }
 
 func parseInts(csv string) ([]int, error) {

@@ -183,6 +183,55 @@ func TestSweepFeasibleContractCell(t *testing.T) {
 	}
 }
 
+// TestCmdLifelongStream drives the lifelong subcommand end to end on the
+// sorting map: streamed epoch lines, batch completions, and the final
+// summary must all appear, and the bad-flag paths must error out.
+func TestCmdLifelongStream(t *testing.T) {
+	ctx := context.Background()
+	out, err := captureStdout(t, func() error {
+		return cmdLifelong(ctx, []string{
+			"-name", "sorting", "-batches", "0:16,2000:16", "-T", "3600", "-stream",
+		})
+	})
+	if err != nil {
+		t.Fatalf("cmdLifelong: %v\n%s", err, out)
+	}
+	for _, want := range []string{"epoch 1", "epoch 2", "batch released@0 completed", "batch released@2000 completed", "2 epochs, peak"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := cmdLifelong(ctx, []string{"-batches", "0-16"}); err == nil {
+		t.Error("bad batch separator accepted")
+	}
+	if err := cmdLifelong(ctx, []string{"-batches", "x:16"}); err == nil {
+		t.Error("bad batch release accepted")
+	}
+	if err := cmdLifelong(ctx, []string{"-batches", " , "}); err == nil {
+		t.Error("empty batch list accepted")
+	}
+}
+
+// TestCmdLifelongCanceled pins the interrupt path: a run driven by an
+// already-cancelled context still flushes its (empty) partial report and
+// classifies as wsp.ErrCanceled, main's distinct-exit-code path.
+func TestCmdLifelongCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := captureStdout(t, func() error {
+		return cmdLifelong(ctx, []string{"-name", "sorting", "-batches", "0:16"})
+	})
+	if err == nil {
+		t.Fatal("cancelled lifelong run returned nil error")
+	}
+	if !errors.Is(err, wsp.ErrCanceled) {
+		t.Fatalf("cancelled run error %v does not classify as wsp.ErrCanceled", err)
+	}
+	if !strings.Contains(out, "0 epochs") {
+		t.Fatalf("cancelled run did not flush its partial report:\n%q", out)
+	}
+}
+
 func TestParseInts(t *testing.T) {
 	got, err := parseInts(" 2,3 ,4")
 	if err != nil || len(got) != 3 || got[0] != 2 || got[2] != 4 {

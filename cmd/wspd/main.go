@@ -19,12 +19,15 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve   one instance  (builtin map or inline JSON instance)
-//	POST /v1/batch   many instances, one admission decision
-//	POST /v1/sweep   the Fig. 5 co-design grid
-//	GET  /healthz    liveness  (200 while the process runs)
-//	GET  /readyz     readiness (503 once draining)
-//	GET  /debug/vars service counters as JSON
+//	POST /v1/solve    one instance  (builtin map or inline JSON instance)
+//	POST /v1/batch    many instances, one admission decision
+//	POST /v1/sweep    the Fig. 5 co-design grid
+//	POST /v1/lifelong batches released over time, streamed as NDJSON
+//	                  (one "epoch" line per epoch, terminal "report" line)
+//	GET  /healthz     liveness  (200 while the process runs)
+//	GET  /readyz      readiness (503 once draining)
+//	GET  /debug/vars  service counters as JSON (+ per-client ledgers)
+//	GET  /metrics     the same counters in Prometheus text exposition
 //
 // SIGINT/SIGTERM start a drain: admission stops, in-flight solves finish
 // (bounded by -drain), and the process exits 0 on a clean drain or 1 when

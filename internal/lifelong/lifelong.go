@@ -12,13 +12,8 @@ package lifelong
 
 import (
 	"context"
-	"errors"
-	"fmt"
-	"sort"
 
 	"repro/internal/core"
-	"repro/internal/grid"
-	"repro/internal/lp"
 	"repro/internal/traffic"
 	"repro/internal/warehouse"
 )
@@ -33,6 +28,15 @@ type Batch struct {
 type Options struct {
 	// Core options forwarded to each epoch's Solve.
 	Core core.Options
+	// Observer, when non-nil, receives engine events (epoch reports,
+	// per-batch delivery attributions, batch completions) as the run
+	// progresses. A nil Observer runs event-free: the engine skips all
+	// event bookkeeping, so observation costs nothing when unused.
+	Observer Observer
+	// ThroughputWindow is the bin width, in timesteps, of the streaming
+	// throughput series carried on EpochReport. Zero means one cycle time.
+	// Only consulted when Observer is set.
+	ThroughputWindow int
 }
 
 // BatchStats reports one batch's fate.
@@ -66,168 +70,30 @@ type Report struct {
 	Delivered []int
 }
 
-// Run services all batches within T timesteps. Batches must have distinct,
-// non-negative release times and demand vectors sized to the warehouse.
+// Run services all batches within T timesteps. Batches must have
+// non-negative release times below T and demand vectors sized to the
+// warehouse; batches sharing a release time are merged into one (their
+// demand summed), so the Report carries one BatchStats per distinct
+// release.
 //
-// Cancelling ctx aborts the epoch in flight; the partial Report (epochs
-// completed so far) is returned alongside an error wrapping lp.ErrCanceled.
+// Run drives an Engine to completion: it is exactly NewEngine followed by
+// Step until done. Cancelling ctx aborts the epoch in flight; the partial
+// Report (epochs completed so far) is returned alongside an error wrapping
+// lp.ErrCanceled.
 func Run(ctx context.Context, s *traffic.System, batches []Batch, T int, opts Options) (*Report, error) {
-	w := s.W
-	p := w.NumProducts
-	sorted := append([]Batch(nil), batches...)
-	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Release < sorted[b].Release })
-	for i, b := range sorted {
-		if len(b.Units) != p {
-			return nil, fmt.Errorf("lifelong: batch %d has %d demands for %d products", i, len(b.Units), p)
-		}
-		if b.Release < 0 || b.Release >= T {
-			return nil, fmt.Errorf("lifelong: batch %d released at %d outside [0, %d)", i, b.Release, T)
-		}
+	e, err := NewEngine(s, batches, T, opts)
+	if err != nil {
+		return nil, err
 	}
-
-	rep := &Report{Delivered: make([]int, p)}
-	rep.Batches = make([]BatchStats, len(sorted))
-	for i, b := range sorted {
-		total := 0
-		for _, u := range b.Units {
-			total += u
-		}
-		rep.Batches[i] = BatchStats{Release: b.Release, Completed: -1, Units: total}
-	}
-
-	// Outstanding demand per product, plus per-batch remaining counts so
-	// deliveries can be attributed FIFO to the oldest open batch.
-	outstanding := make([]int, p)
-	remaining := make([][]int, len(sorted))
-	for i, b := range sorted {
-		remaining[i] = append([]int(nil), b.Units...)
-	}
-	// Physical stock depletes across epochs; each epoch solves on a
-	// warehouse whose Λ reflects the units already shipped.
-	stock := make([][]int, p)
-	for k := 0; k < p; k++ {
-		stock[k] = append([]int(nil), w.Stock[k]...)
-	}
-	paths := make([][]grid.VertexID, len(s.Components))
-	for i, c := range s.Components {
-		paths[i] = c.Cells
-	}
-	// One synthesis scratch for the whole run: every epoch rebuilds the same
-	// floorplan with depleted stock, so the structure signature is stable
-	// and the ContractILP strategy re-targets one compiled contract model on
-	// the residual demand instead of recompiling per epoch (bit-identical to
-	// scratchless solves).
-	sc := &core.Scratch{}
-
-	now := 0
-	next := 0 // next batch to release
-	for next < len(sorted) || sumPos(outstanding) > 0 {
-		// Absorb every batch released by `now`.
-		for next < len(sorted) && sorted[next].Release <= now {
-			for k, u := range sorted[next].Units {
-				outstanding[k] += u
-			}
-			next++
-		}
-		if sumPos(outstanding) == 0 {
-			if next >= len(sorted) {
-				break
-			}
-			now = sorted[next].Release
-			continue
-		}
-		// Epoch horizon: until the next release (we re-plan then anyway) or
-		// the end of time, minus one cycle-time changeover.
-		horizon := T - now
-		if next < len(sorted) && sorted[next].Release-now < horizon {
-			horizon = sorted[next].Release - now
-		}
-		horizon -= s.CycleTime() // changeover charge
-		if horizon < s.CycleTime() {
-			// Too little time to do anything before the next event.
-			if next < len(sorted) {
-				now = sorted[next].Release
-				continue
-			}
-			return rep, fmt.Errorf("lifelong: %d units outstanding with no time left", sumPos(outstanding))
-		}
-		// Build the epoch's warehouse with the depleted stock and re-wire
-		// the same traffic-system components onto it.
-		we, err := warehouse.New(w.Graph, w.ShelfAccess, w.Stations, p, stock)
+	for {
+		done, err := e.Step(ctx)
 		if err != nil {
-			return rep, err
+			return e.Report(), err
 		}
-		se, err := traffic.Build(we, paths)
-		if err != nil {
-			return rep, err
-		}
-		wl, err := warehouse.NewWorkload(we, clampByStock(we, outstanding))
-		if err != nil {
-			return rep, err
-		}
-		res, err := core.SolveScratch(ctx, se, wl, horizon, opts.Core, sc)
-		if err != nil {
-			if errors.Is(err, lp.ErrCanceled) {
-				return rep, fmt.Errorf("lifelong: run canceled in epoch at t=%d: %w", now, err)
-			}
-			// The epoch may be too short for the whole backlog; retry with a
-			// reduced target before giving up.
-			half := halve(wl.Units)
-			wl2, err2 := warehouse.NewWorkload(we, half)
-			if err2 != nil {
-				return rep, err
-			}
-			res, err = core.SolveScratch(ctx, se, wl2, horizon, opts.Core, sc)
-			if err != nil {
-				return rep, fmt.Errorf("lifelong: epoch at t=%d failed: %w", now, err)
-			}
-			wl = wl2
-		}
-		rep.Epochs++
-		if res.Stats.Agents > rep.PeakAgents {
-			rep.PeakAgents = res.Stats.Agents
-		}
-		// Attribute deliveries FIFO to open batches using the simulation's
-		// delivery ordering, and deplete physical stock.
-		for k := 0; k < p; k++ {
-			delivered := res.Sim.Delivered[k]
-			if delivered > outstanding[k] {
-				delivered = outstanding[k]
-			}
-			outstanding[k] -= delivered
-			rep.Delivered[k] += delivered
-			deplete(stock[k], delivered)
-			for bi := range remaining {
-				if delivered == 0 {
-					break
-				}
-				take := remaining[bi][k]
-				if take > delivered {
-					take = delivered
-				}
-				remaining[bi][k] -= take
-				delivered -= take
-			}
-		}
-		epochEnd := now + s.CycleTime() + res.Sim.ServicedAt
-		rep.EpochLog = append(rep.EpochLog, EpochInfo{
-			Start:      now,
-			Horizon:    horizon,
-			Changeover: s.CycleTime(),
-			ServicedAt: res.Sim.ServicedAt,
-			End:        epochEnd,
-		})
-		for bi := range remaining {
-			if rep.Batches[bi].Completed < 0 && sumPos(remaining[bi]) == 0 && sorted[bi].Release <= now {
-				rep.Batches[bi].Completed = epochEnd
-			}
-		}
-		now = epochEnd
-		if now >= T && (next < len(sorted) || sumPos(outstanding) > 0) {
-			return rep, fmt.Errorf("lifelong: horizon exhausted with %d units outstanding", sumPos(outstanding))
+		if done {
+			return e.Report(), nil
 		}
 	}
-	return rep, nil
 }
 
 func sumPos(units []int) int {

@@ -46,6 +46,7 @@ func (a *admission) admit(client string, cost int64) (release func(), occupancy 
 	default:
 		// Full house. The earliest a slot can free up is when one of the
 		// in-flight solves finishes; one second is the honest "soon".
+		a.recordLoadReject(client)
 		return nil, 1, &denial{reason: "load", retryAfter: time.Second}
 	}
 	if ok, retry := a.take(client, float64(cost)); !ok {
@@ -73,9 +74,36 @@ type buckets struct {
 	m     map[string]*bucket
 }
 
+// bucket is one client's admission state: the token balance plus the
+// per-client ledger exported on /metrics and /debug/vars. The ledger rides
+// the bucket on purpose — the table is already bounded by evictStalest, so
+// per-client metric cardinality can never exceed the client-table limit.
 type bucket struct {
 	tokens float64
 	last   time.Time
+
+	requests int64   // admission decisions involving this client
+	rejected int64   // 429s: semaphore full or bucket dry
+	charged  float64 // work units actually charged (admitted requests)
+}
+
+// get returns client's bucket refilled to now, creating it (and bounding
+// the table) when absent. Callers hold b.mu.
+func (b *buckets) get(client string, now time.Time) *bucket {
+	bk := b.m[client]
+	if bk == nil {
+		if len(b.m) >= b.max {
+			b.evictStalest()
+		}
+		bk = &bucket{tokens: b.burst, last: now}
+		b.m[client] = bk
+		return bk
+	}
+	if dt := now.Sub(bk.last).Seconds(); dt > 0 {
+		bk.tokens = math.Min(b.burst, bk.tokens+dt*b.rate)
+	}
+	bk.last = now
+	return bk
 }
 
 // take charges cost to client's bucket. When the bucket is short it leaves
@@ -84,31 +112,54 @@ type bucket struct {
 func (b *buckets) take(client string, cost float64) (ok bool, retryAfter time.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	now := b.now()
-	bk := b.m[client]
-	if bk == nil {
-		if len(b.m) >= b.max {
-			b.evictStalest()
-		}
-		bk = &bucket{tokens: b.burst, last: now}
-		b.m[client] = bk
-	} else {
-		dt := now.Sub(bk.last).Seconds()
-		if dt > 0 {
-			bk.tokens = math.Min(b.burst, bk.tokens+dt*b.rate)
-		}
-		bk.last = now
-	}
+	bk := b.get(client, b.now())
+	bk.requests++
 	if bk.tokens >= cost {
 		bk.tokens -= cost
+		bk.charged += cost
 		return true, 0
 	}
+	bk.rejected++
 	deficit := cost - bk.tokens
 	retry := time.Duration(math.Ceil(deficit/b.rate)) * time.Second
 	if retry < time.Second {
 		retry = time.Second
 	}
 	return false, retry
+}
+
+// recordLoadReject attributes a semaphore-full rejection to the client's
+// ledger (the bucket balance is untouched — no work ran).
+func (b *buckets) recordLoadReject(client string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bk := b.get(client, b.now())
+	bk.requests++
+	bk.rejected++
+}
+
+// ClientStats is one client's admission ledger, as exported on
+// /debug/vars.
+type ClientStats struct {
+	Requests    int64 `json:"requests_total"`
+	Rejected    int64 `json:"rejected_total"`
+	WorkCharged int64 `json:"work_charged_total"`
+}
+
+// clientStats snapshots the per-client ledgers. The map is freshly
+// allocated; cardinality is bounded by the bucket-table limit.
+func (b *buckets) clientStats() map[string]ClientStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]ClientStats, len(b.m))
+	for id, bk := range b.m {
+		out[id] = ClientStats{
+			Requests:    bk.requests,
+			Rejected:    bk.rejected,
+			WorkCharged: int64(bk.charged),
+		}
+	}
+	return out
 }
 
 // evictStalest drops the least-recently charged client so the table stays

@@ -183,6 +183,15 @@ func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string,
 		w.Header().Set("Retry-After", strconv.Itoa(sec))
 		resp.RetryAfterSec = sec
 	}
+	s.countStatus(status)
+	writeJSON(w, status, resp)
+}
+
+// countStatus attributes an error status to the outcome counters. Factored
+// out of writeError so streaming handlers — which have already committed a
+// 200 status line by the time a run fails — can account an in-band error
+// the same way.
+func (s *Server) countStatus(status int) {
 	switch status {
 	case http.StatusGatewayTimeout:
 		s.met.deadline.Add(1)
@@ -191,7 +200,6 @@ func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string,
 	case http.StatusUnprocessableEntity:
 		s.met.infeasible.Add(1)
 	}
-	writeJSON(w, status, resp)
 }
 
 // clientID resolves the admission identity: an explicit X-Client-ID header

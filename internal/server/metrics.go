@@ -56,25 +56,38 @@ func (m *metrics) snapshot() map[string]int64 {
 	}
 }
 
-// handleVars serves the /debug/vars-style counter dump.
-func (m *metrics) handleVars(w http.ResponseWriter, _ *http.Request) {
+// handleVars serves the /debug/vars-style counter dump: the flat server
+// counters plus a nested "clients" object holding each client's admission
+// ledger (requests / 429s / work charged), bounded to the client-table
+// cardinality.
+func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	snap := make(map[string]any)
+	for name, v := range s.met.snapshot() {
+		snap[name] = v
+	}
+	snap["clients"] = s.adm.clientStats()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(m.snapshot()) // maps marshal with sorted keys
+	enc.Encode(snap) // maps marshal with sorted keys
 }
 
 // metricsNamespace prefixes every exposition name so wspd's series never
 // collide with another job's in a shared Prometheus.
 const metricsNamespace = "wspd_"
 
+// labelEscaper quotes Prometheus label values (the exposition format's
+// escaping rules: backslash, double quote, newline).
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
 // handleMetrics serves the same counter set in the Prometheus text
 // exposition format (text/plain; version=0.0.4): one # TYPE line and one
-// sample per series, names sorted, `wspd_` namespace. Everything except
-// in_flight is a counter; in_flight is a gauge. Hand-rolled on purpose —
-// eighteen integers do not justify a client-library dependency.
-func (m *metrics) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	snap := m.snapshot()
+// sample per series, names sorted, `wspd_` namespace, plus the per-client
+// admission ledgers as client-labeled series. Everything except in_flight
+// is a counter; in_flight is a gauge. Hand-rolled on purpose — a few
+// dozen integers do not justify a client-library dependency.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.met.snapshot()
 	names := make([]string, 0, len(snap))
 	for name := range snap {
 		names = append(names, name)
@@ -88,6 +101,29 @@ func (m *metrics) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		}
 		fmt.Fprintf(&b, "# TYPE %s%s %s\n%s%s %d\n",
 			metricsNamespace, name, kind, metricsNamespace, name, snap[name])
+	}
+	clients := s.adm.clientStats()
+	ids := make([]string, 0, len(clients))
+	for id := range clients {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, family := range []struct {
+		name  string
+		value func(ClientStats) int64
+	}{
+		{"client_requests_total", func(cs ClientStats) int64 { return cs.Requests }},
+		{"client_rejected_total", func(cs ClientStats) int64 { return cs.Rejected }},
+		{"client_work_charged_total", func(cs ClientStats) int64 { return cs.WorkCharged }},
+	} {
+		if len(ids) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "# TYPE %s%s counter\n", metricsNamespace, family.name)
+		for _, id := range ids {
+			fmt.Fprintf(&b, "%s%s{client=\"%s\"} %d\n",
+				metricsNamespace, family.name, labelEscaper.Replace(id), family.value(clients[id]))
+		}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String()))

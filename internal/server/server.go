@@ -58,10 +58,11 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/lifelong", s.handleLifelong)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.HandleFunc("GET /debug/vars", s.met.handleVars)
-	mux.HandleFunc("GET /metrics", s.met.handleMetrics)
+	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
 	return s
 }

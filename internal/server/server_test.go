@@ -500,7 +500,8 @@ func TestBatchAndSweep(t *testing.T) {
 	}
 }
 
-// TestVarsEndpoint: counters are served as JSON.
+// TestVarsEndpoint: counters are served as JSON — flat server counters
+// plus the nested per-client object.
 func TestVarsEndpoint(t *testing.T) {
 	srv := New(Config{})
 	w := httptest.NewRecorder()
@@ -508,9 +509,13 @@ func TestVarsEndpoint(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("status %d", w.Code)
 	}
-	vars := decodeAs[map[string]int64](t, w)
+	vars := decodeAs[map[string]json.RawMessage](t, w)
 	if _, ok := vars["requests_total"]; !ok {
 		t.Errorf("vars missing requests_total: %v", vars)
+	}
+	var clients map[string]ClientStats
+	if err := json.Unmarshal(vars["clients"], &clients); err != nil {
+		t.Errorf("vars clients object: %v", err)
 	}
 }
 
@@ -529,7 +534,18 @@ func TestMetricsEndpoint(t *testing.T) {
 
 	w = httptest.NewRecorder()
 	srv.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/debug/vars", nil))
-	vars := decodeAs[map[string]int64](t, w)
+	rawVars := decodeAs[map[string]json.RawMessage](t, w)
+	vars := make(map[string]int64)
+	for name, raw := range rawVars {
+		if name == "clients" {
+			continue // nested object, checked by TestPerClientMetrics
+		}
+		var v int64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatalf("vars %s: %v", name, err)
+		}
+		vars[name] = v
+	}
 
 	w = httptest.NewRecorder()
 	srv.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))

@@ -76,11 +76,66 @@ func Throughput(res Result, horizon, window int) []int {
 	if window <= 0 || horizon <= 0 {
 		return nil
 	}
-	bins := make([]int, (horizon+window-1)/window)
+	w := NewWindow(window)
 	for _, t := range res.DeliveryTimes {
 		if t >= 0 && t < horizon {
-			bins[t/window]++
+			w.Observe(t)
 		}
 	}
+	bins := w.bins
+	for n := (horizon + window - 1) / window; len(bins) < n; {
+		bins = append(bins, 0)
+	}
 	return bins
+}
+
+// Window is the streaming form of Throughput: a bin accumulator that
+// accepts delivery timestamps one at a time, in any order, and grows its
+// bin series on demand. Lifelong observers feed it global delivery times
+// (epoch start + changeover + epoch-relative delivery time) so a
+// throughput-over-time series is available while the run is still going.
+type Window struct {
+	width int
+	bins  []int
+}
+
+// NewWindow returns a Window binning timestamps into buckets of the given
+// width; a non-positive width is treated as 1.
+func NewWindow(width int) *Window {
+	if width <= 0 {
+		width = 1
+	}
+	return &Window{width: width}
+}
+
+// Width reports the bin width in timesteps.
+func (w *Window) Width() int { return w.width }
+
+// Observe records one delivery at timestep t. Negative timestamps are
+// ignored.
+func (w *Window) Observe(t int) {
+	if t < 0 {
+		return
+	}
+	i := t / w.width
+	for len(w.bins) <= i {
+		w.bins = append(w.bins, 0)
+	}
+	w.bins[i]++
+}
+
+// Bins returns a copy of the units-per-window series observed so far. The
+// last bin is the one holding the latest observed timestamp; trailing empty
+// windows are not materialized.
+func (w *Window) Bins() []int {
+	return append([]int(nil), w.bins...)
+}
+
+// Total reports the number of observations across all bins.
+func (w *Window) Total() int {
+	total := 0
+	for _, b := range w.bins {
+		total += b
+	}
+	return total
 }

@@ -75,3 +75,49 @@ func TestThroughputBinning(t *testing.T) {
 		t.Error("degenerate Throughput inputs should return nil")
 	}
 }
+
+func TestWindowStreamingMatchesThroughput(t *testing.T) {
+	res := Result{DeliveryTimes: []int{25, 1, 5, 9, 10, 19}}
+	w := NewWindow(10)
+	for _, ts := range res.DeliveryTimes {
+		w.Observe(ts)
+	}
+	bins := w.Bins()
+	want := Throughput(res, 30, 10)
+	if len(bins) != len(want) {
+		t.Fatalf("bins = %v, want %v", bins, want)
+	}
+	for i := range bins {
+		if bins[i] != want[i] {
+			t.Fatalf("bins = %v, want %v", bins, want)
+		}
+	}
+	if w.Total() != len(res.DeliveryTimes) {
+		t.Errorf("Total = %d, want %d", w.Total(), len(res.DeliveryTimes))
+	}
+	if w.Width() != 10 {
+		t.Errorf("Width = %d, want 10", w.Width())
+	}
+}
+
+func TestWindowGrowsOnDemand(t *testing.T) {
+	w := NewWindow(4)
+	if got := w.Bins(); len(got) != 0 {
+		t.Fatalf("fresh window bins = %v, want empty", got)
+	}
+	w.Observe(-3) // ignored
+	w.Observe(9)
+	w.Observe(0)
+	bins := w.Bins()
+	if len(bins) != 3 || bins[0] != 1 || bins[1] != 0 || bins[2] != 1 {
+		t.Errorf("bins = %v, want [1 0 1]", bins)
+	}
+	// Mutating the returned slice must not alias internal state.
+	bins[0] = 99
+	if w.Bins()[0] != 1 {
+		t.Error("Bins must return a copy")
+	}
+	if NewWindow(0).Width() != 1 {
+		t.Error("non-positive width should clamp to 1")
+	}
+}

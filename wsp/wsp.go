@@ -370,15 +370,57 @@ type Batch = lifelong.Batch
 // timelines, peak team size, delivered units.
 type LifelongReport = lifelong.Report
 
+// Lifelong event types, re-exported for streaming observers.
+type (
+	// LifelongObserver receives engine events as a lifelong run
+	// progresses; callbacks fire synchronously on the solving goroutine.
+	LifelongObserver = lifelong.Observer
+	// LifelongObserverFuncs adapts plain functions to LifelongObserver;
+	// nil fields are skipped.
+	LifelongObserverFuncs = lifelong.ObserverFuncs
+	// EpochReport is the per-epoch streaming payload: the epoch timeline
+	// plus delivery, backlog, and cumulative throughput state.
+	EpochReport = lifelong.EpochReport
+	// EpochInfo records one epoch's timeline within a LifelongReport.
+	EpochInfo = lifelong.EpochInfo
+	// BatchStats reports one batch's fate within a LifelongReport.
+	BatchStats = lifelong.BatchStats
+	// Delivery is one FIFO attribution of delivered units to a batch.
+	Delivery = lifelong.Delivery
+)
+
+// LifelongOption configures one Lifelong run.
+type LifelongOption func(*lifelong.Options)
+
+// WithLifelongObserver streams engine events (epoch reports, delivery
+// attributions, batch completions) to obs as the run progresses. A nil
+// observer is the default: the engine then skips all event bookkeeping.
+func WithLifelongObserver(obs LifelongObserver) LifelongOption {
+	return func(o *lifelong.Options) { o.Observer = obs }
+}
+
+// WithLifelongThroughputWindow sets the bin width, in timesteps, of the
+// streaming throughput series on EpochReport. Zero (the default) means one
+// cycle time.
+func WithLifelongThroughputWindow(width int) LifelongOption {
+	return func(o *lifelong.Options) { o.ThroughputWindow = width }
+}
+
 // Lifelong services workload batches released over an open-ended horizon,
-// re-synthesizing per epoch as demand arrives and stock depletes.
-// Cancelling ctx aborts the epoch in flight; the partial report (epochs
-// completed so far) is returned alongside the wrapping error.
-func (s *Solver) Lifelong(ctx context.Context, sys *System, batches []Batch, T int) (*LifelongReport, error) {
+// re-synthesizing per epoch as demand arrives and stock depletes. Batches
+// sharing a release time are merged; the report holds one entry per
+// distinct release. Cancelling ctx aborts the epoch in flight; the partial
+// report (epochs completed so far) is returned alongside the wrapping
+// error.
+func (s *Solver) Lifelong(ctx context.Context, sys *System, batches []Batch, T int, opts ...LifelongOption) (*LifelongReport, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	rep, err := lifelong.Run(ctx, sys, batches, T, lifelong.Options{Core: s.cfg.coreOptions()})
+	lo := lifelong.Options{Core: s.cfg.coreOptions()}
+	for _, opt := range opts {
+		opt(&lo)
+	}
+	rep, err := lifelong.Run(ctx, sys, batches, T, lo)
 	if err != nil {
 		return rep, fmt.Errorf("wsp: lifelong: %w", err)
 	}
