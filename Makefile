@@ -5,7 +5,7 @@
 GO ?= go
 BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: build test vet race bench bench-compare test-lp-long examples serve-smoke ci fmt
+.PHONY: build test vet race bench bench-compare test-lp-long examples serve-smoke corpus-smoke ci fmt
 
 build:
 	$(GO) build ./...
@@ -56,7 +56,19 @@ test-lp-long:
 serve-smoke:
 	$(GO) run ./scripts/servesmoke
 
+# Scenario-corpus smoke: solve two seeded generator families under the
+# default knobs, write the JSON report and its bench lines, and require
+# benchjson to ingest those lines (it exits 1 when nothing parses) — the
+# gate that keeps the corpus runner, the wsp-corpus-report/v1 schema, and
+# the benchjson label format from drifting apart.
+corpus-smoke:
+	$(GO) run ./cmd/wsp corpus run -families stripes,rings -label corpus-smoke \
+		-json /tmp/wsp-corpus-report.json -bench /tmp/wsp-corpus-bench.txt
+	rm -f /tmp/wsp-corpus-trajectory.json
+	$(GO) run ./scripts/benchjson -o /tmp/wsp-corpus-trajectory.json -label corpus-smoke \
+		< /tmp/wsp-corpus-bench.txt
+
 fmt:
 	gofmt -l .
 
-ci: build vet test race examples serve-smoke
+ci: build vet test race examples serve-smoke corpus-smoke

@@ -12,6 +12,8 @@
 //	                                       # walk the Fig. 5 co-design grid
 //	wsp lifelong -name sorting -batches 0:160,1200:160 [-T 3600] [-stream]
 //	                                       # service batches released over time
+//	wsp corpus list|run|calibrate [-seed N] [-families stripes,rings,demand,movingai]
+//	                                       # scenario corpus: enumerate, measure, tune knobs
 //
 // SIGINT/SIGTERM cancel the in-flight context: solves abort within one LP
 // work-budget tick, commands flush whatever completed (a sweep prints its
@@ -62,6 +64,8 @@ func main() {
 		err = cmdSweep(ctx, os.Args[2:])
 	case "lifelong":
 		err = cmdLifelong(ctx, os.Args[2:])
+	case "corpus":
+		err = cmdCorpus(ctx, os.Args[2:])
 	case "export":
 		err = cmdExport(os.Args[2:])
 	case "solvefile":
@@ -84,7 +88,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wsp <map|solve|table|sweep|lifelong|export|solvefile> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: wsp <map|solve|table|sweep|lifelong|corpus|export|solvefile> [flags]")
 }
 
 // cmdExport writes a built-in instance to a JSON file that solvefile (or a

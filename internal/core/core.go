@@ -89,6 +89,11 @@ type Options struct {
 	// MaxNodes overrides the contract path's per-attempt branch-and-bound
 	// node budget; 0 keeps the default.
 	MaxNodes int
+	// AutoRows overrides the lp.SimplexAuto dense/revised size crossover
+	// used by the contract path's exact solves (flow.Options.AutoRows); 0
+	// keeps the calibrated default. A pure speed knob: answers are
+	// bit-identical at any setting.
+	AutoRows int
 	// SearchParallel distributes open branch-and-bound subtrees of each
 	// contract-path ILP solve across up to this many workers
 	// (lp.ILPOptions.SearchParallel; 0 or 1 = sequential). Bit-identical
@@ -164,7 +169,7 @@ func SolveScratch(ctx context.Context, s *traffic.System, wl warehouse.Workload,
 		// ContractILP strategy would use, so a gated synthesis pays the
 		// compilation once.
 		if err := sc.contract.MustAdmit(ctx, s, wl, T, flow.Options{Simplex: opts.Simplex,
-			SearchParallel: opts.SearchParallel}); err != nil {
+			AutoRows: opts.AutoRows, SearchParallel: opts.SearchParallel}); err != nil {
 			return nil, lp.WrapCancelCause(ctx, err)
 		}
 	}
@@ -232,8 +237,8 @@ func solveOnce(ctx context.Context, s *traffic.System, wl warehouse.Workload, T 
 		cs = c
 	case SequentialFlows, ContractILP:
 		fopts := flow.Options{WarmupMargin: margin, ExactILP: opts.ExactILP, Simplex: opts.Simplex,
-			RootCuts: opts.RootCuts, MaxWork: opts.MaxWork, MaxNodes: opts.MaxNodes,
-			SearchParallel: opts.SearchParallel}
+			AutoRows: opts.AutoRows, RootCuts: opts.RootCuts, MaxWork: opts.MaxWork,
+			MaxNodes: opts.MaxNodes, SearchParallel: opts.SearchParallel}
 		var set *flow.Set
 		var err error
 		if opts.Strategy == SequentialFlows {

@@ -1,0 +1,255 @@
+// Package datasets is the scenario corpus: seeded, deterministic generator
+// families that enumerate named, reproducible WSP instances far beyond the
+// paper's nine Table I rows. Three kinds of family ship today:
+//
+//   - topology families ("stripes", "rings") sweep warehouse layouts
+//     parametrically — the stripe-circulation generator of internal/maps
+//     walked across stripe counts, aisle rows, corridor widths and
+//     component-length caps, plus a perimeter-ring builder for the
+//     minimal-circulation shapes the paper's Fig. 5 never visits;
+//   - the demand family fixes one topology and sweeps workload shapes
+//     (uniform, Zipf-skewed, bursty flash-sale, diurnal shift curve,
+//     adversarial single-product spike) from internal/workload;
+//   - the movingai family imports MAPF-literature grid maps through
+//     grid.ParseMovingAI and co-designs a traffic system onto them
+//     (movingai.go).
+//
+// Determinism contract: Generate(seed) is a pure function — the same seed
+// enumerates byte-identical instances (pinned by TestCorpusDeterministic
+// via wspio round-trips), so corpus reports from different runs, machines,
+// and PRs are comparable line by line.
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/maps"
+	"repro/internal/traffic"
+	"repro/internal/warehouse"
+	"repro/internal/workload"
+)
+
+// Instance is one named, reproducible corpus scenario.
+type Instance struct {
+	// Name is "<family>/<variant>", unique across the corpus.
+	Name   string
+	Family string
+	Sys    *traffic.System
+	WL     warehouse.Workload
+	// T is the timestep horizon the scenario is evaluated at.
+	T int
+}
+
+// Family is one generator family of the corpus.
+type Family struct {
+	Name string
+	Desc string
+	// Generate enumerates the family's instances for a seed. Same seed,
+	// same instances, byte for byte.
+	Generate func(seed int64) ([]*Instance, error)
+}
+
+// Families returns the corpus families in deterministic order.
+func Families() []Family {
+	return []Family{
+		{
+			Name:     "stripes",
+			Desc:     "stripe-circulation layouts swept over stripes × rows × corridor width × component cap",
+			Generate: stripesFamily,
+		},
+		{
+			Name:     "rings",
+			Desc:     "perimeter-ring layouts swept over footprint, station count and component cap",
+			Generate: ringsFamily,
+		},
+		{
+			Name:     "demand",
+			Desc:     "one fixed topology under uniform, skewed, bursty, diurnal and spike demand",
+			Generate: demandFamily,
+		},
+		{
+			Name:     "movingai",
+			Desc:     "MAPF-benchmark grid maps imported via grid.ParseMovingAI",
+			Generate: movingaiFamily,
+		},
+	}
+}
+
+// FamilyNames lists the family names in deterministic order.
+func FamilyNames() []string {
+	fams := Families()
+	names := make([]string, len(fams))
+	for i, f := range fams {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// Generate enumerates the whole corpus (every family) for a seed, in
+// family order. Unknown names in the filter are rejected; an empty filter
+// selects every family.
+func Generate(seed int64, families ...string) ([]*Instance, error) {
+	want := map[string]bool{}
+	for _, f := range families {
+		want[f] = true
+	}
+	known := map[string]bool{}
+	var out []*Instance
+	for _, fam := range Families() {
+		known[fam.Name] = true
+		if len(want) > 0 && !want[fam.Name] {
+			continue
+		}
+		insts, err := fam.Generate(seed)
+		if err != nil {
+			return nil, fmt.Errorf("datasets: family %s: %w", fam.Name, err)
+		}
+		out = append(out, insts...)
+	}
+	var unknown []string
+	for f := range want {
+		if !known[f] {
+			unknown = append(unknown, f)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("datasets: unknown families %v (have %v)", unknown, FamilyNames())
+	}
+	return out, nil
+}
+
+// horizonFor budgets the evaluation horizon: enough cycle periods for the
+// demand plus a generous warm-up/queueing margin, in the units the paper's
+// Table I instances empirically need. Deterministic in the instance alone.
+func horizonFor(s *traffic.System, units int) int {
+	return s.CycleTime() * (2*units + 40)
+}
+
+// stripesFamily sweeps the maps.Generate design space. The sweep is pure
+// — seeds only matter to randomized demand families — but takes the seed
+// anyway so every family has the same shape.
+func stripesFamily(int64) ([]*Instance, error) {
+	type variant struct {
+		stripes, rows, corridor, maxLen, stations int
+		units                                     int
+	}
+	variants := []variant{
+		{stripes: 1, rows: 2, corridor: 2, maxLen: 6, stations: 1, units: 10},
+		{stripes: 2, rows: 2, corridor: 2, maxLen: 6, stations: 1, units: 12},
+		{stripes: 1, rows: 3, corridor: 2, maxLen: 6, stations: 1, units: 10},
+		{stripes: 2, rows: 3, corridor: 3, maxLen: 6, stations: 2, units: 16},
+		{stripes: 3, rows: 2, corridor: 2, maxLen: 8, stations: 1, units: 12},
+	}
+	var out []*Instance
+	for _, v := range variants {
+		m, err := maps.Generate(maps.Params{
+			Stripes: v.stripes, Rows: v.rows, BayWidth: 12, CorridorWidth: v.corridor,
+			MaxComponentLen: v.maxLen, DoubleShelfRows: true,
+			NumProducts: 2 * v.stripes, UnitsPerShelf: 30, StationsPerStripe: v.stations,
+		})
+		if err != nil {
+			return nil, err
+		}
+		wl, err := workload.Uniform(m.W, v.units)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("S%d-R%d-V%d-L%d-st%d", v.stripes, v.rows, v.corridor, v.maxLen, v.stations)
+		out = append(out, &Instance{
+			Name: "stripes/" + name, Family: "stripes",
+			Sys: m.S, WL: wl, T: horizonFor(m.S, v.units),
+		})
+	}
+	return out, nil
+}
+
+// ringsFamily sweeps the perimeter-ring builder (rings.go).
+func ringsFamily(int64) ([]*Instance, error) {
+	type variant struct {
+		w, h, maxLen, stations, products, units int
+	}
+	variants := []variant{
+		{w: 10, h: 6, maxLen: 6, stations: 1, products: 2, units: 8},
+		{w: 14, h: 8, maxLen: 6, stations: 2, products: 3, units: 12},
+		{w: 18, h: 8, maxLen: 8, stations: 2, products: 4, units: 12},
+		{w: 22, h: 10, maxLen: 10, stations: 2, products: 4, units: 16},
+	}
+	var out []*Instance
+	for _, v := range variants {
+		w, s, err := GenerateRing(RingParams{
+			Width: v.w, Height: v.h, MaxComponentLen: v.maxLen,
+			Stations: v.stations, NumProducts: v.products, UnitsPerShelf: 40,
+		})
+		if err != nil {
+			return nil, err
+		}
+		wl, err := workload.Uniform(w, v.units)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("%dx%d-L%d-st%d", v.w, v.h, v.maxLen, v.stations)
+		out = append(out, &Instance{
+			Name: "rings/" + name, Family: "rings",
+			Sys: s, WL: wl, T: horizonFor(s, v.units),
+		})
+	}
+	return out, nil
+}
+
+// demandFamily fixes one two-stripe topology and sweeps the demand shape.
+// The randomized shapes (skewed, bursty) draw from rand streams derived
+// deterministically from the corpus seed.
+func demandFamily(seed int64) ([]*Instance, error) {
+	m, err := maps.Generate(maps.Params{
+		Stripes: 2, Rows: 2, BayWidth: 12, CorridorWidth: 2,
+		MaxComponentLen: 6, DoubleShelfRows: true,
+		NumProducts: 4, UnitsPerShelf: 30, StationsPerStripe: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w := m.W
+	type shape struct {
+		name  string
+		build func() (warehouse.Workload, error)
+	}
+	shapes := []shape{
+		{"uniform", func() (warehouse.Workload, error) { return workload.Uniform(w, 12) }},
+		{"skewed-0", func() (warehouse.Workload, error) {
+			return workload.Skewed(w, 12, rand.New(rand.NewSource(seed)))
+		}},
+		{"bursty-0", func() (warehouse.Workload, error) {
+			return workload.Bursty(w, 12, 1, 0.75, rand.New(rand.NewSource(seed+1)))
+		}},
+		{"bursty-1", func() (warehouse.Workload, error) {
+			return workload.Bursty(w, 16, 2, 0.6, rand.New(rand.NewSource(seed+2)))
+		}},
+		{"diurnal-trough", func() (warehouse.Workload, error) { return workload.Diurnal(w, 16, 0, 24) }},
+		{"diurnal-peak", func() (warehouse.Workload, error) { return workload.Diurnal(w, 16, 12, 24) }},
+		{"spike-0", func() (warehouse.Workload, error) {
+			// Full-stock single-product adversarial demand is deliberately
+			// heavy; cap it at a routable level while keeping the
+			// one-product concentration.
+			units := w.TotalStock(0)
+			if units > 20 {
+				units = 20
+			}
+			return workload.Single(w, 0, units)
+		}},
+	}
+	var out []*Instance
+	for _, sh := range shapes {
+		wl, err := sh.build()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sh.name, err)
+		}
+		out = append(out, &Instance{
+			Name: "demand/" + sh.name, Family: "demand",
+			Sys: m.S, WL: wl, T: horizonFor(m.S, wl.TotalUnits()),
+		})
+	}
+	return out, nil
+}

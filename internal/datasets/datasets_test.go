@@ -1,0 +1,159 @@
+package datasets
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/wspio"
+)
+
+// TestCorpusGenerates pins that every family enumerates, every instance
+// carries a validated traffic system (traffic.Build ran), demand within
+// stock, a positive horizon, and a unique family-prefixed name.
+func TestCorpusGenerates(t *testing.T) {
+	insts, err := Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) == 0 {
+		t.Fatal("empty corpus")
+	}
+	perFamily := map[string]int{}
+	names := map[string]bool{}
+	for _, in := range insts {
+		perFamily[in.Family]++
+		if names[in.Name] {
+			t.Errorf("duplicate instance name %s", in.Name)
+		}
+		names[in.Name] = true
+		if !strings.HasPrefix(in.Name, in.Family+"/") {
+			t.Errorf("instance %s not prefixed by family %s", in.Name, in.Family)
+		}
+		if in.Sys == nil || in.Sys.W == nil {
+			t.Fatalf("instance %s carries no system", in.Name)
+		}
+		if err := in.Sys.Validate(); err != nil {
+			t.Errorf("instance %s: invalid traffic system: %v", in.Name, err)
+		}
+		if in.WL.TotalUnits() <= 0 {
+			t.Errorf("instance %s has no demand", in.Name)
+		}
+		if in.T <= 0 {
+			t.Errorf("instance %s has no horizon", in.Name)
+		}
+	}
+	for _, fam := range FamilyNames() {
+		if perFamily[fam] == 0 {
+			t.Errorf("family %s enumerated no instances", fam)
+		}
+	}
+}
+
+// TestCorpusDeterministic pins the corpus determinism contract: the same
+// seed enumerates byte-identical instances (through the wspio canonical
+// encoding), and a different seed moves at least one randomized instance.
+func TestCorpusDeterministic(t *testing.T) {
+	a, err := Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("instance counts differ: %d vs %d", len(a), len(b))
+	}
+	encode := func(in *Instance) []byte {
+		enc, err := wspio.Encode(in.Sys, &in.WL, in.T, in.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", in.Name, err)
+		}
+		data, err := wspio.Marshal(enc)
+		if err != nil {
+			t.Fatalf("%s: %v", in.Name, err)
+		}
+		return data
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("instance %d name %s vs %s", i, a[i].Name, b[i].Name)
+		}
+		if !bytes.Equal(encode(a[i]), encode(b[i])) {
+			t.Errorf("instance %s not byte-identical across same-seed runs", a[i].Name)
+		}
+	}
+	c, err := Generate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	for i := range a {
+		if !bytes.Equal(encode(a[i]), encode(c[i])) {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Error("changing the seed moved no instance; randomized families ignore it")
+	}
+}
+
+func TestGenerateFilters(t *testing.T) {
+	insts, err := Generate(1, "rings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range insts {
+		if in.Family != "rings" {
+			t.Errorf("filter leaked %s", in.Name)
+		}
+	}
+	if _, err := Generate(1, "nope"); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestGenerateRingRejectsTightFootprints(t *testing.T) {
+	if _, _, err := GenerateRing(RingParams{Width: 5, Height: 6, MaxComponentLen: 4, Stations: 1, NumProducts: 1, UnitsPerShelf: 1}); err == nil {
+		t.Error("narrow ring accepted")
+	}
+	if _, _, err := GenerateRing(RingParams{Width: 10, Height: 6, MaxComponentLen: 6, Stations: 3, NumProducts: 1, UnitsPerShelf: 1}); err == nil {
+		t.Error("over-stationed ring accepted")
+	}
+}
+
+func TestImportMovingAIRejects(t *testing.T) {
+	params := MovingAIParams{NumProducts: 1, UnitsPerShelf: 1, Stations: 1, MaxComponentLen: 4}
+	cases := []struct {
+		name, text string
+	}{
+		{"blocked border", "height 7\nwidth 8\nmap\n.@......\n........\n..@@@...\n........\n..@@@...\n........\n........\n"},
+		{"even height", "height 6\nwidth 8\nmap\n........\n........\n..@@@...\n........\n........\n........\n"},
+		{"blocked aisle row", "height 7\nwidth 8\nmap\n........\n.@@@@@@.\n........\n........\n..@@@...\n........\n........\n"},
+		{"no shelves", "height 7\nwidth 8\nmap\n........\n........\n........\n........\n........\n........\n........\n"},
+	}
+	for _, tc := range cases {
+		if _, _, err := ImportMovingAI(tc.text, params); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
+// TestImportMovingAIBuildsEmbedded pins the embedded maps' structure: both
+// import, have stations on the south edge and shelves covered by aisles.
+func TestImportMovingAIBuildsEmbedded(t *testing.T) {
+	insts, err := movingaiFamily(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 2 {
+		t.Fatalf("embedded maps = %d, want 2", len(insts))
+	}
+	for _, in := range insts {
+		if err := in.Sys.Validate(); err != nil {
+			t.Errorf("%s: %v", in.Name, err)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package datasets
+
+import (
+	"embed"
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/traffic"
+	"repro/internal/warehouse"
+	"repro/internal/workload"
+)
+
+//go:embed testdata/*.map
+var movingaiMaps embed.FS
+
+// MovingAIParams tunes the co-design an imported MAPF map receives.
+type MovingAIParams struct {
+	// NumProducts is |ρ|; products are assigned to shelves round-robin
+	// (≥ 1).
+	NumProducts int
+	// UnitsPerShelf is the stock each shelf holds of its product (≥ 1).
+	UnitsPerShelf int
+	// Stations is the number of berths placed on the south edge (≥ 1).
+	Stations int
+	// MaxComponentLen caps component length after splitting (≥ 2).
+	MaxComponentLen int
+}
+
+// ImportMovingAI turns a MovingAI-format map (grid.ParseMovingAI) into a
+// warehouse with a co-designed traffic system. The importer reads the map
+// as a perimeter-and-aisles layout:
+//
+//   - the border ring must be fully passable — it becomes the global
+//     circulation; height must be odd (≥ 5), width ≥ 6;
+//   - interior rows alternate: every odd row is an AISLE (fully passable,
+//     becomes an eastward lane), every even interior row is a SHELF row
+//     (its obstacle cells are shelves; passable cells are unused floor,
+//     which the §IV-A validation permits);
+//   - every shelf is served from the aisle directly below it.
+//
+// Traffic flows west along the south edge (holding the stations), north
+// up the west edge in two-cell junction segments whose exits feed each
+// aisle, east along aisles and the north edge, and south down the east
+// edge in matching two-cell segments absorbing aisle exits, so the system
+// graph is strongly connected with ≤ 2 inlets/outlets everywhere. Lanes
+// are split to MaxComponentLen. Import is deterministic: the same text
+// and params build the identical system.
+func ImportMovingAI(text string, p MovingAIParams) (*warehouse.Warehouse, *traffic.System, error) {
+	switch {
+	case p.NumProducts < 1:
+		return nil, nil, fmt.Errorf("datasets: movingai NumProducts %d < 1", p.NumProducts)
+	case p.UnitsPerShelf < 1:
+		return nil, nil, fmt.Errorf("datasets: movingai UnitsPerShelf %d < 1", p.UnitsPerShelf)
+	case p.Stations < 1:
+		return nil, nil, fmt.Errorf("datasets: movingai Stations %d < 1", p.Stations)
+	case p.MaxComponentLen < 2:
+		return nil, nil, fmt.Errorf("datasets: movingai MaxComponentLen %d < 2", p.MaxComponentLen)
+	}
+	g, err := grid.ParseMovingAI(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	W, H := g.Width(), g.Height()
+	if W < 6 || H < 5 {
+		return nil, nil, fmt.Errorf("datasets: movingai map %dx%d too small for a circulation (need ≥ 6x5)", W, H)
+	}
+	if H%2 == 0 {
+		return nil, nil, fmt.Errorf("datasets: movingai map height %d must be odd (aisle and shelf rows alternate)", H)
+	}
+	pass := func(x, y int) bool { return g.At(grid.Coord{X: x, Y: y}) != grid.None }
+	for x := 0; x < W; x++ {
+		if !pass(x, 0) || !pass(x, H-1) {
+			return nil, nil, fmt.Errorf("datasets: movingai border cell (%d,·) blocked; the border ring must be passable", x)
+		}
+	}
+	for y := 0; y < H; y++ {
+		if !pass(0, y) || !pass(W-1, y) {
+			return nil, nil, fmt.Errorf("datasets: movingai border cell (·,%d) blocked; the border ring must be passable", y)
+		}
+	}
+	// Odd interior rows are aisles and must be fully open; even interior
+	// rows are shelf rows whose obstacles are shelves.
+	for y := 1; y < H-1; y += 2 {
+		for x := 1; x < W-1; x++ {
+			if !pass(x, y) {
+				return nil, nil, fmt.Errorf("datasets: movingai aisle row %d blocked at x=%d; odd rows must be fully open", y, x)
+			}
+		}
+	}
+
+	// Shelves: obstacle cells of shelf rows, each served from the aisle
+	// directly below. Access cells dedup like maps.Generate so one aisle
+	// cell may serve shelves above and below it.
+	accessIndex := make(map[grid.VertexID]int)
+	var accessList []grid.VertexID
+	accessOf := func(x, y int) int {
+		v := g.At(grid.Coord{X: x, Y: y})
+		if idx, ok := accessIndex[v]; ok {
+			return idx
+		}
+		idx := len(accessList)
+		accessIndex[v] = idx
+		accessList = append(accessList, v)
+		return idx
+	}
+	var shelfCols []int
+	for y := 2; y < H-2; y += 2 {
+		for x := 1; x < W-1; x++ {
+			if pass(x, y) {
+				continue // unused floor inside a shelf row
+			}
+			shelfCols = append(shelfCols, accessOf(x, y-1))
+		}
+	}
+	if len(shelfCols) == 0 {
+		return nil, nil, fmt.Errorf("datasets: movingai map has no shelves (no interior obstacles)")
+	}
+	stock := make([][]int, p.NumProducts)
+	for k := range stock {
+		stock[k] = make([]int, len(accessList))
+	}
+	for si, col := range shelfCols {
+		stock[si%p.NumProducts][col] += p.UnitsPerShelf
+	}
+	for k := len(shelfCols); k < p.NumProducts; k++ {
+		stock[k][shelfCols[k%len(shelfCols)]] += p.UnitsPerShelf
+	}
+
+	// Stations on the south edge, east to west, spaced into distinct
+	// components.
+	gap := p.MaxComponentLen + 2
+	var stations []grid.VertexID
+	for j := 0; j < p.Stations; j++ {
+		x := W - 3 - j*gap
+		if x < 2 {
+			return nil, nil, fmt.Errorf("datasets: movingai map width %d cannot hold %d stations with gap %d", W, p.Stations, gap)
+		}
+		stations = append(stations, g.At(grid.Coord{X: x, Y: 0}))
+	}
+	w, err := warehouse.New(g, accessList, stations, p.NumProducts, stock)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	at := func(x, y int) grid.VertexID { return g.At(grid.Coord{X: x, Y: y}) }
+	var lanes [][]grid.VertexID
+	// South edge: westward avenue holding the stations, from (W-2,0) to
+	// (1,0). Its exit (1,0) feeds both the first west segment's entry
+	// (0,0) and aisle 1's entry (1,1); the corners belong to the columns.
+	var south []grid.VertexID
+	for x := W - 2; x >= 1; x-- {
+		south = append(south, at(x, 0))
+	}
+	lanes = append(lanes, south)
+	// West edge: northward two-cell junction segments [(0,2k),(0,2k+1)].
+	// Each exit sits at an aisle level, feeding that aisle's entry (1,y)
+	// and the next segment; the top exit (0,H-2) feeds the north edge and
+	// the top aisle.
+	for y := 0; y+1 <= H-2; y += 2 {
+		lanes = append(lanes, []grid.VertexID{at(0, y), at(0, y+1)})
+	}
+	// Aisles: eastward through every odd interior row.
+	for y := 1; y < H-1; y += 2 {
+		var aisle []grid.VertexID
+		for x := 1; x <= W-2; x++ {
+			aisle = append(aisle, at(x, y))
+		}
+		lanes = append(lanes, aisle)
+	}
+	// North edge: eastward.
+	var north []grid.VertexID
+	for x := 0; x <= W-1; x++ {
+		north = append(north, at(x, H-1))
+	}
+	lanes = append(lanes, north)
+	// East edge: southward two-cell segments [(W-1,y),(W-1,y-1)] starting
+	// at each aisle level so each aisle exit (W-2,y) feeds a segment
+	// entry; the last exit (W-1,0) feeds the south entry (W-2,0).
+	for y := H - 2; y >= 1; y -= 2 {
+		lanes = append(lanes, []grid.VertexID{at(W-1, y), at(W-1, y-1)})
+	}
+
+	segs, err := traffic.SplitLanes(w, lanes, traffic.SplitOptions{MaxLen: p.MaxComponentLen})
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := traffic.Build(w, segs)
+	if err != nil {
+		return nil, nil, err
+	}
+	seen := make(map[traffic.ComponentID]bool)
+	for _, st := range stations {
+		c := s.ComponentAt(st)
+		if seen[c] {
+			return nil, nil, fmt.Errorf("datasets: movingai stations share component %d; widen the gap", c)
+		}
+		seen[c] = true
+	}
+	return w, s, nil
+}
+
+// movingaiFamily imports the embedded MAPF-style maps, each with a
+// co-design parameterization matched to its footprint.
+func movingaiFamily(int64) ([]*Instance, error) {
+	variants := []struct {
+		name  string
+		p     MovingAIParams
+		units int
+	}{
+		{"pods-12x7", MovingAIParams{NumProducts: 4, UnitsPerShelf: 25, Stations: 1, MaxComponentLen: 6}, 10},
+		{"blocks-16x9", MovingAIParams{NumProducts: 4, UnitsPerShelf: 25, Stations: 2, MaxComponentLen: 6}, 12},
+	}
+	var out []*Instance
+	for _, v := range variants {
+		text, err := movingaiMaps.ReadFile("testdata/" + v.name + ".map")
+		if err != nil {
+			return nil, err
+		}
+		w, s, err := ImportMovingAI(string(text), v.p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", v.name, err)
+		}
+		wl, err := workload.Uniform(w, v.units)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", v.name, err)
+		}
+		out = append(out, &Instance{
+			Name: "movingai/" + v.name, Family: "movingai",
+			Sys: s, WL: wl, T: horizonFor(s, v.units),
+		})
+	}
+	return out, nil
+}

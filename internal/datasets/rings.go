@@ -1,0 +1,133 @@
+package datasets
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/traffic"
+	"repro/internal/warehouse"
+)
+
+// RingParams describes one perimeter-ring warehouse: a one-way circulation
+// loop around an impassable interior block, shelving on the north edge,
+// stations on the south edge — the minimal strongly-connected shape (the
+// generalization of the hand-built testmaps ring) at arbitrary footprint.
+type RingParams struct {
+	// Width and Height are the outer footprint (Width ≥ 6, Height ≥ 4).
+	Width, Height int
+	// MaxComponentLen caps component length after splitting (≥ 2).
+	MaxComponentLen int
+	// Stations is the number of station berths on the south edge (≥ 1),
+	// spaced so each lands in its own component.
+	Stations int
+	// NumProducts shelves one product per north-edge access cell (≥ 1).
+	NumProducts int
+	// UnitsPerShelf is each shelf's stock (≥ 1).
+	UnitsPerShelf int
+}
+
+func (p RingParams) validate() error {
+	switch {
+	case p.Width < 6:
+		return fmt.Errorf("datasets: ring width %d < 6", p.Width)
+	case p.Height < 4:
+		return fmt.Errorf("datasets: ring height %d < 4", p.Height)
+	case p.MaxComponentLen < 2:
+		return fmt.Errorf("datasets: ring MaxComponentLen %d < 2", p.MaxComponentLen)
+	case p.Stations < 1:
+		return fmt.Errorf("datasets: ring needs at least one station")
+	case p.NumProducts < 1:
+		return fmt.Errorf("datasets: ring needs at least one product")
+	case p.UnitsPerShelf < 1:
+		return fmt.Errorf("datasets: ring UnitsPerShelf %d < 1", p.UnitsPerShelf)
+	case p.NumProducts > p.Width-4:
+		return fmt.Errorf("datasets: %d products need %d north-edge cells; width %d holds %d",
+			p.NumProducts, p.NumProducts, p.Width, p.Width-4)
+	}
+	// Stations walk west from x = Width-3 with a gap that keeps them in
+	// distinct components after splitting.
+	gap := p.MaxComponentLen + 2
+	if p.Width-3-(p.Stations-1)*gap < 2 {
+		return fmt.Errorf("datasets: ring width %d cannot hold %d stations with gap %d", p.Width, p.Stations, gap)
+	}
+	return nil
+}
+
+// GenerateRing builds the warehouse and traffic system for p: one loop
+// flowing east along the south edge, up the east edge, west along the
+// north edge, and down the west edge, split into MaxComponentLen-capped
+// components.
+func GenerateRing(p RingParams) (*warehouse.Warehouse, *traffic.System, error) {
+	if err := p.validate(); err != nil {
+		return nil, nil, err
+	}
+	W, H := p.Width, p.Height
+	passable := make([][]bool, H)
+	for y := range passable {
+		passable[y] = make([]bool, W)
+		for x := range passable[y] {
+			passable[y][x] = y == 0 || y == H-1 || x == 0 || x == W-1
+		}
+	}
+	g, err := grid.New(passable)
+	if err != nil {
+		return nil, nil, err
+	}
+	at := func(x, y int) grid.VertexID { return g.At(grid.Coord{X: x, Y: y}) }
+
+	// Shelf access cells on the north edge, one shelf per product, starting
+	// at x=1 (clear of the north-west corner turn by construction: the top
+	// lane's exit is (0, H-1)).
+	var access []grid.VertexID
+	stock := make([][]int, p.NumProducts)
+	for k := 0; k < p.NumProducts; k++ {
+		access = append(access, at(1+k, H-1))
+		stock[k] = make([]int, p.NumProducts)
+		stock[k][k] = p.UnitsPerShelf
+	}
+	// Stations on the south edge, east to west.
+	var stations []grid.VertexID
+	gap := p.MaxComponentLen + 2
+	for j := 0; j < p.Stations; j++ {
+		stations = append(stations, at(W-3-j*gap, 0))
+	}
+	w, err := warehouse.New(g, access, stations, p.NumProducts, stock)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// The loop: east along the south edge, north up the east edge, west
+	// along the north edge, south down the west edge — the testmaps ring
+	// at arbitrary footprint.
+	var south, east, north, west []grid.VertexID
+	for x := 0; x <= W-1; x++ {
+		south = append(south, at(x, 0))
+	}
+	for y := 1; y <= H-1; y++ {
+		east = append(east, at(W-1, y))
+	}
+	for x := W - 2; x >= 0; x-- {
+		north = append(north, at(x, H-1))
+	}
+	for y := H - 2; y >= 1; y-- {
+		west = append(west, at(0, y))
+	}
+	segs, err := traffic.SplitLanes(w, [][]grid.VertexID{south, east, north, west},
+		traffic.SplitOptions{MaxLen: p.MaxComponentLen})
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := traffic.Build(w, segs)
+	if err != nil {
+		return nil, nil, err
+	}
+	seen := make(map[traffic.ComponentID]bool)
+	for _, st := range stations {
+		c := s.ComponentAt(st)
+		if seen[c] {
+			return nil, nil, fmt.Errorf("datasets: ring stations share component %d; widen the gap", c)
+		}
+		seen[c] = true
+	}
+	return w, s, nil
+}

@@ -244,6 +244,7 @@ func synthesisILPOptions(ctx context.Context, goal *contracts.Contract, opts Opt
 		MaxNodes:       maxNodes,
 		MaxWork:        maxWork,
 		Simplex:        opts.Simplex,
+		AutoRows:       opts.AutoRows,
 		RootCuts:       opts.RootCuts,
 		Cancel:         cancelOf(ctx),
 		SearchParallel: opts.SearchParallel,
@@ -443,6 +444,11 @@ type Options struct {
 	// (lp.ILPOptions.SearchParallel; 0 or 1 = sequential). Answers, budget
 	// verdicts, and error strings are bit-identical at every width.
 	SearchParallel int
+	// AutoRows overrides the lp.SimplexAuto dense/revised size crossover
+	// for every contract-path solve (lp.SolveOptions.AutoRows /
+	// lp.ILPOptions.AutoRows); 0 keeps the calibrated default. Answers are
+	// unchanged at any setting.
+	AutoRows int
 }
 
 // autoMargin picks a warm-up margin when the caller did not: enough periods

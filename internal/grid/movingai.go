@@ -59,13 +59,22 @@ func ParseMovingAI(text string) (*Grid, error) {
 	if height <= 0 || width <= 0 || mapStart < 0 {
 		return nil, fmt.Errorf("grid: missing height/width/map header")
 	}
-	if len(lines) < mapStart+height {
-		return nil, fmt.Errorf("grid: map body has %d rows, want %d", len(lines)-mapStart, height)
+	// The body must agree with the declared dimensions exactly: trailing
+	// blank lines are tolerated (files end with a newline), but a body
+	// with missing or extra rows — or rows longer than the declared width
+	// — means the header lies about the file and silently trusting either
+	// side would import a different warehouse than the file describes.
+	body := lines[mapStart:]
+	for len(body) > 0 && strings.TrimSpace(body[len(body)-1]) == "" {
+		body = body[:len(body)-1]
+	}
+	if len(body) != height {
+		return nil, fmt.Errorf("grid: map body has %d rows, want %d", len(body), height)
 	}
 	passable := make([][]bool, height)
 	for row := 0; row < height; row++ {
-		line := lines[mapStart+row]
-		if len(line) < width {
+		line := body[row]
+		if len(line) != width {
 			return nil, fmt.Errorf("grid: map row %d has %d cells, want %d", row, len(line), width)
 		}
 		y := height - 1 - row

@@ -52,3 +52,71 @@ func TestParseMovingAICRLF(t *testing.T) {
 		t.Errorf("vertices = %d, want 3", g.NumVertices())
 	}
 }
+
+// TestParseMovingAICRLFMultiRow pins that CRLF endings neither shift the
+// north-edge orientation nor leave '\r' bytes to be read as terrain.
+func TestParseMovingAICRLFMultiRow(t *testing.T) {
+	text := "type octile\r\nheight 2\r\nwidth 3\r\nmap\r\n..@\r\n...\r\n"
+	g, err := ParseMovingAI(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 5 {
+		t.Errorf("vertices = %d, want 5", g.NumVertices())
+	}
+	// First text row is the north edge: the '@' sits at y=1.
+	if g.At(Coord{X: 2, Y: 1}) != None {
+		t.Error("obstacle cell passable under CRLF")
+	}
+}
+
+// TestParseMovingAIGoldenErrors pins the exact message for each malformed
+// input class, so importer diagnostics stay stable for corpus tooling that
+// surfaces them verbatim.
+func TestParseMovingAIGoldenErrors(t *testing.T) {
+	cases := []struct {
+		name, text, want string
+	}{
+		{
+			name: "truncated header",
+			text: "type octile\nheight 3\n",
+			want: "grid: missing height/width/map header",
+		},
+		{
+			name: "header cut mid-keyword",
+			text: "type octile\nheight 3\nwidth 5\nma",
+			want: "grid: missing height/width/map header",
+		},
+		{
+			name: "body shorter than declared height",
+			text: "height 3\nwidth 3\nmap\n...\n...\n",
+			want: "grid: map body has 2 rows, want 3",
+		},
+		{
+			name: "body taller than declared height",
+			text: "height 1\nwidth 3\nmap\n...\n...\n",
+			want: "grid: map body has 2 rows, want 1",
+		},
+		{
+			name: "row narrower than declared width",
+			text: "height 1\nwidth 5\nmap\n...\n",
+			want: "grid: map row 0 has 3 cells, want 5",
+		},
+		{
+			name: "row wider than declared width",
+			text: "height 2\nwidth 3\nmap\n...\n....\n",
+			want: "grid: map row 1 has 4 cells, want 3",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseMovingAI(tc.text)
+			if err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+			if err.Error() != tc.want {
+				t.Errorf("error = %q, want %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -224,7 +224,7 @@ func TestFloatRevisedPartialLP(t *testing.T) {
 	for seed := 0; seed < rounds; seed++ {
 		rng := rand.New(rand.NewSource(int64(12000 + seed)))
 		p := randomSparseNetwork(rng, 12+rng.Intn(6), 4+rng.Intn(3), false)
-		if floatPick(p, SimplexAuto) != SimplexRevised {
+		if floatPick(p, SimplexAuto, 0) != SimplexRevised {
 			t.Fatalf("seed %d: network too small to exercise the revised float engine", seed)
 		}
 		exact, err := SolveLP(p)

@@ -74,6 +74,11 @@ type ILPOptions struct {
 	// hybrid solve mode ignores the knob (its replay tree must be
 	// certified on one arena); its exact fallback honors it.
 	SearchParallel int
+	// AutoRows overrides the SimplexAuto size crossover (see
+	// SolveOptions.AutoRows); 0 keeps the calibrated default. A pure
+	// representation-routing knob: answers and budget verdicts are
+	// unchanged at any setting.
+	AutoRows int
 }
 
 // arena is the engine surface branch-and-bound and the Model layer drive,
@@ -111,8 +116,8 @@ func SolveILP(p *Problem, opts ILPOptions) (*Solution, error) {
 		// Float relaxations: revised partial-pricing engine above the size
 		// crossover, dense tableau below — same auto rule as the exact
 		// engines (candidates are exactly verified either way).
-		spawn := func() arena[float64] { return floatArena(p, opts.Simplex) }
-		return bbSolveHooked(p, floatArena(p, opts.Simplex), floatArith{eps: defaultEps}, opts, bbHooks[float64]{spawn: spawn})
+		spawn := func() arena[float64] { return floatArena(p, opts.Simplex, opts.AutoRows) }
+		return bbSolveHooked(p, floatArena(p, opts.Simplex, opts.AutoRows), floatArith{eps: defaultEps}, opts, bbHooks[float64]{spawn: spawn})
 	}
 	if opts.RootCuts {
 		return solveILPRootCuts(p, opts)
@@ -120,7 +125,7 @@ func SolveILP(p *Problem, opts ILPOptions) (*Solution, error) {
 	if opts.Simplex == SimplexHybrid {
 		return solveILPHybrid(p, opts)
 	}
-	rev := pickSimplex(p, opts.Simplex) == SimplexRevised
+	rev := pickSimplex(p, opts.Simplex, opts.AutoRows) == SimplexRevised
 	var sol *Solution
 	var err error
 	if promote(func() { sol, err = bbSolve[rat64, rat64Arith](p, rat64Arith{}, opts, rev) }) {

@@ -50,6 +50,10 @@ type Model struct {
 	// wins over both.
 	simplex SimplexEngine
 
+	// autoRows is the model-level SimplexAuto crossover override; 0 keeps
+	// the calibrated default, per-call option AutoRows wins over both.
+	autoRows int
+
 	nv, m int // structure snapshot; growth forces a rebuild
 
 	lo, hi []*big.Rat // per-solve declared-bound scratch
@@ -78,6 +82,12 @@ func (mo *Model) Problem() *Problem { return mo.p }
 // retained: answers are bit-identical across representations, so a
 // mid-stream switch only changes which arena the next solve warms.
 func (mo *Model) SetSimplex(e SimplexEngine) { mo.simplex = e }
+
+// SetAutoRows overrides the SimplexAuto size crossover for this model's
+// solves (see SolveOptions.AutoRows); 0 restores the calibrated default.
+// Per-call option AutoRows wins over the model-level setting. Answers are
+// unaffected — this only moves the dense/revised routing decision.
+func (mo *Model) SetAutoRows(rows int) { mo.autoRows = rows }
 
 // SetBound replaces the bounds of v (nil = unbounded). The edit takes
 // effect at the next solve; warm reentry handles it via the dual simplex.
@@ -136,9 +146,18 @@ func (mo *Model) SetObjective(terms []Term, maximize bool) {
 }
 
 // pick resolves the simplex representation for an exact solve: a per-call
-// override wins, then the model-level override, then instance size.
-func (mo *Model) pick(call SimplexEngine) SimplexEngine {
-	return pickSimplex(mo.p, mo.effective(call))
+// override wins, then the model-level override, then instance size (with
+// the same per-call-then-model precedence for the auto crossover).
+func (mo *Model) pick(call SimplexEngine, callRows int) SimplexEngine {
+	return pickSimplex(mo.p, mo.effective(call), mo.effectiveRows(callRows))
+}
+
+// effectiveRows resolves the SimplexAuto crossover override chain.
+func (mo *Model) effectiveRows(callRows int) int {
+	if callRows > 0 {
+		return callRows
+	}
+	return mo.autoRows
 }
 
 // effective resolves only the override chain (per-call, then model-level),
@@ -167,7 +186,7 @@ func (mo *Model) ResolveWith(opts SolveOptions) (*Solution, error) {
 		// bit-identical to the exact answer by its own contract.
 		return solveLPHybrid(mo.p, opts.Cancel)
 	}
-	rev := mo.pick(opts.Simplex) == SimplexRevised
+	rev := mo.pick(opts.Simplex, opts.AutoRows) == SimplexRevised
 	if !mo.promoted {
 		var sol *Solution
 		var err error
@@ -187,8 +206,8 @@ func (mo *Model) ResolveILP(opts ILPOptions) (*Solution, error) {
 		// The parallel executor's extra arenas are spawned fresh (the
 		// retained one cannot be shared across goroutines); cold subtree
 		// solves are arena-independent, so the answer is unchanged.
-		spawn := func() arena[float64] { return floatArena(mo.p, opts.Simplex) }
-		return bbSolveTableau(mo.p, mo.floatArena(opts.Simplex), floatArith{eps: defaultEps}, opts, spawn, mo.cachedBox)
+		spawn := func() arena[float64] { return floatArena(mo.p, opts.Simplex, opts.AutoRows) }
+		return bbSolveTableau(mo.p, mo.floatArena(opts.Simplex, opts.AutoRows), floatArith{eps: defaultEps}, opts, spawn, mo.cachedBox)
 	}
 	if opts.RootCuts {
 		// Root cuts append rows, which a retained arena cannot absorb;
@@ -198,7 +217,7 @@ func (mo *Model) ResolveILP(opts ILPOptions) (*Solution, error) {
 	if mo.effective(opts.Simplex) == SimplexHybrid {
 		return solveILPHybrid(mo.p, opts)
 	}
-	rev := mo.pick(opts.Simplex) == SimplexRevised
+	rev := mo.pick(opts.Simplex, opts.AutoRows) == SimplexRevised
 	if !mo.promoted {
 		var sol *Solution
 		var err error
@@ -237,7 +256,10 @@ func resolveLP[T any](mo *Model, tb arena[T], cancel <-chan struct{}) (*Solution
 	lo, hi := mo.declaredBounds()
 	tb.setCancel(cancel)
 	tb.setWorkBudget(0)
-	switch status := tb.resolveModel(lo, hi); status {
+	start := tb.workSpent()
+	status := tb.resolveModel(lo, hi)
+	meterWork(tb.workSpent() - start)
+	switch status {
 	case StatusInfeasible, StatusUnbounded:
 		return &Solution{Status: status}, nil
 	case StatusLimit:
@@ -375,8 +397,8 @@ func (mo *Model) arenaBig(revisedEngine bool) arena[*big.Rat] {
 // floatArena returns the retained float arena of the representation the
 // override chain and the size rule select, mirroring the package-level
 // floatArena.
-func (mo *Model) floatArena(call SimplexEngine) arena[float64] {
-	if floatPick(mo.p, mo.effective(call)) == SimplexRevised {
+func (mo *Model) floatArena(call SimplexEngine, callRows int) arena[float64] {
+	if floatPick(mo.p, mo.effective(call), mo.effectiveRows(callRows)) == SimplexRevised {
 		if mo.rflt == nil {
 			mo.rflt = newRevisedFloat(mo.p)
 		}

@@ -483,6 +483,10 @@ func runRecover[T any, A arith[T]](w *bbWalker[T, A], in walkIn) (out walkOut) {
 func bbSearch[T any, A arith[T]](p *Problem, tb arena[T], ar A, opts ILPOptions, hooks bbHooks[T], maxNodes int, rootChain *boundDiff) (*Solution, error) {
 	w := newWalker(p, tb, ar, hooks.certify)
 	fold := new(bbFold)
+	// The fold's committed work total is the deterministic quantity MaxWork
+	// is charged against (bit-identical at every worker count); metering it
+	// once per search keeps the process meter representation-independent.
+	defer func() { meterWork(fold.work) }()
 	first := w.run(walkIn{root: rootChain, nodeCap: maxNodes, remWork: opts.MaxWork, fence: true})
 	fold.absorb(first)
 	if first.event != evFrontier || fold.terminal() {

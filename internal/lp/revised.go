@@ -61,15 +61,23 @@ const revisedAutoRows = 16
 // pickSimplex resolves a SimplexEngine choice against the instance.
 // SimplexHybrid is a solve MODE, not a representation; entry points route
 // it before reaching here, so a hybrid choice that leaks this far falls
-// back to size-based selection of an exact representation.
-func pickSimplex(p *Problem, choice SimplexEngine) SimplexEngine {
+// back to size-based selection of an exact representation. autoRows
+// overrides the SimplexAuto crossover; zero (or negative) keeps the
+// calibrated revisedAutoRows default. The override moves only the routing
+// decision — whichever representation wins returns the same bit-identical
+// Solution, so autoRows is a pure speed knob (and the quantity the corpus
+// calibration stage sweeps).
+func pickSimplex(p *Problem, choice SimplexEngine, autoRows int) SimplexEngine {
 	if choice == SimplexHybrid {
 		choice = SimplexAuto
 	}
 	if choice != SimplexAuto {
 		return choice
 	}
-	if len(p.Constraints) >= revisedAutoRows {
+	if autoRows <= 0 {
+		autoRows = revisedAutoRows
+	}
+	if len(p.Constraints) >= autoRows {
 		return SimplexRevised
 	}
 	return SimplexDense
@@ -78,11 +86,11 @@ func pickSimplex(p *Problem, choice SimplexEngine) SimplexEngine {
 // floatPick resolves the float engine's representation: same size-based
 // auto rule, with SimplexHybrid folding into auto (hybrid is a property of
 // exact solves; its float half takes the auto choice).
-func floatPick(p *Problem, choice SimplexEngine) SimplexEngine {
+func floatPick(p *Problem, choice SimplexEngine, autoRows int) SimplexEngine {
 	if choice == SimplexHybrid {
 		choice = SimplexAuto
 	}
-	return pickSimplex(p, choice)
+	return pickSimplex(p, choice, autoRows)
 }
 
 // revised is the factorized-basis counterpart of tableau. The column

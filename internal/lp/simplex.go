@@ -43,6 +43,11 @@ type SolveOptions struct {
 	// solve then returns StatusCanceled. See ILPOptions.Cancel for the
 	// tick semantics.
 	Cancel <-chan struct{}
+	// AutoRows overrides the SimplexAuto size crossover (the constraint-row
+	// count at which auto routing prefers the revised engine); 0 keeps the
+	// calibrated default. Ignored when Simplex names a representation
+	// explicitly. Answers are unaffected either way.
+	AutoRows int
 }
 
 // SolveLPWith is SolveLP with explicit solve options.
@@ -50,7 +55,7 @@ func SolveLPWith(p *Problem, opts SolveOptions) (*Solution, error) {
 	if opts.Simplex == SimplexHybrid {
 		return solveLPHybrid(p, opts.Cancel)
 	}
-	rev := pickSimplex(p, opts.Simplex) == SimplexRevised
+	rev := pickSimplex(p, opts.Simplex, opts.AutoRows) == SimplexRevised
 	var sol *Solution
 	var err error
 	if promote(func() { sol, err = solveLPWith[rat64, rat64Arith](p, rat64Arith{}, rev, opts.Cancel) }) {
@@ -71,15 +76,15 @@ func SolveLPFloat(p *Problem) (*Solution, error) {
 
 // SolveLPFloatWith is SolveLPFloat with explicit solve options.
 func SolveLPFloatWith(p *Problem, opts SolveOptions) (*Solution, error) {
-	tb := floatArena(p, opts.Simplex)
+	tb := floatArena(p, opts.Simplex, opts.AutoRows)
 	tb.setCancel(opts.Cancel)
 	return solveArenaLP(tb)
 }
 
 // floatArena builds the float engine of the chosen (or size-selected)
 // representation.
-func floatArena(p *Problem, choice SimplexEngine) arena[float64] {
-	if floatPick(p, choice) == SimplexRevised {
+func floatArena(p *Problem, choice SimplexEngine, autoRows int) arena[float64] {
+	if floatPick(p, choice, autoRows) == SimplexRevised {
 		return newRevisedFloat(p)
 	}
 	return newTableau[float64, floatArith](p, floatArith{eps: defaultEps})
@@ -101,7 +106,9 @@ func solveLPWith[T any, A arith[T]](p *Problem, ar A, revisedEngine bool, cancel
 func solveArenaLP[T any](tb arena[T]) (*Solution, error) {
 	p := tb.prob()
 	lo, hi := declaredBounds(p)
+	start := tb.workSpent()
 	status := tb.solveNode(lo, hi)
+	meterWork(tb.workSpent() - start)
 	switch status {
 	case StatusInfeasible, StatusUnbounded:
 		return &Solution{Status: status}, nil

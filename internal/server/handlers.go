@@ -108,7 +108,10 @@ type BatchResponse struct {
 	Items        []BatchItem `json:"items"`
 }
 
-// SweepRequest is the /v1/sweep body (the Fig. 5 co-design grid).
+// SweepRequest is the /v1/sweep body (the Fig. 5 co-design grid). With
+// stream set, the answer is NDJSON: one "cell" line per completed
+// topology (flushed immediately), then a terminal "summary" line — the
+// same discipline as /v1/lifelong.
 type SweepRequest struct {
 	Corridors []int `json:"corridors"`
 	Lens      []int `json:"lens"`
@@ -117,6 +120,7 @@ type SweepRequest struct {
 	Units     int   `json:"units"`
 	Points    int   `json:"points"`
 	Horizon   int   `json:"horizon"`
+	Stream    bool  `json:"stream,omitempty"`
 	SolveOverrides
 }
 
@@ -136,12 +140,36 @@ type SweepCellResult struct {
 	Points     []SweepPointResult `json:"points"`
 }
 
-// SweepResponse is the /v1/sweep answer envelope.
+// SweepResponse is the /v1/sweep answer envelope (non-streaming).
 type SweepResponse struct {
 	OK           bool              `json:"ok"`
 	Degraded     bool              `json:"degraded"`
 	DegradeSteps []string          `json:"degrade_steps,omitempty"`
 	Cells        []SweepCellResult `json:"cells"`
+}
+
+// SweepCellLine is one streamed NDJSON topology record.
+type SweepCellLine struct {
+	Type string `json:"type"` // "cell"
+	SweepCellResult
+}
+
+// SweepSummaryLine terminates a successful sweep stream.
+type SweepSummaryLine struct {
+	Type         string   `json:"type"` // "summary"
+	OK           bool     `json:"ok"`
+	Degraded     bool     `json:"degraded"`
+	DegradeSteps []string `json:"degrade_steps,omitempty"`
+	Cells        int      `json:"cells"`
+	ElapsedMS    float64  `json:"elapsed_ms"`
+}
+
+// SweepErrorLine reports a failure after streaming began.
+type SweepErrorLine struct {
+	Type  string `json:"type"` // "error"
+	Code  string `json:"code"`
+	Error string `json:"error"`
+	Cells int    `json:"cells"` // cells completed before the failure
 }
 
 // errStatus maps a solve error onto (HTTP status, taxonomy code). Order
@@ -585,6 +613,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if products <= 0 {
 		products = 2
 	}
+	spec := wsp.SweepSpec{
+		Corridors: req.Corridors, Lens: req.Lens,
+		Stripes: stripes, Products: products,
+		Units: req.Units, Points: req.Points, Horizon: req.Horizon,
+	}
+	if req.Stream {
+		s.streamSweep(w, r, ctx, cfg, spec, steps)
+		return
+	}
 	var cells []wsp.SweepCell
 	err = func() (err error) {
 		defer func() {
@@ -599,11 +636,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				return err
 			}
 		}
-		cells, err = s.solverFor(cfg).Sweep(ctx, wsp.SweepSpec{
-			Corridors: req.Corridors, Lens: req.Lens,
-			Stripes: stripes, Products: products,
-			Units: req.Units, Points: req.Points, Horizon: req.Horizon,
-		})
+		cells, err = s.solverFor(cfg).Sweep(ctx, spec)
 		return err
 	}()
 	if err != nil {
@@ -614,24 +647,125 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	resp := SweepResponse{OK: true, Degraded: len(steps) > 0, DegradeSteps: steps}
 	for _, c := range cells {
-		cell := SweepCellResult{Corridor: c.Corridor, MaxLen: c.MaxLen, Components: c.Stats.Components}
-		for _, pt := range c.Points {
-			pr := SweepPointResult{Units: pt.Units}
-			if pt.Err != nil {
-				_, pr.Code = errStatus(pt.Err)
-			} else {
-				pr.OK = true
-				pr.Agents = pt.Result.Stats.Agents
-			}
-			cell.Points = append(cell.Points, pr)
-		}
-		resp.Cells = append(resp.Cells, cell)
+		resp.Cells = append(resp.Cells, sweepCellResult(c))
 	}
 	s.met.completed.Add(1)
 	if resp.Degraded {
 		s.met.degraded.Add(1)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// sweepCellResult converts one engine cell to its wire form, mapping
+// per-point errors through the taxonomy exactly like the batch endpoint.
+func sweepCellResult(c wsp.SweepCell) SweepCellResult {
+	cell := SweepCellResult{Corridor: c.Corridor, MaxLen: c.MaxLen, Components: c.Stats.Components}
+	for _, pt := range c.Points {
+		pr := SweepPointResult{Units: pt.Units}
+		if pt.Err != nil {
+			_, pr.Code = errStatus(pt.Err)
+		} else {
+			pr.OK = true
+			pr.Agents = pt.Result.Stats.Agents
+		}
+		cell.Points = append(cell.Points, pr)
+	}
+	return cell
+}
+
+// streamSweep is handleSweep's NDJSON tail: one "cell" line per completed
+// topology (flushed immediately), then a terminal "summary" line — the
+// same discipline as /v1/lifelong. Failures before the first cell use the
+// normal error envelope; once the 200 is committed, errors travel in-band
+// as an "error" line and the outcome counters are bumped via countStatus.
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, ctx context.Context, cfg wsp.Config, spec wsp.SweepSpec, steps []string) {
+	// The per-cell fault hook aborts through a cause-carrying cancel so the
+	// walk's next topology fails with the hook's error attached (the cancel
+	// taxonomy then maps it exactly like a mid-solve failure).
+	runCtx, abort := context.WithCancelCause(ctx)
+	defer abort(nil)
+
+	cid := clientID(r)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	streamed := false
+	cellsOut := 0
+	observe := func(c wsp.SweepCell) {
+		// Per-cell fault hook (Info.Horizon carries the cell index): the
+		// faultinject harness stalls or aborts walks between cells with it.
+		if s.cfg.Fault != nil {
+			if err := s.cfg.Fault(runCtx, faultinject.Info{Path: "/v1/sweep", Client: cid, Horizon: cellsOut}); err != nil {
+				abort(err)
+				return
+			}
+		}
+		if !streamed {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			streamed = true
+		}
+		enc.Encode(SweepCellLine{Type: "cell", SweepCellResult: sweepCellResult(c)})
+		if flusher != nil {
+			flusher.Flush()
+		}
+		cellsOut++
+	}
+
+	start := time.Now()
+	err := func() (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.met.panics.Add(1)
+				err = fmt.Errorf("%w: %v", errPanic, p)
+			}
+		}()
+		if s.cfg.Fault != nil {
+			if err := s.cfg.Fault(runCtx, faultinject.Info{Path: "/v1/sweep", Client: cid}); err != nil {
+				return err
+			}
+		}
+		_, err = s.solverFor(cfg).SweepObserve(runCtx, spec, observe)
+		if err == nil && runCtx.Err() != nil {
+			// The per-cell hook aborted on the walk's final topology: no
+			// later pre-check could observe the cancellation, so surface
+			// the cause here instead of a bogus ok summary.
+			err = context.Cause(runCtx)
+		}
+		return err
+	}()
+	if err != nil {
+		status, code := errStatus(err)
+		if !streamed {
+			s.writeError(w, status, code, err.Error(), 0)
+			return
+		}
+		s.countStatus(status)
+		enc.Encode(SweepErrorLine{Type: "error", Code: code, Error: err.Error(), Cells: cellsOut})
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return
+	}
+	s.met.completed.Add(1)
+	if len(steps) > 0 {
+		s.met.degraded.Add(1)
+	}
+	line := SweepSummaryLine{
+		Type:         "summary",
+		OK:           true,
+		Degraded:     len(steps) > 0,
+		DegradeSteps: steps,
+		Cells:        cellsOut,
+		ElapsedMS:    float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if !streamed {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+	}
+	enc.Encode(line)
+	if flusher != nil {
+		flusher.Flush()
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

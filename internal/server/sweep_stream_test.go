@@ -1,0 +1,177 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/server/faultinject"
+)
+
+// sweepStreamRequest is the canonical two-topology streaming sweep: one
+// corridor width, two length caps, two workload levels each.
+func sweepStreamRequest() SweepRequest {
+	return SweepRequest{
+		Corridors: []int{2}, Lens: []int{6, 7},
+		Units: 60, Points: 2, Horizon: 1200, Stream: true,
+	}
+}
+
+// TestSweepStreamsCells is the streaming contract: cell lines are flushed
+// while the walk is still going (cell 1's line is readable while cell 2 is
+// stalled on the fault hook), the terminal summary line closes the stream,
+// and the streamed cells match the non-streaming response bit-for-bit.
+// Hook call order on /v1/sweep: 1 = pre-run, 2 = after cell 1's solve
+// (before its line), 3 = after cell 2's solve.
+func TestSweepStreamsCells(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	srv := New(Config{Fault: stallHook(3, started, release)})
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srv.Serve(l)
+	defer srv.Drain(context.Background())
+
+	buf, err := json.Marshal(sweepStreamRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+l.Addr().String()+"/v1/sweep", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content-type %q, want application/x-ndjson", ct)
+	}
+
+	// Cell 1's line must arrive while the walk is stalled before cell 2's
+	// line — streaming, not buffer-then-dump.
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no first line: %v", sc.Err())
+	}
+	<-started // the walk is provably mid-flight: stalled after cell 2's solve
+	var first SweepCellLine
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil {
+		t.Fatalf("first line %q: %v", sc.Text(), err)
+	}
+	if first.Type != "cell" || first.Corridor != 2 || first.MaxLen != 6 {
+		t.Fatalf("first line = %+v, want cell V=2 L=6", first)
+	}
+	if len(first.Points) != 2 {
+		t.Fatalf("cell 1 has %d points, want 2", len(first.Points))
+	}
+	close(release)
+
+	var lines []json.RawMessage
+	for sc.Scan() {
+		lines = append(lines, append(json.RawMessage(nil), sc.Bytes()...))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines after cell 1, want 2 (cell 2 + summary)", len(lines))
+	}
+	var second SweepCellLine
+	if err := json.Unmarshal(lines[0], &second); err != nil || second.Type != "cell" || second.MaxLen != 7 {
+		t.Fatalf("second line %s: %+v (%v)", lines[0], second, err)
+	}
+	var sum SweepSummaryLine
+	if err := json.Unmarshal(lines[1], &sum); err != nil || sum.Type != "summary" {
+		t.Fatalf("last line %s: %v", lines[1], err)
+	}
+	if !sum.OK || sum.Degraded || sum.Cells != 2 {
+		t.Fatalf("summary = %+v, want ok, undegraded, 2 cells", sum)
+	}
+
+	// The streamed cells answer exactly what the non-streaming endpoint
+	// returns for the same grid.
+	plain := sweepStreamRequest()
+	plain.Stream = false
+	var sr SweepResponse
+	w := postJSON(t, srv.Handler(), "/v1/sweep", plain, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("plain sweep: status %d: %s", w.Code, w.Body.String())
+	}
+	sr = decodeAs[SweepResponse](t, w)
+	if got := []SweepCellResult{first.SweepCellResult, second.SweepCellResult}; !reflect.DeepEqual(got, sr.Cells) {
+		t.Errorf("streamed cells %+v diverge from plain response %+v", got, sr.Cells)
+	}
+	if m := srv.Metrics(); m["completed_total"] != 2 {
+		t.Errorf("completed_total = %d, want 2", m["completed_total"])
+	}
+}
+
+// TestSweepStreamInBandError: a failure after the 200 is committed travels
+// as an in-band "error" line carrying the taxonomy code and the count of
+// cells already streamed — the run does not count as completed.
+func TestSweepStreamInBandError(t *testing.T) {
+	var seen atomic.Int64
+	boom := errors.New("injected mid-walk fault")
+	srv := New(Config{
+		Fault: func(ctx context.Context, _ faultinject.Info) error {
+			if seen.Add(1) == 3 { // after cell 2's solve, cell 1 already streamed
+				return boom
+			}
+			return nil
+		},
+	})
+	w := postJSON(t, srv.Handler(), "/v1/sweep", sweepStreamRequest(), nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d (committed before the fault): %s", w.Code, w.Body.String())
+	}
+	sc := bufio.NewScanner(w.Body)
+	if !sc.Scan() {
+		t.Fatalf("no first line: %v", sc.Err())
+	}
+	var cell SweepCellLine
+	if err := json.Unmarshal(sc.Bytes(), &cell); err != nil || cell.Type != "cell" {
+		t.Fatalf("first line %q: %v", sc.Text(), err)
+	}
+	if !sc.Scan() {
+		t.Fatalf("no error line: %v", sc.Err())
+	}
+	var el SweepErrorLine
+	if err := json.Unmarshal(sc.Bytes(), &el); err != nil || el.Type != "error" {
+		t.Fatalf("second line %q: %v", sc.Text(), err)
+	}
+	if el.Cells != 1 || el.Code == "" || el.Error == "" {
+		t.Errorf("error line = %+v, want 1 streamed cell and a taxonomy code", el)
+	}
+	if sc.Scan() {
+		t.Errorf("unexpected line after the error line: %q", sc.Text())
+	}
+	if m := srv.Metrics(); m["completed_total"] != 0 {
+		t.Errorf("completed_total = %d, want 0", m["completed_total"])
+	}
+}
+
+// TestSweepStreamPreStreamError: a failure before any cell line keeps the
+// normal error envelope — stream mode does not change the pre-commit
+// contract.
+func TestSweepStreamPreStreamError(t *testing.T) {
+	srv := New(Config{Fault: faultinject.Times(1, faultinject.Panic("injected solver bug"))})
+	w := postJSON(t, srv.Handler(), "/v1/sweep", sweepStreamRequest(), nil)
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500: %s", w.Code, w.Body.String())
+	}
+	if resp := decodeAs[ErrorResponse](t, w); resp.Code != "panic" {
+		t.Errorf("code %q, want panic", resp.Code)
+	}
+}

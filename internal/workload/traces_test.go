@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/warehouse"
+)
+
+func TestFromEntries(t *testing.T) {
+	w := smallWarehouse(t)
+	wl, err := FromEntries(w, []Entry{{Product: 0, Units: 5}, {Product: 2, Units: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wl.Units, []int{5, 0, 3}) {
+		t.Errorf("units = %v, want [5 0 3]", wl.Units)
+	}
+}
+
+func TestFromEntriesRejectsZeroUnits(t *testing.T) {
+	w := smallWarehouse(t)
+	_, err := FromEntries(w, []Entry{{Product: 0, Units: 0}})
+	assertDemandError(t, err, 0, "non-positive units")
+}
+
+func TestFromEntriesRejectsNegativeUnits(t *testing.T) {
+	w := smallWarehouse(t)
+	_, err := FromEntries(w, []Entry{{Product: 1, Units: -4}})
+	assertDemandError(t, err, 1, "non-positive units")
+}
+
+func TestFromEntriesRejectsDuplicateProduct(t *testing.T) {
+	w := smallWarehouse(t)
+	_, err := FromEntries(w, []Entry{{Product: 1, Units: 2}, {Product: 1, Units: 3}})
+	assertDemandError(t, err, 1, "duplicate product")
+}
+
+func TestFromEntriesRejectsUnknownProduct(t *testing.T) {
+	w := smallWarehouse(t)
+	_, err := FromEntries(w, []Entry{{Product: 7, Units: 2}})
+	assertDemandError(t, err, 7, "unknown product")
+	_, err = FromEntries(w, []Entry{{Product: -1, Units: 2}})
+	assertDemandError(t, err, -1, "unknown product")
+}
+
+// assertDemandError checks both halves of the taxonomy contract: the
+// sentinel answers errors.Is, and the typed error carries the entry.
+func assertDemandError(t *testing.T, err error, product warehouse.ProductID, reason string) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("invalid demand accepted")
+	}
+	if !errors.Is(err, ErrInvalidDemand) {
+		t.Fatalf("error %v does not wrap ErrInvalidDemand", err)
+	}
+	var de *DemandError
+	if !errors.As(err, &de) {
+		t.Fatalf("error %v is not a *DemandError", err)
+	}
+	if de.Product != product || de.Reason != reason {
+		t.Errorf("DemandError{%d, %q}, want {%d, %q}", de.Product, de.Reason, product, reason)
+	}
+}
+
+func TestBurstyConcentratesAndConserves(t *testing.T) {
+	w := smallWarehouse(t)
+	// Seed 1 makes product 0 (stock 40) the hot product, so the burst is
+	// not stock-clamped away.
+	wl, err := Bursty(w, 40, 1, 0.8, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.TotalUnits() != 40 {
+		t.Errorf("total = %d, want 40", wl.TotalUnits())
+	}
+	max := 0
+	for _, u := range wl.Units {
+		if u > max {
+			max = u
+		}
+	}
+	// 80% of 40 on one hot product (plus its uniform share) dominates.
+	if max < 32 {
+		t.Errorf("hot product got %d units, want ≥ 32", max)
+	}
+}
+
+func TestBurstyDeterministicPerSeed(t *testing.T) {
+	w := smallWarehouse(t)
+	a, err := Bursty(w, 40, 2, 0.7, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bursty(w, 40, 2, 0.7, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Units, b.Units) {
+		t.Errorf("same seed diverged: %v vs %v", a.Units, b.Units)
+	}
+}
+
+func TestBurstyRejectsBadShape(t *testing.T) {
+	w := smallWarehouse(t)
+	if _, err := Bursty(w, 10, 0, 0.5, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero hot products accepted")
+	}
+	if _, err := Bursty(w, 10, 1, 1.5, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("hot share above 1 accepted")
+	}
+}
+
+func TestDiurnalLevelCurve(t *testing.T) {
+	if l := DiurnalLevel(12, 24); l != 1000 {
+		t.Errorf("peak level = %d, want 1000", l)
+	}
+	if l := DiurnalLevel(0, 24); l != 250 {
+		t.Errorf("trough level = %d, want 250", l)
+	}
+	if a, b := DiurnalLevel(6, 24), DiurnalLevel(18, 24); a != b {
+		t.Errorf("shoulder asymmetry: %d vs %d", a, b)
+	}
+	if a, b := DiurnalLevel(-6, 24), DiurnalLevel(18, 24); a != b {
+		t.Errorf("negative phase %d != wrapped phase %d", a, b)
+	}
+}
+
+func TestDiurnalScalesWithPhase(t *testing.T) {
+	w := smallWarehouse(t)
+	peak, err := Diurnal(w, 40, 12, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trough, err := Diurnal(w, 40, 0, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.TotalUnits() != 40 {
+		t.Errorf("peak total = %d, want 40", peak.TotalUnits())
+	}
+	if trough.TotalUnits() != 10 {
+		t.Errorf("trough total = %d, want 10 (25%% of peak)", trough.TotalUnits())
+	}
+}
+
+func TestSpikeDemandsFullStock(t *testing.T) {
+	w := smallWarehouse(t)
+	wl, err := Spike(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wl.Units, []int{0, 40, 0}) {
+		t.Errorf("units = %v, want [0 40 0]", wl.Units)
+	}
+	if _, err := Spike(w, 9); err == nil {
+		t.Error("out-of-range spike accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/warehouse"
+)
+
+// ErrInvalidDemand is the sentinel every demand-construction rejection
+// wraps; callers gate on it with errors.Is and inspect the typed
+// *DemandError for the offending entry.
+var ErrInvalidDemand = errors.New("workload: invalid demand")
+
+// DemandError reports one rejected demand entry: which product, how many
+// units, and why. It wraps ErrInvalidDemand so the taxonomy stays
+// errors.Is-testable while the fields stay inspectable.
+type DemandError struct {
+	Product warehouse.ProductID
+	Units   int
+	Reason  string // "non-positive units" | "duplicate product" | "unknown product"
+}
+
+func (e *DemandError) Error() string {
+	return fmt.Sprintf("workload: product %d (%d units): %s", e.Product, e.Units, e.Reason)
+}
+
+func (e *DemandError) Unwrap() error { return ErrInvalidDemand }
+
+// Entry is one explicit demand: Units of Product.
+type Entry struct {
+	Product warehouse.ProductID
+	Units   int
+}
+
+// FromEntries builds a workload from explicit per-product entries,
+// validating at construction instead of failing deep inside synthesis:
+// entries demanding zero or negative units, naming a product twice, or
+// naming a product outside the warehouse are rejected with a *DemandError
+// (wrapping ErrInvalidDemand). Stock coverage is still checked by
+// warehouse.NewWorkload, so an over-stock demand fails here too, just with
+// the warehouse's own message.
+func FromEntries(w *warehouse.Warehouse, entries []Entry) (warehouse.Workload, error) {
+	units := make([]int, w.NumProducts)
+	seen := make(map[warehouse.ProductID]bool, len(entries))
+	for _, e := range entries {
+		if int(e.Product) < 0 || int(e.Product) >= w.NumProducts {
+			return warehouse.Workload{}, &DemandError{Product: e.Product, Units: e.Units, Reason: "unknown product"}
+		}
+		if e.Units <= 0 {
+			return warehouse.Workload{}, &DemandError{Product: e.Product, Units: e.Units, Reason: "non-positive units"}
+		}
+		if seen[e.Product] {
+			return warehouse.Workload{}, &DemandError{Product: e.Product, Units: e.Units, Reason: "duplicate product"}
+		}
+		seen[e.Product] = true
+		units[e.Product] = e.Units
+	}
+	return warehouse.NewWorkload(w, units)
+}

@@ -66,9 +66,19 @@ type File struct {
 // every benchmark name.
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
+// corpusPrefix marks synthetic corpus-report lines (`wsp corpus run
+// -bench`). Their names are not emitted by go test, so they carry no
+// GOMAXPROCS suffix — and instance names like `bursty-0`/`bursty-1` end in
+// a literal `-N` that the strip would collide.
+const corpusPrefix = "BenchmarkCorpus/"
+
 // normalizeBenchName strips the GOMAXPROCS suffix so snapshots recorded on
-// machines with different core counts pair up.
+// machines with different core counts pair up. Corpus-report names are
+// exempt: their trailing digits are instance identity, not parallelism.
 func normalizeBenchName(name string) string {
+	if strings.HasPrefix(name, corpusPrefix) {
+		return name
+	}
 	return gomaxprocsSuffix.ReplaceAllString(name, "")
 }
 

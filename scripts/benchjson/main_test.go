@@ -17,6 +17,11 @@ func TestNormalizeBenchName(t *testing.T) {
 		{"BenchmarkLifelong/contract-ilp", "BenchmarkLifelong/contract-ilp"},
 		{"BenchmarkSynthesizerAblation/contract-ilp-exact-dense", "BenchmarkSynthesizerAblation/contract-ilp-exact-dense"},
 		{"BenchmarkLifelong/contract-ilp-8", "BenchmarkLifelong/contract-ilp"},
+		// Corpus-report lines are synthetic (`wsp corpus run -bench`), not
+		// go test output: trailing digits are instance identity
+		// (bursty-0 vs bursty-1), never a GOMAXPROCS suffix.
+		{"BenchmarkCorpus/family=demand/inst=bursty-0", "BenchmarkCorpus/family=demand/inst=bursty-0"},
+		{"BenchmarkCorpus/family=demand/inst=bursty-1", "BenchmarkCorpus/family=demand/inst=bursty-1"},
 	}
 	for _, c := range cases {
 		if got := normalizeBenchName(c.in); got != c.want {
@@ -34,6 +39,7 @@ func TestParseBench(t *testing.T) {
 		"BenchmarkTableI/SortingCenter_units=160-4         \t     100\t    123456 ns/op\t   2048 B/op\t      12 allocs/op",
 		"BenchmarkSolveBatch/parallel=1-4                  \t     100\t   9876543 ns/op\t        42.5 solves/s",
 		"BenchmarkLifelong/contract-ilp                    \t     100\t    555555 ns/op",
+		"BenchmarkCorpus/family=demand/inst=bursty-1      \t       1\t   2500000 ns/op\t     42 work/op\t      1 solved",
 		"PASS",
 		"ok  \trepro\t1.234s",
 	}, "\n")
@@ -44,8 +50,8 @@ func TestParseBench(t *testing.T) {
 	if cpu != "Intel(R) Xeon(R) CPU @ 2.20GHz" {
 		t.Errorf("cpu = %q", cpu)
 	}
-	if len(benchmarks) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3: %v", len(benchmarks), benchmarks)
+	if len(benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(benchmarks), benchmarks)
 	}
 	// The -4 suffix must be gone from stored names.
 	b, ok := benchmarks["BenchmarkTableI/SortingCenter_units=160"]
@@ -67,6 +73,15 @@ func TestParseBench(t *testing.T) {
 	// An unsuffixed, hyphenated name survives untouched.
 	if _, ok := benchmarks["BenchmarkLifelong/contract-ilp"]; !ok {
 		t.Errorf("hyphenated name mangled; have %v", benchmarks)
+	}
+	// A corpus-report line keeps its instance digits and carries the
+	// deterministic work and solved metrics.
+	cb, ok := benchmarks["BenchmarkCorpus/family=demand/inst=bursty-1"]
+	if !ok {
+		t.Fatalf("corpus name mangled; have %v", benchmarks)
+	}
+	if cb.Metrics["work/op"] != 42 || cb.Metrics["solved"] != 1 {
+		t.Errorf("corpus metrics = %v", cb.Metrics)
 	}
 }
 

@@ -68,6 +68,16 @@ type SweepCell struct {
 // ErrCanceled, so callers can flush partial results instead of losing the
 // grid walked so far.
 func (s *Solver) Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error) {
+	return s.SweepObserve(ctx, spec, nil)
+}
+
+// SweepObserve is Sweep with a per-cell callback: observe (when non-nil)
+// is invoked synchronously with each cell as soon as its level series
+// completes, before the next topology is generated. Streaming consumers
+// (the /v1/sweep NDJSON endpoint) flush cells from the callback while the
+// walk is still running; the full cell slice is returned at the end
+// either way.
+func (s *Solver) SweepObserve(ctx context.Context, spec SweepSpec, observe func(SweepCell)) ([]SweepCell, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -121,6 +131,9 @@ func (s *Solver) Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error)
 					fmt.Errorf("wsp: sweep canceled after %d topologies: %w", len(cells), ErrCanceled))
 			}
 			cells = append(cells, cell)
+			if observe != nil {
+				observe(cell)
+			}
 		}
 	}
 	return cells, nil

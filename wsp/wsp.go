@@ -140,6 +140,12 @@ type Config struct {
 	// NodeBudget bounds the per-attempt branch-and-bound tree
 	// (0 = default).
 	NodeBudget int
+	// SimplexAutoRows overrides the SimplexAuto dense/revised size
+	// crossover (the constraint-row count at which auto routing prefers
+	// the revised engine) for every exact solve; 0 keeps the calibrated
+	// default. A pure speed knob — answers are bit-identical at any
+	// setting — and one of the quantities `wsp corpus calibrate` sweeps.
+	SimplexAutoRows int
 	// Parallel is the SolveBatch / Sweep worker-pool width
 	// (0 = GOMAXPROCS).
 	Parallel int
@@ -166,6 +172,7 @@ func (c Config) coreOptions() core.Options {
 		MaxAttempts:     c.MaxAttempts,
 		MaxWork:         c.WorkBudget,
 		MaxNodes:        c.NodeBudget,
+		AutoRows:        c.SimplexAutoRows,
 		SearchParallel:  c.SearchParallel,
 		PackParallel:    c.SearchParallel,
 	}
@@ -215,6 +222,13 @@ func WithMaxAttempts(n int) Option { return func(c *Config) { c.MaxAttempts = n 
 // deterministic row-update units; exhaustion surfaces as an error wrapping
 // ErrBudgetExhausted.
 func WithWorkBudget(units int64) Option { return func(c *Config) { c.WorkBudget = units } }
+
+// WithSimplexAutoRows overrides the SimplexAuto dense/revised size
+// crossover in constraint rows (0 = calibrated default). Routing only;
+// answers are bit-identical at any setting.
+func WithSimplexAutoRows(rows int) Option {
+	return func(c *Config) { c.SimplexAutoRows = rows }
+}
 
 // WithNodeBudget bounds the contract path's per-attempt branch-and-bound
 // tree.
